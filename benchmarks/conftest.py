@@ -1,0 +1,40 @@
+"""Benchmark fixtures: experiment registry + report printing.
+
+Each benchmark builds an :class:`~repro.bench.harness.Experiment`,
+fills in measurements (simulated cycles, counts, ratios), asserts the
+paper's qualitative shape, and registers the experiment through the
+``report`` fixture. After the run, every registered report is printed
+in the terminal summary — the regenerated "tables and figures".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.bench.harness import Experiment
+
+_REPORTS: List[Experiment] = []
+
+
+@pytest.fixture
+def report():
+    """Register an Experiment for the end-of-run summary."""
+
+    def _register(experiment: Experiment) -> Experiment:
+        _REPORTS.append(experiment)
+        return experiment
+
+    return _register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for experiment in _REPORTS:
+        terminalreporter.write_line("")
+        for line in experiment.report().splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

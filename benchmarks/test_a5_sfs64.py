@@ -1,0 +1,131 @@
+"""A5 — the 64-bit shared file system (§3/§6 future work, built).
+
+The 32-bit prototype caps out at 1024 inodes of 1 MiB; the 64-bit
+design gives every segment a per-inode address field in a vast region,
+indexed by a B-tree. This bench pushes past the old limits and shows
+translation cost staying logarithmic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import boot
+from repro.bench.harness import Experiment
+from repro.bench.workloads import make_shell
+from repro.errors import FileLimitError
+from repro.sfs.sharedfs import MAX_INODES
+from repro.sfs.sfs64 import SharedFilesystem64
+from repro.util.rng import DeterministicRng
+from repro.vm.pages import PhysicalMemory
+
+LOOKUPS = 300
+
+
+def populate(nfiles: int) -> SharedFilesystem64:
+    sfs = SharedFilesystem64(PhysicalMemory())
+    for index in range(nfiles):
+        sfs.create_file(sfs.root, f"seg{index}", uid=0)
+    return sfs
+
+
+def lookup_cost(sfs: SharedFilesystem64, nfiles: int) -> int:
+    rng = DeterministicRng(5)
+    inodes = [inode for inode in sfs.inodes() if inode.is_file]
+    before = sfs.addrmap.comparisons
+    for _ in range(LOOKUPS):
+        inode = rng.choice(inodes)
+        base = sfs.address_of_inode(inode.number)
+        hit = sfs.inode_of_address(base + 16)
+        assert hit is not None and hit[0] is inode
+    return sfs.addrmap.comparisons - before
+
+
+def test_a5_sfs64_scaling(report, benchmark):
+    sizes = (256, 1024, 4096, 8192)
+
+    def sweep():
+        return {n: lookup_cost(populate(n), n) for n in sizes}
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    experiment = Experiment(
+        "A5", f"64-bit SFS: {LOOKUPS} address translations",
+        "the 64-bit system relaxes the 1024-inode / 1 MiB limits and "
+        "replaces the linear table with a per-inode address field plus "
+        "a B-tree",
+    )
+    for nfiles, comparisons in series.items():
+        over = " (beyond the 32-bit cap)" if nfiles > MAX_INODES else ""
+        experiment.add(f"{nfiles:5d} segments", comparisons,
+                       unit="comparisons", detail=over.strip())
+    report(experiment)
+
+    # Logarithmic growth: 32x the files costs ~<2.5x the comparisons.
+    assert series[8192] < series[256] * 3
+
+
+def test_a5_limits_gone(report, benchmark):
+    def run():
+        # 32-bit prototype: the 1025th file fails.
+        system32 = boot(wide_addresses=False)
+        sfs32 = system32.kernel.sfs
+        created32 = 0
+        try:
+            for index in range(MAX_INODES + 10):
+                sfs32.create_file(sfs32.root, f"f{index}", uid=0)
+                created32 += 1
+        except FileLimitError:
+            pass
+        # 64-bit: sail straight past.
+        system64 = boot(wide_addresses=True)
+        sfs64 = system64.kernel.sfs
+        for index in range(MAX_INODES + 10):
+            sfs64.create_file(sfs64.root, f"f{index}", uid=0)
+        shell = make_shell(system64.kernel)
+        from repro.runtime.libshared import runtime_for
+
+        runtime = runtime_for(system64.kernel, shell)
+        big_base = runtime.create_segment("/shared/huge", 8 << 20)
+        return created32, sfs64.inode_count(), big_base
+
+    created32, count64, big_base = benchmark.pedantic(run, rounds=1,
+                                                      iterations=1)
+    experiment = Experiment(
+        "A5b", "prototype limits vs the 64-bit design",
+        "1024 inodes and 1 MiB files on 32-bit; neither on 64-bit",
+    )
+    experiment.add("files created before failure, 32-bit", created32,
+                   unit="files")
+    experiment.add("files created, 64-bit", count64 - 1, unit="files",
+                   detail="(minus the root directory)")
+    experiment.add("8 MiB segment base, 64-bit", big_base, unit="addr",
+                   detail=f"0x{big_base:012x}")
+    report(experiment)
+
+    assert created32 == MAX_INODES - 1  # root dir consumed one inode
+    assert count64 - 1 > MAX_INODES
+    assert big_base >= 1 << 32
+
+
+@pytest.mark.parametrize("wide", [False, True], ids=["32bit", "64bit"])
+def test_a5_pointer_chasing_parity(wide, benchmark):
+    """The full pointer-chasing machinery behaves identically in both
+    configurations — only the limits differ."""
+
+    def run():
+        system = boot(wide_addresses=wide)
+        kernel = system.kernel
+        shell = make_shell(kernel)
+        from repro.runtime.libshared import runtime_for
+        from repro.runtime.views import Mem
+
+        runtime = runtime_for(kernel, shell)
+        base = runtime.create_segment("/shared/seg", 8192)
+        mem = Mem(kernel, shell)
+        mem.store_u32(base, 42)
+        other = make_shell(kernel, "other")
+        runtime_for(kernel, other)
+        return Mem(kernel, other).load_u32(base)
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) == 42

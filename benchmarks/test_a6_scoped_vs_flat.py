@@ -1,0 +1,114 @@
+"""A6 — scoped linking vs a traditional flat namespace (§3 ablation).
+
+"Some of these external symbols may have the same name as external
+symbols exported by the main program, even though they are actually
+unrelated. This possibility introduces a potentially serious naming
+conflict. The problem is that linkers map from a rich hierarchy of
+abstractions to a flat address space."
+
+The probe: an application ships its own ``helper`` and links in a
+subsystem that also has a private ``helper`` on its own search path.
+Under scoped linking the subsystem gets *its* helper (returns 1); under
+a flat namespace it is captured by the application's (returns 2) —
+silent, wrong, and exactly the failure scoped linking exists to prevent.
+"""
+
+from __future__ import annotations
+
+from repro import boot
+from repro.bench.harness import Experiment
+from repro.bench.workloads import make_shell
+from repro.hw.asm import assemble
+from repro.linker.classes import SharingClass
+from repro.linker.lds import LinkRequest, store_object
+
+SUBSYS_HELPER = """
+        .text
+        .globl helper
+helper:
+        li v0, 1            # the subsystem's own helper
+        jr ra
+"""
+
+APP_HELPER = """
+        .text
+        .globl helper
+helper:
+        li v0, 2            # the application's unrelated helper
+        jr ra
+"""
+
+SUBSYS = """
+        .searchdir /shared/sub
+        .text
+        .globl subsys_fn
+subsys_fn:
+        addi sp, sp, -8
+        sw ra, 0(sp)
+        jal helper
+        lw ra, 0(sp)
+        addi sp, sp, 8
+        jr ra
+"""
+
+MAIN = """
+        .text
+        .globl main
+main:
+        addi sp, sp, -8
+        sw ra, 0(sp)
+        jal subsys_fn
+        lw ra, 0(sp)
+        addi sp, sp, 8
+        jr ra
+"""
+
+
+def run_conflict(scoped: bool):
+    system = boot(scoped=scoped)
+    kernel = system.kernel
+    shell = make_shell(kernel)
+    kernel.vfs.makedirs("/shared/app")
+    kernel.vfs.makedirs("/shared/sub")
+    store_object(kernel, shell, "/shared/sub/helper.o",
+                 assemble(SUBSYS_HELPER, "helper.o"))
+    store_object(kernel, shell, "/shared/app/helper.o",
+                 assemble(APP_HELPER, "helper.o"))
+    store_object(kernel, shell, "/shared/app/subsys.o",
+                 assemble(SUBSYS, "subsys.o"))
+    store_object(kernel, shell, "/main.o", assemble(MAIN, "main.o"))
+    result = system.lds.link(
+        shell,
+        [LinkRequest("/main.o"),
+         LinkRequest("subsys.o", SharingClass.DYNAMIC_PUBLIC)],
+        output="/bin", search_dirs=["/shared/app"],
+    )
+    proc = kernel.create_machine_process("p", result.executable)
+    code = kernel.run_until_exit(proc)
+    return code, proc.runtime.ldl.stats
+
+
+def test_a6_scoped_vs_flat(report, benchmark):
+    def run_both():
+        return run_conflict(scoped=True), run_conflict(scoped=False)
+
+    (scoped_code, scoped_stats), (flat_code, flat_stats) = \
+        benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    experiment = Experiment(
+        "A6", "scoped linking vs a flat namespace under a name conflict",
+        "scoped linking preserves abstraction: a subsystem's symbols "
+        "resolve against its own module list and search path first",
+    )
+    experiment.add("subsys_fn result, scoped", scoped_code, unit="value",
+                   detail="1 = the subsystem's own helper (correct)")
+    experiment.add("subsys_fn result, flat", flat_code, unit="value",
+                   detail="2 = silently captured by the app's helper")
+    experiment.add("scope lookups, scoped", scoped_stats.scope_lookups,
+                   unit="lookups")
+    experiment.add("scope lookups, flat", flat_stats.scope_lookups,
+                   unit="lookups")
+    report(experiment)
+
+    assert scoped_code == 1   # abstraction preserved
+    assert flat_code == 2     # abstraction broken, silently

@@ -1,0 +1,113 @@
+"""E1 — rwho over 65 machines: status files vs a shared-memory database.
+
+Paper: "On our local network of 65 rwhod-equipped machines, the new
+version of rwho saves a little over a second each time it is called."
+The shape to reproduce: the shared-memory query costs a small constant
+amount, the file version scales with per-file syscall + translation
+work, and the gap is large (the paper's second on 1992 hardware).
+"""
+
+from __future__ import annotations
+
+from repro import boot
+from repro.apps.rwho import (
+    FileRwhod,
+    ShmRwhod,
+    file_rwho,
+    generate_network,
+    shm_rwho,
+)
+from repro.apps.rwho.common import updated_status
+from repro.bench.harness import Experiment, ratio
+from repro.bench.workloads import make_shell
+from repro.util.rng import DeterministicRng
+
+
+def run_rwho(nhosts: int):
+    system = boot()
+    kernel = system.kernel
+    shell = make_shell(kernel)
+    network = generate_network(nhosts=nhosts)
+    file_daemon = FileRwhod(kernel, shell)
+    shm_daemon = ShmRwhod(kernel, shell, nhosts=nhosts)
+    for status in network:
+        file_daemon.receive(status)
+        shm_daemon.receive(status)
+
+    rng = DeterministicRng(2)
+    start = kernel.clock.snapshot()
+    for status in network:
+        file_daemon.receive(updated_status(status, 60, rng))
+    file_update = kernel.clock.snapshot() - start
+
+    start = kernel.clock.snapshot()
+    for status in network:
+        shm_daemon.receive(updated_status(status, 60, rng))
+    shm_update = kernel.clock.snapshot() - start
+
+    start = kernel.clock.snapshot()
+    file_output = file_rwho(kernel, shell)
+    file_query = kernel.clock.snapshot() - start
+
+    start = kernel.clock.snapshot()
+    shm_output = shm_rwho(kernel, shell)
+    shm_query = kernel.clock.snapshot() - start
+
+    assert file_output == shm_output
+    return file_update, shm_update, file_query, shm_query
+
+
+def test_e1_rwho_65_machines(report, benchmark):
+    results = benchmark.pedantic(run_rwho, args=(65,), rounds=1,
+                                 iterations=1)
+    file_update, shm_update, file_query, shm_query = results
+
+    experiment = Experiment(
+        "E1", "rwho: shared-memory database vs per-machine files "
+              "(65 hosts)",
+        "'the new version of rwho saves a little over a second each "
+        "time it is called'; result 'both simpler and faster'",
+    )
+    experiment.add("rwho query, file version", file_query)
+    experiment.add("rwho query, shared version", shm_query)
+    experiment.add("query speedup", ratio(file_query, shm_query),
+                   unit="x")
+    experiment.add("daemon update round, file version", file_update)
+    experiment.add("daemon update round, shared version", shm_update)
+    experiment.add("update speedup", ratio(file_update, shm_update),
+                   unit="x")
+    experiment.note("identical output from both implementations")
+    report(experiment)
+
+    assert shm_query * 5 < file_query
+    assert shm_update < file_update
+
+
+def test_e1_rwho_scaling(report, benchmark):
+    """The gap grows with the number of machines (series, not a point)."""
+
+    def sweep():
+        return {n: run_rwho(n) for n in (10, 30, 65)}
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    experiment = Experiment(
+        "E1b", "rwho query cost vs network size",
+        "file version scales with per-file opens; shared version stays "
+        "nearly flat",
+    )
+    for nhosts, (f_up, s_up, f_q, s_q) in series.items():
+        experiment.add(f"{nhosts} hosts, file", f_q)
+        experiment.add(f"{nhosts} hosts, shared", s_q)
+        del f_up, s_up
+    report(experiment)
+
+    file_costs = [series[n][2] for n in (10, 30, 65)]
+    shm_costs = [series[n][3] for n in (10, 30, 65)]
+    # Both scale with host count, but the file version's slope (opens,
+    # reads, unpacking) dwarfs the shared version's (plain loads).
+    assert file_costs[2] > file_costs[0] * 3
+    for file_cost, shm_cost in zip(file_costs, shm_costs):
+        assert shm_cost * 5 < file_cost
+    file_slope = (file_costs[2] - file_costs[0]) / 55
+    shm_slope = (shm_costs[2] - shm_costs[0]) / 55
+    assert shm_slope * 5 < file_slope

@@ -1,0 +1,106 @@
+"""E2 — lazy vs eager dynamic linking over a large reachability graph.
+
+Paper (§3): "It allows us to run processes with a huge 'reachability
+graph' of external references, while linking only the portions of that
+graph that are actually used during any particular run."
+
+Shape: eager start-up cost grows with the graph width W; lazy cost
+grows with the *used* fraction, plus a per-module fault surcharge.
+"""
+
+from __future__ import annotations
+
+from repro import boot
+from repro.bench.harness import Experiment, ratio
+from repro.bench.workloads import (
+    build_module_fanout,
+    fanout_expected_exit,
+    make_shell,
+)
+
+
+def run_fanout(width: int, used: int, lazy: bool):
+    system = boot(lazy=lazy)
+    kernel = system.kernel
+    shell = make_shell(kernel)
+    graph = build_module_fanout(kernel, shell, width=width, used=used,
+                                module_dir="/shared/fan")
+    start = kernel.clock.snapshot()
+    proc = kernel.create_machine_process("p", graph.executable)
+    startup = kernel.clock.snapshot() - start
+    code = kernel.run_until_exit(proc)
+    total = kernel.clock.snapshot() - start
+    assert code == fanout_expected_exit(used)
+    stats = proc.runtime.ldl.stats
+    return startup, total, stats
+
+
+def test_e2_lazy_vs_eager(report, benchmark):
+    width = 12
+
+    def sweep():
+        out = {}
+        for used in (1, 3, 6, 12):
+            out[used] = (run_fanout(width, used, lazy=True),
+                         run_fanout(width, used, lazy=False))
+        return out
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    experiment = Experiment(
+        "E2", f"lazy vs eager dynamic linking (reachability graph of "
+              f"{width} modules)",
+        "lazy linking does work proportional to the used fraction; "
+        "eager pays for the whole graph up front",
+    )
+    for used, (lazy_result, eager_result) in series.items():
+        _lazy_startup, lazy_total, lazy_stats = lazy_result
+        _eager_startup, eager_total, eager_stats = eager_result
+        experiment.add(f"used={used:2d} lazy (start-up + run)",
+                       lazy_total,
+                       detail=f"{lazy_stats.modules_linked} linked, "
+                              f"{lazy_stats.faults_serviced} faults")
+        experiment.add(f"used={used:2d} eager (start-up + run)",
+                       eager_total,
+                       detail=f"{eager_stats.modules_linked} linked")
+    experiment.add("start-up advantage at used=1",
+                   ratio(series[1][1][0], series[1][0][0]), unit="x")
+    experiment.note(
+        "lazy start-up cost is flat (mapping only); linking work moves "
+        "to first touch, so total cost tracks the used fraction"
+    )
+    report(experiment)
+
+    # Eager start-up is flat in `used`; lazy start-up is much cheaper
+    # when little of the graph runs.
+    assert series[1][1][0] > series[1][0][0] * 2
+    # Lazy linked-module count tracks `used` exactly.
+    for used in (1, 3, 6, 12):
+        assert series[used][0][2].modules_linked == used
+        assert series[used][1][2].modules_linked == width
+
+
+def test_e2_total_cost_crossover(report, benchmark):
+    """When everything gets used, lazy pays the fault surcharge — the
+    trade-off the paper accepts for flexibility."""
+    width = 8
+
+    def run():
+        lazy = run_fanout(width, width, lazy=True)
+        eager = run_fanout(width, width, lazy=False)
+        return lazy, eager
+
+    (lazy, eager) = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment = Experiment(
+        "E2b", "lazy linking surcharge when the whole graph is used",
+        "fault-driven lazy linking is slower than linking everything "
+        "up front if every module ends up used",
+    )
+    experiment.add("lazy total (all modules used)", lazy[1])
+    experiment.add("eager total (all modules used)", eager[1])
+    experiment.add("lazy faults", lazy[2].faults_serviced, unit="faults")
+    report(experiment)
+    assert lazy[2].faults_serviced == width
+    assert eager[2].faults_serviced == 0
+    # The lazy run pays extra fault+signal cycles.
+    assert lazy[1] >= eager[1] * 0.9

@@ -1,0 +1,86 @@
+"""E4 — xfig: pointer-rich figures in segments vs ASCII translation.
+
+Paper: the Hemlock xfig keeps its linked lists in a shared segment,
+reuses the file routines for object duplication (800+ lines saved),
+and pays for it with position dependence (§5: figures "can safely be
+copied only by xfig itself").
+"""
+
+from __future__ import annotations
+
+from repro import boot
+from repro.apps.xfig import SharedFigure, generate_figure
+from repro.apps.xfig.ascii import load_figure_ascii, save_figure_ascii
+from repro.bench.harness import Experiment, ratio
+from repro.bench.workloads import make_shell
+
+
+def run_xfig(nobjects: int):
+    system = boot()
+    kernel = system.kernel
+    editor = make_shell(kernel, "editor")
+    figure = generate_figure(nobjects, seed=11)
+
+    # Baseline: save (translate out) and load (translate in).
+    start = kernel.clock.snapshot()
+    save_figure_ascii(kernel, editor, figure, "/fig.txt")
+    ascii_save = kernel.clock.snapshot() - start
+    start = kernel.clock.snapshot()
+    loaded = load_figure_ascii(kernel, editor, "/fig.txt")
+    ascii_load = kernel.clock.snapshot() - start
+    assert len(loaded.objects) == nobjects
+
+    # Hemlock: the working representation is the persistent one.
+    start = kernel.clock.snapshot()
+    shared = SharedFigure(kernel, editor, "/shared/fig",
+                          size=512 * 1024, create=True)
+    shared.build_from(figure)
+    shared_build = kernel.clock.snapshot() - start
+
+    # "Saving" after edits: free. "Loading" in another process: mapping
+    # plus walking the whole pointer structure (a full materialization,
+    # to keep the comparison with the ASCII load apples-to-apples).
+    viewer = make_shell(kernel, "viewer")
+    start = kernel.clock.snapshot()
+    reopened = SharedFigure(kernel, viewer, "/shared/fig")
+    walked = reopened.to_figure()
+    shared_open = kernel.clock.snapshot() - start
+    assert len(walked.objects) == nobjects
+
+    # Duplication through the reused routines.
+    target = shared.object_addresses()[0]
+    start = kernel.clock.snapshot()
+    shared.copy_object(target)
+    copy_cycles = kernel.clock.snapshot() - start
+    return ascii_save, ascii_load, shared_build, shared_open, copy_cycles
+
+
+def test_e4_xfig(report, benchmark):
+    nobjects = 150
+    results = benchmark.pedantic(run_xfig, args=(nobjects,), rounds=1,
+                                 iterations=1)
+    ascii_save, ascii_load, shared_build, shared_open, copy_cycles = \
+        results
+
+    experiment = Experiment(
+        "E4", f"xfig: figure persistence ({nobjects} objects)",
+        "pointer-rich lists live in the segment; save/load translation "
+        "disappears; copy routines are reused (800+ lines saved)",
+    )
+    experiment.add("ASCII save (translate + write)", ascii_save)
+    experiment.add("ASCII load (read + parse)", ascii_load)
+    experiment.add("segment build (one-time)", shared_build)
+    experiment.add("segment save after edits", 0,
+                   detail="the working form IS the persistent form")
+    experiment.add("segment open in new process", shared_open)
+    experiment.add("open speedup vs ASCII load",
+                   ratio(ascii_load, shared_open), unit="x")
+    experiment.add("duplicate one object", copy_cycles,
+                   detail="uses the same read/build routines as I/O")
+    experiment.note(
+        "position dependence: the figure segment is only valid at its "
+        "own address — copyable only by xfig itself (§5)"
+    )
+    report(experiment)
+
+    assert shared_open < ascii_load

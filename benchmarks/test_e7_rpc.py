@@ -1,0 +1,122 @@
+"""E7 — client/server interaction through shared data (§4, §6).
+
+§4 "Utility Programs and Servers": "When synchronous interaction is not
+required, modification of data that will be examined by another process
+at another time can be expected to consume significantly less time than
+kernel-supported message passing or remote procedure calls. Even when
+synchronous communication across protection domains is required,
+sharing between the client and server can speed the call."
+
+Three server interaction styles, N calls each:
+
+1. message RPC — request queue + reply queue (two syscalls + two copies
+   per direction, the kernel-supported RPC baseline);
+2. shared-memory synchronous call — arguments and results in a shared
+   segment, one semaphore handoff each way (the §6 plan approximated
+   with existing kernel primitives);
+3. asynchronous shared data — the client just writes the record the
+   server will examine later (the "not required to be synchronous"
+   fast path).
+"""
+
+from __future__ import annotations
+
+from repro import boot
+from repro.bench.harness import Experiment, ratio
+from repro.bench.workloads import make_shell
+from repro.runtime.libshared import runtime_for
+from repro.runtime.views import Mem
+
+
+def _serve(request: int) -> int:
+    return request * 2 + 1
+
+
+def rpc_via_messages(kernel, client, server, ncalls: int) -> int:
+    sys = kernel.syscalls
+    req = sys.msgget(client, 1)
+    rep = sys.msgget(server, 2)
+    start = kernel.clock.snapshot()
+    for index in range(ncalls):
+        sys.msgsnd(client, req, index.to_bytes(4, "little"))
+        request = int.from_bytes(sys.msgrcv(server, req), "little")
+        sys.msgsnd(server, rep, _serve(request).to_bytes(4, "little"))
+        reply = int.from_bytes(sys.msgrcv(client, rep), "little")
+        assert reply == _serve(index)
+    return kernel.clock.snapshot() - start
+
+
+def rpc_via_shared_call(kernel, client, server, ncalls: int) -> int:
+    sys = kernel.syscalls
+    runtime = runtime_for(kernel, client)
+    runtime_for(kernel, server)
+    base = runtime.create_segment("/shared/callframe", 4096)
+    cmem = Mem(kernel, client)
+    smem = Mem(kernel, server)
+    sys.semget(client, 11, 0)   # "request posted"
+    sys.semget(client, 12, 0)   # "reply ready"
+    start = kernel.clock.snapshot()
+    for index in range(ncalls):
+        cmem.store_u32(base, index)          # argument record
+        sys.sem_v(client, 11)
+        assert sys.sem_try_p(server, 11)     # server wakes
+        request = smem.load_u32(base)
+        smem.store_u32(base + 4, _serve(request))
+        sys.sem_v(server, 12)
+        assert sys.sem_try_p(client, 12)     # client resumes
+        assert cmem.load_u32(base + 4) == _serve(index)
+    return kernel.clock.snapshot() - start
+
+
+def async_shared_data(kernel, client, server, ncalls: int) -> int:
+    runtime = runtime_for(kernel, client)
+    runtime_for(kernel, server)
+    base = runtime.create_segment("/shared/ledger", 64 * 1024)
+    cmem = Mem(kernel, client)
+    smem = Mem(kernel, server)
+    start = kernel.clock.snapshot()
+    for index in range(ncalls):
+        cmem.store_u32(base + 4 + 4 * index, index)
+    cmem.store_u32(base, ncalls)             # publish the count
+    # The server examines the data "at another time":
+    count = smem.load_u32(base)
+    for index in range(count):
+        assert smem.load_u32(base + 4 + 4 * index) == index
+    return kernel.clock.snapshot() - start
+
+
+def run_rpc(ncalls: int):
+    system = boot()
+    kernel = system.kernel
+    client = make_shell(kernel, "client")
+    server = make_shell(kernel, "server")
+    messages = rpc_via_messages(kernel, client, server, ncalls)
+    shared_call = rpc_via_shared_call(kernel, client, server, ncalls)
+    async_cycles = async_shared_data(kernel, client, server, ncalls)
+    return messages, shared_call, async_cycles
+
+
+def test_e7_rpc(report, benchmark):
+    ncalls = 150
+    messages, shared_call, async_cycles = benchmark.pedantic(
+        run_rpc, args=(ncalls,), rounds=1, iterations=1
+    )
+    experiment = Experiment(
+        "E7", f"client/server interaction, {ncalls} calls",
+        "sharing between client and server speeds the call; "
+        "asynchronous shared data beats RPC outright",
+    )
+    experiment.add("message RPC (request+reply queues)", messages)
+    experiment.add("synchronous call via shared memory", shared_call)
+    experiment.add("asynchronous shared data", async_cycles)
+    experiment.add("message RPC / shared call",
+                   ratio(messages, shared_call), unit="x")
+    experiment.add("message RPC / async",
+                   ratio(messages, async_cycles), unit="x")
+    experiment.note(
+        "the §6 protection-domain-switch call is approximated with a "
+        "semaphore handoff over existing kernel primitives"
+    )
+    report(experiment)
+
+    assert async_cycles < shared_call < messages

@@ -1,0 +1,96 @@
+"""E8 — administrative files as shared data (§4 "Administrative Files").
+
+"Most of the files described in section 5 of the Unix manual ... are
+really long-lived data structures. It seems highly inefficient, both
+computationally and in terms of programmer effort, to employ access
+routines for each of these objects whose sole purpose is to translate
+what are logically shared data structure operations into file system
+reads and writes."
+
+The probe database is /etc/passwd with 200 users; the workload is the
+classic NSS pattern — many getpwnam lookups, occasional edits.
+"""
+
+from __future__ import annotations
+
+from repro import boot
+from repro.apps.admin import FilePasswd, SharedPasswd, generate_users
+from repro.bench.harness import Experiment, ratio
+from repro.bench.workloads import make_shell
+
+NUSERS = 200
+LOOKUPS = 50
+EDITS = 10
+
+
+def run_admin():
+    system = boot()
+    kernel = system.kernel
+    admin = make_shell(kernel, "admin")
+    client = make_shell(kernel, "nss-client")
+    users = generate_users(NUSERS)
+
+    text_db = FilePasswd(kernel, admin)
+    shm_db = SharedPasswd(kernel, admin)
+    text_db.write_all(users)
+    shm_db.write_all(users)
+    client_text = FilePasswd(kernel, client)
+    client_shm = SharedPasswd(kernel, client)
+    client_text.getpwnam("user000")   # warm file cache
+    client_shm.getpwnam("user000")    # map the segment
+
+    start = kernel.clock.snapshot()
+    for index in range(LOOKUPS):
+        entry = client_text.getpwnam(f"user{(index * 7) % NUSERS:03d}")
+        assert entry is not None
+    text_lookup = kernel.clock.snapshot() - start
+
+    start = kernel.clock.snapshot()
+    for index in range(LOOKUPS):
+        entry = client_shm.getpwnam(f"user{(index * 7) % NUSERS:03d}")
+        assert entry is not None
+    shm_lookup = kernel.clock.snapshot() - start
+
+    def bump_shell(entry):
+        entry.shell = "/bin/ksh"
+
+    start = kernel.clock.snapshot()
+    for index in range(EDITS):
+        text_db.vipw(lambda entries, i=index:
+                     bump_shell(entries[i]))
+    text_edit = kernel.clock.snapshot() - start
+
+    start = kernel.clock.snapshot()
+    for index in range(EDITS):
+        shm_db.update_entry(f"user{index:03d}", bump_shell)
+    shm_edit = kernel.clock.snapshot() - start
+
+    return text_lookup, shm_lookup, text_edit, shm_edit
+
+
+def test_e8_admin_files(report, benchmark):
+    text_lookup, shm_lookup, text_edit, shm_edit = benchmark.pedantic(
+        run_admin, rounds=1, iterations=1
+    )
+    experiment = Experiment(
+        "E8", f"/etc/passwd with {NUSERS} users: text file vs shared "
+              f"data structure",
+        "administrative files are long-lived data structures; access "
+        "routines that translate to file reads/writes are inefficient "
+        "computationally and in programmer effort",
+    )
+    experiment.add(f"{LOOKUPS} getpwnam, text file", text_lookup)
+    experiment.add(f"{LOOKUPS} getpwnam, shared db", shm_lookup)
+    experiment.add("lookup speedup", ratio(text_lookup, shm_lookup),
+                   unit="x")
+    experiment.add(f"{EDITS} locked edits, vipw rewrite", text_edit)
+    experiment.add(f"{EDITS} locked edits, in-place", shm_edit)
+    experiment.add("edit speedup", ratio(text_edit, shm_edit), unit="x")
+    experiment.note(
+        "the shared db still exports/imports the text form on demand — "
+        "the terminfo answer to §5's Loss of Commonality"
+    )
+    report(experiment)
+
+    assert shm_lookup * 3 < text_lookup
+    assert shm_edit < text_edit

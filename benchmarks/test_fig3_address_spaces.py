@@ -1,0 +1,88 @@
+"""F3 — Figure 3: Hemlock address spaces.
+
+Boots two programs sharing a module and regenerates the figure's
+content: the architected region boundaries, proof that the public
+portion appears at identical addresses in both processes, and proof
+that private addresses are overloaded.
+"""
+
+from __future__ import annotations
+
+from repro import boot
+from repro.bench.harness import Experiment
+from repro.bench.workloads import make_shell
+from repro.linker.classes import SharingClass
+from repro.linker.lds import LinkRequest, store_object
+from repro.toyc import compile_source
+from repro.vm.layout import (
+    HEAP_REGION,
+    KERNEL_REGION,
+    SFS_REGION,
+    STACK_REGION,
+    TEXT_REGION,
+    is_public_address,
+)
+
+SHARED = "int beacon = 0xBEEF;"
+MAIN = """
+extern int beacon;
+int private_word = 1;
+int main() { return beacon & 0xFF; }
+"""
+
+
+def run_two_processes():
+    system = boot()
+    kernel = system.kernel
+    shell = make_shell(kernel)
+    kernel.vfs.makedirs("/shared/lib")
+    store_object(kernel, shell, "/shared/lib/beacon.o",
+                 compile_source(SHARED, "beacon.o"))
+    store_object(kernel, shell, "/main.o", compile_source(MAIN, "main.o"))
+    exe = system.lds.link(
+        shell,
+        [LinkRequest("/main.o"),
+         LinkRequest("beacon.o", SharingClass.DYNAMIC_PUBLIC)],
+        output="/bin", search_dirs=["/shared/lib"],
+    ).executable
+    p1 = kernel.create_machine_process("p1", exe)
+    p2 = kernel.create_machine_process("p2", exe)
+    beacon1 = p1.runtime.resolve_symbol("beacon")
+    beacon2 = p2.runtime.resolve_symbol("beacon")
+    private = exe.symbols["private_word"].value
+    kernel.schedule()
+    return beacon1, beacon2, private, (p1, p2)
+
+
+def test_fig3_address_spaces(report, benchmark):
+    beacon1, beacon2, private, procs = benchmark.pedantic(
+        run_two_processes, rounds=1, iterations=1
+    )
+    experiment = Experiment(
+        "F3", "Figure 3: Hemlock address spaces (32-bit)",
+        "0x0-0x10000000 text, 0x10000000-0x30000000 heap, "
+        "0x30000000-0x70000000 shared file system (1 GiB), "
+        "0x70000000-0x7FFF0000 stack, kernel above 0x80000000",
+    )
+    for region in (TEXT_REGION, HEAP_REGION, SFS_REGION, STACK_REGION,
+                   KERNEL_REGION):
+        portion = "public" if region.public else "private"
+        experiment.add(
+            region.name, region.size // (1 << 20), unit="MiB",
+            detail=f"0x{region.start:08x}-0x{region.end:08x} ({portion})",
+        )
+    experiment.add("shared symbol addr, process 1", beacon1, unit="addr")
+    experiment.add("shared symbol addr, process 2", beacon2, unit="addr")
+    experiment.add("private symbol addr (both)", private, unit="addr")
+    experiment.note(
+        "the public symbol resolves to the same address in both "
+        "protection domains; the private one is overloaded"
+    )
+    report(experiment)
+
+    assert beacon1 == beacon2
+    assert is_public_address(beacon1)
+    assert not is_public_address(private)
+    assert SFS_REGION.size == 1 << 30
+    for proc in procs:
+        assert proc.exit_code == 0xEF

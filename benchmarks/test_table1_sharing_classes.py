@@ -1,0 +1,106 @@
+"""T1 — Table 1: class creation and link times.
+
+Regenerates the table from *observed system behaviour* rather than from
+the enum's self-description: for each sharing class, a probe program is
+linked and run twice, and the three columns are derived from what the
+system actually did (when linking work happened, whether the second
+process saw a fresh instance, and which address portion the module
+landed in).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import boot
+from repro.bench.harness import Experiment
+from repro.bench.workloads import make_shell
+from repro.linker.classes import SharingClass
+from repro.linker.lds import LinkRequest, store_object
+from repro.toyc import compile_source
+from repro.vm.layout import is_public_address
+
+COUNTER_MODULE = """
+int probe_counter = 0;
+int probe_bump() {
+    probe_counter = probe_counter + 1;
+    return probe_counter;
+}
+"""
+
+MAIN = """
+extern int probe_bump();
+int main() { return probe_bump(); }
+"""
+
+
+def observe_class(sharing: SharingClass):
+    """Returns (linked_at, new_instance, portion) observed for *sharing*."""
+    system = boot()
+    kernel = system.kernel
+    shell = make_shell(kernel)
+    kernel.vfs.makedirs("/shared/lib")
+    store_object(kernel, shell, "/shared/lib/probe.o",
+                 compile_source(COUNTER_MODULE, "probe.o"))
+    store_object(kernel, shell, "/main.o", compile_source(MAIN, "main.o"))
+
+    requests = [LinkRequest("/main.o"), LinkRequest("probe.o", sharing)]
+    result = system.lds.link(shell, requests, output="/bin",
+                             search_dirs=["/shared/lib"])
+
+    # When was the module linked? Static classes leave no unresolved
+    # reference to probe_bump in the executable; dynamic classes retain
+    # the relocation for ldl.
+    unresolved = {r.symbol for r in result.executable.relocations}
+    linked_at = ("run time" if "probe_bump" in unresolved
+                 else "static link time")
+
+    p1 = kernel.create_machine_process("p1", result.executable)
+    first = kernel.run_until_exit(p1)
+    p2 = kernel.create_machine_process("p2", result.executable)
+    second = kernel.run_until_exit(p2)
+    # A fresh instance resets the counter; a shared one keeps counting.
+    new_instance = (second == first)
+
+    # Which portion did the module's counter land in?
+    p3 = kernel.create_machine_process("p3", result.executable)
+    address = p3.runtime.resolve_symbol("probe_counter")
+    assert address is not None
+    portion = "public" if is_public_address(address) else "private"
+    kernel.run_until_exit(p3)
+    return linked_at, new_instance, portion
+
+
+@pytest.mark.parametrize("sharing", SharingClass.table1(),
+                         ids=lambda c: c.value)
+def test_table1_row(sharing, report, benchmark):
+    observed = benchmark.pedantic(observe_class, args=(sharing,),
+                                  rounds=1, iterations=1)
+    linked_at, new_instance, portion = observed
+    assert linked_at == sharing.when_linked
+    assert new_instance == sharing.new_instance_per_process
+    assert portion == sharing.address_portion
+
+
+def test_table1_full(report, benchmark):
+    experiment = Experiment(
+        "T1", "Table 1: class creation and link times",
+        "static classes link at static link time, dynamic at run time; "
+        "private classes get a new instance per process; public classes "
+        "live in the public portion",
+    )
+
+    def run():
+        return [observe_class(sharing)
+                for sharing in SharingClass.table1()]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for sharing, (linked_at, new_instance, portion) in \
+            zip(SharingClass.table1(), rows):
+        experiment.add(
+            sharing.value.replace("_", " "),
+            1 if new_instance else 0,
+            unit="new instance/process",
+            detail=f"linked at {linked_at}; {portion} portion",
+        )
+    report(experiment)

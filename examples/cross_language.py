@@ -1,0 +1,101 @@
+"""Language heterogeneity (§6) with hgen.
+
+One shared abstraction, three languages: the module is written in Toy C;
+hgen generates (a) a Toy C header so other C programs can name its
+objects, and (b) a Python accessor class so native processes get the
+same names — definitions and access routines translated automatically
+from the object file's symbol table, the lowest common denominator.
+
+Run:  python examples/cross_language.py
+"""
+
+from repro import LinkRequest, SharingClass, boot
+from repro.bench.workloads import make_shell
+from repro.linker.lds import store_object
+from repro.runtime.libshared import runtime_for
+from repro.tools.hgen import (
+    generate_toyc_header,
+    load_python_accessors,
+)
+from repro.toyc import compile_source
+
+MODULE_SOURCE = """
+/* scoreboard.c — the shared abstraction, written once, in C */
+int games_played = 0;
+int scores[8];
+char champion[16];
+
+int record_game(int slot, int score) {
+    scores[slot] = score;
+    games_played = games_played + 1;
+    return games_played;
+}
+"""
+
+
+def main() -> None:
+    system = boot()
+    kernel = system.kernel
+    shell = make_shell(kernel)
+    kernel.vfs.makedirs("/shared/lib")
+
+    module = compile_source(MODULE_SOURCE, "scoreboard.o")
+    store_object(kernel, shell, "/shared/lib/scoreboard.o", module)
+
+    print("== hgen: the generated C-side header ==")
+    header = generate_toyc_header(module)
+    print(header)
+
+    print("== a C program uses the header ==")
+    consumer = header + """
+        int main() {
+            record_game(0, 95);
+            record_game(1, 88);
+            return scores[0] - scores[1];
+        }
+    """
+    store_object(kernel, shell, "/game.o",
+                 compile_source(consumer, "game.o"))
+    exe = system.lds.link(
+        shell,
+        [LinkRequest("/game.o"),
+         LinkRequest("scoreboard.o", SharingClass.DYNAMIC_PUBLIC)],
+        output="/bin_game", search_dirs=["/shared/lib"],
+    ).executable
+    proc = kernel.create_machine_process("game", exe)
+    print(f"  game exited with {kernel.run_until_exit(proc)} "
+          f"(scores[0] - scores[1])")
+
+    print("\n== a Python-side process uses the generated accessors ==")
+    runtime = runtime_for(kernel, shell)
+    runtime.start_native(search_dirs=["/shared/lib"])
+    board = load_python_accessors(module, runtime,
+                                  class_name="Scoreboard")
+    print(f"  games_played = {board.get_games_played()} "
+          f"(the C program's two games)")
+    print(f"  scores[0] = {board.get_scores(0)}, "
+          f"scores[1] = {board.get_scores(1)}")
+    board.set_champion("py-player")
+    board.set_scores(2, 100)
+    print("  Python wrote champion and a third score...")
+
+    print("\n== and the C side sees Python's writes ==")
+    checker = header + """
+        int main() { return scores[2] + (champion[0] == 'p'); }
+    """
+    store_object(kernel, shell, "/check.o",
+                 compile_source(checker, "check.o"))
+    exe2 = system.lds.link(
+        shell,
+        [LinkRequest("/check.o"),
+         LinkRequest("scoreboard.o", SharingClass.DYNAMIC_PUBLIC)],
+        output="/bin_check", search_dirs=["/shared/lib"],
+    ).executable
+    proc2 = kernel.create_machine_process("check", exe2)
+    result = kernel.run_until_exit(proc2)
+    print(f"  checker exited with {result} (scores[2] + champion test)")
+    assert result == 101
+
+
+if __name__ == "__main__":
+    main()

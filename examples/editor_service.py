@@ -1,0 +1,161 @@
+"""The editor-as-a-function vision (§3).
+
+"We envision, for example, rewriting the emacs editor with a functional
+interface to which every process with a text window can be linked. With
+lazy linking, we would not bother to bring the editor's more esoteric
+features into a particular process's address space unless and until
+they were needed."
+
+This example builds exactly that shape: an editor *core* module (buffer
+storage + insert/length), plus two "esoteric feature" modules —
+``editor_upcase`` and ``editor_stats`` — that the core knows how to
+find through its own scoped search path. Two client programs link only
+the core; the first uses just the basics, the second calls a feature.
+Watch ldl bring in only what each client actually touches.
+
+Run:  python examples/editor_service.py
+"""
+
+from repro import LinkRequest, SharingClass, boot
+from repro.bench.workloads import make_shell
+from repro.linker.lds import store_object
+from repro.toyc import compile_source
+
+# The editor's core: a shared buffer with a functional interface.
+EDITOR_CORE = """
+char buffer[256];
+int length = 0;
+
+int ed_insert(int ch) {
+    buffer[length] = ch;
+    length = length + 1;
+    return length;
+}
+
+int ed_length() { return length; }
+"""
+
+# An esoteric feature: upcase the whole buffer.
+EDITOR_UPCASE = """
+extern char buffer[256];
+extern int length;
+
+int ed_upcase() {
+    int i;
+    for (i = 0; i < length; i = i + 1) {
+        if (buffer[i] >= 'a') {
+            if (buffer[i] <= 'z') {
+                buffer[i] = buffer[i] - 32;
+            }
+        }
+    }
+    return length;
+}
+"""
+
+# Another: count vowels.
+EDITOR_STATS = """
+extern char buffer[256];
+extern int length;
+
+int ed_vowels() {
+    int i;
+    int count = 0;
+    for (i = 0; i < length; i = i + 1) {
+        int c = buffer[i];
+        if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') {
+            count = count + 1;
+        }
+    }
+    return count;
+}
+"""
+
+BASIC_CLIENT = """
+extern int ed_insert(int ch);
+extern int ed_length();
+int main() {
+    ed_insert('h');
+    ed_insert('e');
+    ed_insert('l');
+    ed_insert('l');
+    ed_insert('o');
+    return ed_length();
+}
+"""
+
+POWER_CLIENT = """
+extern int ed_insert(int ch);
+extern int ed_upcase();
+extern int ed_vowels();
+extern char buffer[256];
+int main() {
+    int vowels = ed_vowels();   /* feature module faulted in here */
+    ed_upcase();                /* and the second one here */
+    return vowels * 100 + buffer[0];
+}
+"""
+
+
+def main() -> None:
+    system = boot()
+    kernel = system.kernel
+    shell = make_shell(kernel)
+    kernel.vfs.makedirs("/shared/editor")
+
+    # The core carries its own module list: the features live in its
+    # directory and are found through *its* scope, not the clients'.
+    core = compile_source(EDITOR_CORE, "editor_core.o")
+    core = system.lds.add_link_info(
+        core, search_dirs=["/shared/editor"],
+    )
+    store_object(kernel, shell, "/shared/editor/editor_core.o", core)
+    store_object(kernel, shell, "/shared/editor/ed_upcase.o",
+                 compile_source(EDITOR_UPCASE, "ed_upcase.o"))
+    store_object(kernel, shell, "/shared/editor/ed_vowels.o",
+                 compile_source(EDITOR_STATS, "ed_vowels.o"))
+
+    store_object(kernel, shell, "/basic.o",
+                 compile_source(BASIC_CLIENT, "basic.o"))
+    store_object(kernel, shell, "/power.o",
+                 compile_source(POWER_CLIENT, "power.o"))
+
+    def link(main_obj, out):
+        return system.lds.link(
+            shell,
+            [LinkRequest(main_obj),
+             LinkRequest("editor_core.o", SharingClass.DYNAMIC_PUBLIC)],
+            output=out, search_dirs=["/shared/editor"],
+        ).executable
+
+    basic_exe = link("/basic.o", "/bin_basic")
+    power_exe = link("/power.o", "/bin_power")
+
+    print("== basic client: types 'hello' ==")
+    basic = kernel.create_machine_process("basic", basic_exe)
+    code = kernel.run_until_exit(basic)
+    stats = basic.runtime.ldl.stats
+    print(f"  buffer length: {code}")
+    print(f"  modules linked: {stats.modules_linked} "
+          f"(core only — no esoteric features in this address space)")
+    assert stats.modules_linked <= 1 or stats.modules_mapped >= 1
+
+    print("\n== power client: uses the esoteric features ==")
+    power = kernel.create_machine_process("power", power_exe)
+    code = kernel.run_until_exit(power)
+    stats = power.runtime.ldl.stats
+    vowels, first = divmod(code, 100)
+    print(f"  vowels in the shared buffer: {vowels} "
+          f"('hello' from the other client!)")
+    print(f"  buffer[0] after ed_upcase: {chr(first)!r}")
+    print(f"  modules mapped: {stats.modules_mapped}, "
+          f"created: {stats.modules_created} "
+          f"(the feature modules came in on demand)")
+    assert vowels == 2 and chr(first) == "H"
+
+    print("\nthe editor is a set of linked-in functions; each window "
+          "process carries only the features it used")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""A tour of lazy and scoped linking (§3, Figure 2).
+
+Builds a program whose reachability graph is far larger than what any
+run touches, then watches ldl work: all modules are *mapped* (without
+access permissions) at start-up, but each is *linked* only when first
+touched — and linking one module can chain in modules the program
+never named, discovered through scoped search paths.
+
+Run:  python examples/lazy_linking_tour.py
+"""
+
+from repro import boot
+from repro.bench.workloads import (
+    build_module_chain,
+    build_module_fanout,
+    chain_expected_exit,
+    fanout_expected_exit,
+    make_shell,
+)
+
+
+def show_stats(tag, stats):
+    print(f"  [{tag}] mapped={stats.modules_mapped} "
+          f"created={stats.modules_created} "
+          f"linked={stats.modules_linked} "
+          f"faults={stats.faults_serviced} "
+          f"relocs_patched={stats.relocs_patched}")
+
+
+def main() -> None:
+    print("== part 1: a wide reachability graph, mostly unused ==")
+    width, used = 10, 3
+    for lazy in (True, False):
+        system = boot(lazy=lazy)
+        kernel = system.kernel
+        shell = make_shell(kernel)
+        graph = build_module_fanout(kernel, shell, width=width,
+                                    used=used,
+                                    module_dir="/shared/fanout")
+        start = kernel.clock.snapshot()
+        proc = kernel.create_machine_process("app", graph.executable)
+        code = kernel.run_until_exit(proc)
+        cycles = kernel.clock.snapshot() - start
+        assert code == fanout_expected_exit(used)
+        mode = "lazy " if lazy else "eager"
+        print(f"  {mode}: {cycles:9,} cycles for exec+run "
+              f"(graph of {width}, {used} used)")
+        show_stats(mode, proc.runtime.ldl.stats)
+
+    print("\n== part 2: Figure 2's recursive chain ==")
+    depth = 7
+    system = boot(lazy=True)
+    kernel = system.kernel
+    shell = make_shell(kernel)
+    graph = build_module_chain(kernel, shell, depth=depth,
+                               module_dir="/shared/chain")
+    named = [name for name, _ in
+             graph.executable.link_info.dynamic_modules]
+    print(f"  modules named on the lds command line: {named}")
+    proc = kernel.create_machine_process("app", graph.executable)
+    code = kernel.run_until_exit(proc)
+    assert code == chain_expected_exit(depth)
+    show_stats("chain", proc.runtime.ldl.stats)
+    print(f"  one named module unfolded into {depth}: each link step "
+          f"happened at first touch")
+    print("  segments created on the shared partition:")
+    for path, _inode in kernel.sfs.segments():
+        if "chain" in path:
+            print(f"    /shared{path}")
+
+    print("\n== part 3: substituting a module via LD_LIBRARY_PATH ==")
+    system = boot(lazy=True)
+    kernel = system.kernel
+    shell = make_shell(kernel)
+    graph = build_module_fanout(kernel, shell, width=2, used=1,
+                                module_dir="/shared/fanout")
+    # An "instrumented" replacement for mod0, found first on the path.
+    kernel.vfs.makedirs("/shared/debugversions")
+    from repro.hw.asm import assemble
+    from repro.linker.lds import store_object
+
+    store_object(kernel, shell, "/shared/debugversions/mod0.o",
+                 assemble("""
+        .text
+        .globl func_0
+    func_0:
+        li v0, 4242     # debug stub
+        jr ra
+    """, "mod0.o"))
+    proc = kernel.create_machine_process(
+        "app", graph.executable,
+        env={"LD_LIBRARY_PATH": "/shared/debugversions"},
+    )
+    code = kernel.run_until_exit(proc)
+    print(f"  with LD_LIBRARY_PATH=/shared/debugversions the program "
+          f"returned {code} (the debug stub), not "
+          f"{fanout_expected_exit(1)}")
+    assert code == 4242
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""A Presto-style parallel application (§4 "Parallel Applications").
+
+The shared variables live in a separate Toy C file (`shared_data.c`)
+linked as a *dynamic public* module — "selective sharing can be
+specified with ease" — replacing the 432-line assembly-editing
+post-processor the paper describes. Each application instance gets its
+own copy of the shared data through the temp-directory/symlink/
+LD_LIBRARY_PATH idiom, and the workers synchronize with kernel
+semaphores while claiming work items.
+
+Run:  python examples/parallel_presto.py
+"""
+
+from repro import boot
+from repro.apps.presto import PrestoApp
+from repro.apps.presto.runtime import SHARED_DATA_SOURCE, WORKER_SOURCE
+from repro.bench.workloads import make_shell
+
+NITEMS = 40
+
+
+def main() -> None:
+    system = boot()
+    kernel = system.kernel
+    shell = make_shell(kernel, "parent")
+
+    print("== the shared data module (its entire source) ==")
+    print(SHARED_DATA_SOURCE.format(nitems=NITEMS))
+    print("== worker excerpt: shared variables are plain externs ==")
+    for line in WORKER_SOURCE.format(nitems=NITEMS).splitlines()[1:5]:
+        print(line)
+    print("    ...")
+
+    print("\n== build once (cc + lds) ==")
+    app = PrestoApp(kernel, shell, nitems=NITEMS)
+    print("worker executable linked with shared_data.o as "
+          "dynamic public")
+
+    for nworkers in (1, 2, 4):
+        start = kernel.clock.snapshot()
+        result = app.run_instance(nworkers=nworkers)
+        cycles = kernel.clock.snapshot() - start
+        print(f"\n== instance with {nworkers} worker(s) ==")
+        print(f"  instance dir (temp + symlink): {result.instance_dir}")
+        print(f"  items per worker:              "
+              f"{result.per_worker_items}")
+        print(f"  total:                         {result.total} "
+              f"(expected {app.expected_total()})")
+        print(f"  cycles, full lifecycle:        {cycles:,}")
+        assert result.total == app.expected_total()
+
+    print("\nall instances exact; parent cleaned up segment, symlink, "
+          "and directory each time")
+    assert kernel.vfs.listdir("/shared/tmp") == []
+
+
+if __name__ == "__main__":
+    main()

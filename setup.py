@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept as a classic ``setup.py`` (with metadata in ``setup.cfg``) so that
+``pip install -e .`` works in fully offline environments where the
+``wheel`` package needed by PEP 660 editable builds is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""The paper's §4 example applications, each with baseline and Hemlock
+versions:
+
+* :mod:`rwho` — the rwhod daemon and rwho/ruptime utilities: per-machine
+  status files (the original) vs a shared-memory database;
+* :mod:`xfig` — a figure editor: ASCII save/load translation vs
+  pointer-rich objects living in a shared segment;
+* :mod:`lynx` — compiler tables: regenerate-and-recompile vs a
+  persistent shared module the compiler links in;
+* :mod:`presto` — a parallel-application runtime: per-instance shared
+  globals established through a temporary directory, a symlink to the
+  template, and LD_LIBRARY_PATH.
+"""

@@ -1,0 +1,29 @@
+"""Administrative files as shared data structures (§4, §5).
+
+"Unix maintains a wealth of small administrative files... Most of these
+files have a rigid format that constitutes either a binary linearization
+or a parsable ASCII description of a special-purpose data structure.
+Most are accessed via utility routines that read and write these on-disk
+formats, converting them to and from the linked data structures that
+programs really use."
+
+The demo database is ``/etc/passwd``:
+
+* :mod:`fileimpl` — the classic colon-separated text file: every
+  ``getpwnam`` reads and parses the whole file; edits go through a
+  vipw-style lock + full rewrite, checked by a ckpw-style validator;
+* :mod:`shmimpl` — the Hemlock version: fixed-layout records in a
+  shared segment, looked up in place; edits update one record under the
+  same advisory lock, and the validator runs over the records directly.
+
+§5's "Loss of Commonality" caveat is preserved deliberately: the shared
+database is *not* editable with a text editor, which is exactly the
+trade-off the paper discusses (terminfo vs termcap) — so the shared
+implementation also provides export/import to the ASCII form.
+"""
+
+from repro.apps.admin.common import PasswdEntry, generate_users
+from repro.apps.admin.fileimpl import FilePasswd
+from repro.apps.admin.shmimpl import SharedPasswd
+
+__all__ = ["PasswdEntry", "generate_users", "FilePasswd", "SharedPasswd"]

@@ -1,0 +1,76 @@
+"""The passwd data model and validation rules (the ckpw checker)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.rng import DeterministicRng
+
+NAME_LEN = 16
+HOME_LEN = 24
+SHELL_LEN = 16
+GECOS_LEN = 24
+
+_SHELLS = ["/bin/sh", "/bin/csh", "/bin/ksh"]
+
+
+@dataclass
+class PasswdEntry:
+    """One /etc/passwd line's worth of data."""
+
+    name: str
+    uid: int
+    gid: int
+    gecos: str
+    home: str
+    shell: str
+
+
+class ValidationError(ValueError):
+    """The ckpw checker rejected an entry or database."""
+
+
+def validate_entry(entry: PasswdEntry) -> None:
+    """ckpw, per-entry: names sane, ids in range, paths absolute."""
+    if not entry.name or len(entry.name) >= NAME_LEN:
+        raise ValidationError(f"bad user name {entry.name!r}")
+    if not entry.name[0].isalpha() \
+            or not all(c.isalnum() or c == "_" for c in entry.name):
+        raise ValidationError(f"bad user name {entry.name!r}")
+    if ":" in entry.gecos:
+        raise ValidationError("gecos may not contain ':'")
+    if not 0 <= entry.uid < 65536 or not 0 <= entry.gid < 65536:
+        raise ValidationError(f"uid/gid out of range for {entry.name!r}")
+    if not entry.home.startswith("/") or len(entry.home) >= HOME_LEN:
+        raise ValidationError(f"bad home {entry.home!r}")
+    if not entry.shell.startswith("/") or len(entry.shell) >= SHELL_LEN:
+        raise ValidationError(f"bad shell {entry.shell!r}")
+
+
+def validate_database(entries: List[PasswdEntry]) -> None:
+    """ckpw, whole-database: per-entry rules plus unique names."""
+    seen = set()
+    for entry in entries:
+        validate_entry(entry)
+        if entry.name in seen:
+            raise ValidationError(f"duplicate user {entry.name!r}")
+        seen.add(entry.name)
+
+
+def generate_users(count: int = 100, seed: int = 14627) -> \
+        List[PasswdEntry]:
+    """A deterministic user population."""
+    rng = DeterministicRng(seed)
+    users = []
+    for index in range(count):
+        name = f"user{index:03d}"
+        users.append(PasswdEntry(
+            name=name,
+            uid=1000 + index,
+            gid=100 + rng.randint(0, 5),
+            gecos=f"User Number {index}",
+            home=f"/home/{name}",
+            shell=rng.choice(_SHELLS),
+        ))
+    return users

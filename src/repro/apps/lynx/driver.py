@@ -1,0 +1,88 @@
+"""Table-driven scanner and parser drivers.
+
+These are the "separately-developed scanner and parser drivers" — they
+know nothing about the grammar beyond what the numeric tables say. They
+evaluate arithmetic expressions while parsing, so tests can check
+real semantic results, not just accept/reject.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.apps.lynx.tablegen import TableSet
+from repro.errors import SimulationError
+
+# Terminal indices match EXPR_GRAMMAR.terminals + ["$"]:
+_TERMINALS = ["num", "+", "*", "(", ")", "$"]
+_TERM_INDEX = {t: i for i, t in enumerate(_TERMINALS)}
+
+
+def tokenize_expression(text: str) -> List[Tuple[str, int]]:
+    """Scan *text* into (terminal, value) pairs, ending with ('$', 0)."""
+    tokens: List[Tuple[str, int]] = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch in " \t\n":
+            index += 1
+            continue
+        if ch.isdigit():
+            start = index
+            while index < len(text) and text[index].isdigit():
+                index += 1
+            tokens.append(("num", int(text[start:index])))
+            continue
+        if ch in "+*()":
+            tokens.append((ch, 0))
+            index += 1
+            continue
+        raise SimulationError(f"scan error at {text[index:]!r}")
+    tokens.append(("$", 0))
+    return tokens
+
+
+def parse_expression(tables: TableSet, text: str) -> int:
+    """LR-parse *text* with the numeric tables; returns its value.
+
+    Semantic actions follow the fixed production numbering of
+    EXPR_GRAMMAR: 1 E->E+T, 2 E->T, 3 T->T*F, 4 T->F, 5 F->(E), 6 F->num.
+    """
+    tokens = tokenize_expression(text)
+    state_stack = [0]
+    value_stack: List[int] = []
+    cursor = 0
+    for _ in range(100000):
+        terminal, value = tokens[cursor]
+        action = tables.action_at(state_stack[-1], _TERM_INDEX[terminal])
+        if action == 0:
+            raise SimulationError(
+                f"parse error at token {cursor} ({terminal!r})"
+            )
+        if action > 0:  # shift
+            state_stack.append(action - 1)
+            value_stack.append(value)
+            cursor += 1
+            continue
+        production = -action - 1
+        if production == 0:  # accept (augmented start)
+            return value_stack[-1]
+        length = tables.prod_lengths[production]
+        popped = value_stack[len(value_stack) - length:]
+        del value_stack[len(value_stack) - length:]
+        del state_stack[len(state_stack) - length:]
+        if production == 1:      # E -> E + T
+            result = popped[0] + popped[2]
+        elif production == 3:    # T -> T * F
+            result = popped[0] * popped[2]
+        elif production == 5:    # F -> ( E )
+            result = popped[1]
+        else:                    # unit productions
+            result = popped[0]
+        head = tables.prod_heads[production]
+        target = tables.goto_at(state_stack[-1], head)
+        if target < 0:
+            raise SimulationError("corrupt goto table")
+        state_stack.append(target)
+        value_stack.append(result)
+    raise SimulationError("parser did not terminate")

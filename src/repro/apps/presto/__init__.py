@@ -1,0 +1,24 @@
+"""Presto-style parallel applications (§4 "Parallel Applications").
+
+"The parent process of the application, which exists solely for set-up
+purposes ... creates a temporary directory, puts a symbolic link to the
+shared data template into this directory, and then adds the name of the
+directory to the LD_LIBRARY_PATH environment variable. At static link
+time, the child processes of the parallel application specify that the
+shared data structures should be linked as a dynamic public module.
+When the parent starts the children, they all find the newly-created
+symlink in the temporary directory. The first one to call ldl creates
+and initializes the shared data from the template, and all of them link
+it in. When the computation terminates the parent process performs the
+necessary cleanup, deleting the shared segment, template symlink, and
+temporary directory."
+
+:class:`PrestoApp` reproduces that lifecycle exactly, with worker
+processes compiled from Toy C and a shared-globals module compiled from
+a separate Toy C file — selective sharing with no assembly-editing
+post-processor (the 432-line tool the paper replaced).
+"""
+
+from repro.apps.presto.runtime import PrestoApp, PrestoResult
+
+__all__ = ["PrestoApp", "PrestoResult"]

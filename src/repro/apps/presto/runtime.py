@@ -1,0 +1,181 @@
+"""The Presto-style parallel application lifecycle.
+
+Everything is real simulated machinery: workers are machine processes
+compiled from Toy C; the shared globals come from a separate Toy C file
+linked as a *dynamic public* module; per-instance sharing is established
+with a temporary directory + symlink + LD_LIBRARY_PATH, exactly as §4
+describes; synchronization uses kernel semaphores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.libsys import build_libsys
+from repro.errors import SimulationError
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+from repro.linker.lds import Lds, LinkRequest, store_object
+from repro.linker.classes import SharingClass
+from repro.linker.segments import read_segment_meta
+from repro.objfile.format import ObjectFile
+from repro.runtime.views import Mem
+from repro.toyc import compile_source
+
+# The shared globals: a work cursor, a result table, and an accumulator.
+SHARED_DATA_SOURCE = """
+int next_index = 0;
+int total = 0;
+int results[{nitems}];
+"""
+
+# Each worker claims indices under a semaphore lock, computes, and
+# accumulates. The shared variables are ordinary externs — no library
+# calls for set-up or shared-memory access appear in the source (§2).
+WORKER_SOURCE = """
+extern int next_index;
+extern int total;
+extern int results[{nitems}];
+extern int sem_get(int key, int value);
+extern int sem_p(int key);
+extern int sem_v(int key);
+
+int compute(int i) {{
+    return i * i + 1;
+}}
+
+int main() {{
+    int i;
+    int value;
+    int claimed = 0;
+    sem_get(1, 1);
+    while (1) {{
+        sem_p(1);
+        i = next_index;
+        next_index = i + 1;
+        sem_v(1);
+        if (i >= {nitems}) {{
+            break;
+        }}
+        value = compute(i);
+        results[i] = value;
+        sem_p(1);
+        total = total + value;
+        sem_v(1);
+        claimed = claimed + 1;
+    }}
+    return claimed;
+}}
+"""
+
+
+@dataclass
+class PrestoResult:
+    """Outcome of one parallel run."""
+
+    total: int
+    results: List[int]
+    per_worker_items: List[int]
+    instance_dir: str
+
+
+class PrestoApp:
+    """Build once, run many instances (each with its own shared data)."""
+
+    def __init__(self, kernel: Kernel, shell: Process, nitems: int = 64,
+                 template_dir: str = "/shared/presto",
+                 build_dir: str = "/opt/presto") -> None:
+        self.kernel = kernel
+        self.shell = shell
+        self.nitems = nitems
+        self.template_dir = template_dir
+        self.build_dir = build_dir
+        self.template_path = f"{template_dir}/shared_data.o"
+        self.executable: Optional[ObjectFile] = None
+        self._instances = 0
+        self._build()
+
+    def _build(self) -> None:
+        """Compile the shared-data template and the worker program; link
+        the worker with the shared data as a dynamic public module."""
+        kernel, shell = self.kernel, self.shell
+        kernel.vfs.makedirs(self.template_dir, shell.uid)
+        kernel.vfs.makedirs(self.build_dir, shell.uid)
+
+        shared_obj = compile_source(
+            SHARED_DATA_SOURCE.format(nitems=self.nitems), "shared_data.o"
+        )
+        store_object(kernel, shell, self.template_path, shared_obj)
+
+        worker_obj = compile_source(
+            WORKER_SOURCE.format(nitems=self.nitems), "worker.o"
+        )
+        store_object(kernel, shell, f"{self.build_dir}/worker.o",
+                     worker_obj)
+
+        result = Lds(kernel).link(
+            shell,
+            [LinkRequest(f"{self.build_dir}/worker.o",
+                         SharingClass.STATIC_PRIVATE),
+             LinkRequest("shared_data.o", SharingClass.DYNAMIC_PUBLIC)],
+            output=f"{self.build_dir}/worker",
+            archives=[build_libsys()],
+        )
+        self.executable = result.executable
+
+    # ------------------------------------------------------------------
+
+    def run_instance(self, nworkers: int = 4) -> PrestoResult:
+        """One full §4 lifecycle: set-up, parallel phase, clean-up."""
+        kernel, shell = self.kernel, self.shell
+        sys = kernel.syscalls
+        self._instances += 1
+        instance_dir = f"/shared/tmp/presto{self._instances}"
+
+        # -- parent set-up ------------------------------------------------
+        kernel.vfs.makedirs("/shared/tmp", shell.uid)
+        sys.mkdir(shell, instance_dir)
+        sys.symlink(shell, self.template_path,
+                    f"{instance_dir}/shared_data.o")
+        env: Dict[str, str] = {"LD_LIBRARY_PATH": instance_dir}
+
+        # -- start the children -------------------------------------------
+        assert self.executable is not None
+        workers = [
+            kernel.create_machine_process(f"presto_w{index}",
+                                          self.executable, env=dict(env))
+            for index in range(nworkers)
+        ]
+        kernel.schedule()
+        for worker in workers:
+            if worker.death_reason is not None:
+                raise SimulationError(
+                    f"worker {worker.name} died: {worker.death_reason}"
+                )
+
+        # -- parent reads the results out of the shared module -------------
+        runtime = _shell_runtime(kernel, shell)  # installs the handler
+        module_path = f"{instance_dir}/shared_data"
+        meta, _base, _len = read_segment_meta(kernel, shell, module_path)
+        exports = {s.name: s.value for s in meta.defined_globals()}
+        mem = Mem(kernel, shell)
+        total = mem.load_i32(exports["total"])
+        results = [mem.load_i32(exports["results"] + 4 * index)
+                   for index in range(self.nitems)]
+        per_worker = [worker.exit_code or 0 for worker in workers]
+
+        # -- parent clean-up ------------------------------------------------
+        runtime.delete_segment(module_path)
+        sys.unlink(shell, f"{instance_dir}/shared_data.o")
+        sys.rmdir(shell, instance_dir)
+        return PrestoResult(total, results, per_worker, instance_dir)
+
+    def expected_total(self) -> int:
+        return sum(i * i + 1 for i in range(self.nitems))
+
+
+def _shell_runtime(kernel: Kernel, proc: Process):
+    from repro.runtime.libshared import runtime_for
+
+    return runtime_for(kernel, proc)

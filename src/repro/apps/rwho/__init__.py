@@ -1,0 +1,34 @@
+"""rwho/rwhod — the paper's flagship example (§4 "Administrative Files").
+
+"Using the early prototype of our tools under SunOS, we re-implemented
+rwhod to keep its database in shared memory, rather than in files, and
+modified the various lookup utilities to access this database directly.
+The result was both simpler and faster. On our local network of 65
+rwhod-equipped machines, the new version of rwho saves a little over a
+second each time it is called."
+
+Two functionally identical implementations:
+
+* :mod:`fileimpl` — the original: one binary status file per remote
+  machine under ``/var/rwho``; every received broadcast rewrites the
+  file; rwho/ruptime open, read, and unpack every file;
+* :mod:`shmimpl` — the Hemlock version: a fixed-layout database in a
+  shared segment; broadcasts update records in place; the utilities
+  walk the records directly through typed views.
+"""
+
+from repro.apps.rwho.common import HostStatus, UserEntry, generate_network
+from repro.apps.rwho.fileimpl import FileRwhod, file_rwho, file_ruptime
+from repro.apps.rwho.shmimpl import ShmRwhod, shm_rwho, shm_ruptime
+
+__all__ = [
+    "HostStatus",
+    "UserEntry",
+    "generate_network",
+    "FileRwhod",
+    "file_rwho",
+    "file_ruptime",
+    "ShmRwhod",
+    "shm_rwho",
+    "shm_ruptime",
+]

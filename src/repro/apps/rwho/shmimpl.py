@@ -1,0 +1,172 @@
+"""Shared-memory rwhod — the Hemlock re-implementation (§4).
+
+The database is a fixed-layout array of host records in one shared
+segment. The daemon updates records in place (no linearization, no file
+rewrite); the utilities read the records directly. The only syscalls on
+the fast path are the one-time segment mapping — afterwards both sides
+run at memory speed, which is where the "saves a little over a second"
+comes from.
+
+Layout::
+
+    db:       [magic u32][nhosts u32]  then nhosts host records
+    host:     [hostname cstr:32][boot u32][update u32]
+              [load1 i32][load5 i32][load15 i32][nusers u32]
+              4 inline user records
+    user:     [name cstr:12][tty cstr:8][idle u32]
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.rwho.common import (
+    HostStatus,
+    MAX_USERS_PER_HOST,
+    UserEntry,
+    format_ruptime_line,
+    format_rwho_line,
+)
+from repro.errors import SimulationError
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+from repro.runtime.libshared import runtime_for
+from repro.runtime.views import Mem, StructDef
+
+DB_MAGIC = 0x5257484F  # "RWHO"
+DB_SEGMENT = "/shared/rwho.db"
+
+USER_STRUCT = StructDef("rwho_user", [
+    ("name", "cstr:12"),
+    ("tty", "cstr:8"),
+    ("idle", "u32"),
+])
+
+HOST_STRUCT = StructDef("rwho_host", [
+    ("hostname", "cstr:32"),
+    ("boot_time", "u32"),
+    ("update_time", "u32"),
+    ("load_1", "i32"),
+    ("load_5", "i32"),
+    ("load_15", "i32"),
+    ("nusers", "u32"),
+    ("users", f"bytes:{USER_STRUCT.size * MAX_USERS_PER_HOST}"),
+])
+
+DB_HEADER_SIZE = 8
+
+
+def db_size(nhosts: int) -> int:
+    return DB_HEADER_SIZE + nhosts * HOST_STRUCT.size
+
+
+class ShmRwhod:
+    """The daemon half: owns the shared database segment."""
+
+    def __init__(self, kernel: Kernel, proc: Process, nhosts: int,
+                 segment: str = DB_SEGMENT) -> None:
+        self.kernel = kernel
+        self.proc = proc
+        self.segment = segment
+        self.nhosts = nhosts
+        self.mem = Mem(kernel, proc)
+        runtime = runtime_for(kernel, proc)
+        if kernel.vfs.exists(segment, proc.uid):
+            self.base = runtime.segment_base(segment)
+        else:
+            self.base = runtime.create_segment(segment, db_size(nhosts))
+            self.mem.store_u32(self.base, DB_MAGIC)
+            self.mem.store_u32(self.base + 4, 0)
+        self._index: dict = {}
+        self._load_index()
+
+    def _load_index(self) -> None:
+        count = self.mem.load_u32(self.base + 4)
+        for slot in range(count):
+            view = self._record(slot)
+            self._index[view.get("hostname")] = slot
+
+    def _record(self, slot: int):
+        return HOST_STRUCT.view(
+            self.mem, self.base + DB_HEADER_SIZE + slot * HOST_STRUCT.size
+        )
+
+    def receive(self, status: HostStatus) -> None:
+        """Handle one broadcast: update the host's record in place."""
+        slot = self._index.get(status.hostname)
+        if slot is None:
+            slot = self.mem.load_u32(self.base + 4)
+            if slot >= self.nhosts:
+                raise SimulationError("rwho database full")
+            self.mem.store_u32(self.base + 4, slot + 1)
+            self._index[status.hostname] = slot
+        view = self._record(slot)
+        view.set("hostname", status.hostname)
+        view.set("boot_time", status.boot_time)
+        view.set("update_time", status.update_time)
+        view.set("load_1", status.load_1)
+        view.set("load_5", status.load_5)
+        view.set("load_15", status.load_15)
+        view.set("nusers", min(len(status.users), MAX_USERS_PER_HOST))
+        users_base = view.field_address("users")
+        for index, user in enumerate(status.users[:MAX_USERS_PER_HOST]):
+            entry = USER_STRUCT.view(self.mem,
+                                     users_base + index * USER_STRUCT.size)
+            entry.update(name=user.name, tty=user.tty,
+                         idle=user.idle_seconds)
+
+
+def read_database(kernel: Kernel, proc: Process,
+                  segment: str = DB_SEGMENT) -> List[HostStatus]:
+    """Read every record straight out of the shared database.
+
+    The first access faults and maps the segment; everything after that
+    is plain loads.
+    """
+    runtime = runtime_for(kernel, proc)
+    mem = Mem(kernel, proc)
+    base = runtime.segment_base(segment)
+    if mem.load_u32(base) != DB_MAGIC:
+        raise SimulationError(f"{segment!r} is not an rwho database")
+    count = mem.load_u32(base + 4)
+    statuses = []
+    for slot in range(count):
+        view = HOST_STRUCT.view(
+            mem, base + DB_HEADER_SIZE + slot * HOST_STRUCT.size
+        )
+        nusers = view.get("nusers")
+        users_base = view.field_address("users")
+        users = []
+        for index in range(nusers):
+            entry = USER_STRUCT.view(mem,
+                                     users_base + index * USER_STRUCT.size)
+            users.append(UserEntry(entry.get("name"), entry.get("tty"),
+                                   entry.get("idle")))
+        statuses.append(HostStatus(
+            view.get("hostname"),
+            view.get("boot_time"),
+            view.get("update_time"),
+            view.get("load_1"),
+            view.get("load_5"),
+            view.get("load_15"),
+            users,
+        ))
+    return statuses
+
+
+def shm_rwho(kernel: Kernel, proc: Process,
+             segment: str = DB_SEGMENT) -> str:
+    """The rwho utility against the shared database."""
+    lines = []
+    for status in read_database(kernel, proc, segment):
+        for user in status.users:
+            lines.append(format_rwho_line(status.hostname, user))
+    return "\n".join(sorted(lines))
+
+
+def shm_ruptime(kernel: Kernel, proc: Process,
+                segment: str = DB_SEGMENT) -> str:
+    """The ruptime utility against the shared database."""
+    lines = [format_ruptime_line(status)
+             for status in read_database(kernel, proc, segment)]
+    return "\n".join(sorted(lines))

@@ -1,0 +1,32 @@
+"""xfig — pointer-rich figures in shared segments (§4).
+
+"While editing, xfig maintains a set of linked lists that represent the
+objects comprising a figure. It originally translated these lists to
+and from a pointer-free ASCII representation when reading and writing
+files. ... The Hemlock version of xfig uses the pre-existing copy
+routines for files, at a savings of over 800 lines of code."
+
+* :mod:`model` — the in-editor object model (linked lists of lines,
+  circles, and text objects);
+* :mod:`ascii` — the baseline: translate the model to and from a
+  pointer-free ``.fig``-style text format;
+* :mod:`shared` — the Hemlock version: the linked lists live directly
+  in a shared segment; "saving" is free, "loading" is mapping, and
+  object duplication reuses the very same in-segment copy routine.
+"""
+
+from repro.apps.xfig.model import Figure, FigLine, FigCircle, FigText, \
+    generate_figure
+from repro.apps.xfig.ascii import figure_to_ascii, figure_from_ascii
+from repro.apps.xfig.shared import SharedFigure
+
+__all__ = [
+    "Figure",
+    "FigLine",
+    "FigCircle",
+    "FigText",
+    "generate_figure",
+    "figure_to_ascii",
+    "figure_from_ascii",
+    "SharedFigure",
+]

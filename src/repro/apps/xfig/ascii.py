@@ -1,0 +1,110 @@
+"""Baseline save/load: the pointer-free ASCII ``.fig``-style format.
+
+This is the translation code Hemlock makes unnecessary — every save
+linearizes the linked structure into text, every load parses it back.
+The experiment charges the honest file-I/O and parsing costs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.xfig.model import FigCircle, FigLine, FigText, Figure
+from repro.errors import SimulationError
+from repro.fs.vfs import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+
+HEADER = "#FIG-SIM 1.0"
+
+
+def figure_to_ascii(figure: Figure) -> str:
+    """Linearize *figure* to text."""
+    lines: List[str] = [HEADER, str(len(figure.objects))]
+    for obj in figure.objects:
+        if isinstance(obj, FigLine):
+            flat = " ".join(f"{x} {y}" for x, y in obj.points)
+            lines.append(
+                f"L {obj.color} {obj.thickness} {len(obj.points)} {flat}"
+            )
+        elif isinstance(obj, FigCircle):
+            lines.append(
+                f"C {obj.color} {obj.thickness} {obj.cx} {obj.cy} "
+                f"{obj.radius}"
+            )
+        elif isinstance(obj, FigText):
+            encoded = obj.text.replace("\\", "\\\\").replace(" ", "\\s")
+            lines.append(
+                f"T {obj.color} {obj.font_size} {obj.x} {obj.y} {encoded}"
+            )
+        else:
+            raise SimulationError(f"unknown object {obj!r}")
+    return "\n".join(lines) + "\n"
+
+
+def figure_from_ascii(text: str) -> Figure:
+    """Parse the text format back into the object model."""
+    lines = text.splitlines()
+    if not lines or lines[0] != HEADER:
+        raise SimulationError("not a figure file")
+    count = int(lines[1])
+    figure = Figure()
+    for line in lines[2: 2 + count]:
+        parts = line.split(" ")
+        kind = parts[0]
+        if kind == "L":
+            color, thickness, npoints = (int(parts[1]), int(parts[2]),
+                                         int(parts[3]))
+            coords = [int(p) for p in parts[4: 4 + 2 * npoints]]
+            points = [(coords[i], coords[i + 1])
+                      for i in range(0, len(coords), 2)]
+            figure.objects.append(FigLine(points, color, thickness))
+        elif kind == "C":
+            figure.objects.append(FigCircle(
+                cx=int(parts[3]), cy=int(parts[4]), radius=int(parts[5]),
+                color=int(parts[1]), thickness=int(parts[2]),
+            ))
+        elif kind == "T":
+            encoded = " ".join(parts[5:])
+            text_value = encoded.replace("\\s", " ").replace("\\\\", "\\")
+            figure.objects.append(FigText(
+                x=int(parts[3]), y=int(parts[4]), text=text_value,
+                color=int(parts[1]), font_size=int(parts[2]),
+            ))
+        else:
+            raise SimulationError(f"bad object line {line!r}")
+    return figure
+
+
+# Cost of running the translation code itself (formatting integers out,
+# scanning them back in): a few instructions per byte of text, charged
+# so the baseline's CPU work is visible to the cost model the way the
+# file I/O already is.
+TRANSLATE_CYCLES_PER_BYTE = 4
+
+
+def save_figure_ascii(kernel: Kernel, proc: Process, figure: Figure,
+                      path: str) -> int:
+    """Translate + write; returns bytes written."""
+    sys = kernel.syscalls
+    blob = figure_to_ascii(figure).encode("latin-1")
+    kernel.clock.charge("translation",
+                        len(blob) * TRANSLATE_CYCLES_PER_BYTE)
+    fd = sys.open(proc, path, O_WRONLY | O_CREAT | O_TRUNC)
+    try:
+        return sys.write(proc, fd, blob)
+    finally:
+        sys.close(proc, fd)
+
+
+def load_figure_ascii(kernel: Kernel, proc: Process, path: str) -> Figure:
+    """Read + parse back into the model."""
+    sys = kernel.syscalls
+    fd = sys.open(proc, path, O_RDONLY)
+    try:
+        blob = sys.read(proc, fd, sys.fstat(proc, fd).st_size)
+    finally:
+        sys.close(proc, fd)
+    kernel.clock.charge("translation",
+                        len(blob) * TRANSLATE_CYCLES_PER_BYTE)
+    return figure_from_ascii(blob.decode("latin-1"))

@@ -1,0 +1,89 @@
+"""The xfig object model: what the editor manipulates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class FigLine:
+    """A polyline: a list of (x, y) points plus style attributes."""
+
+    points: List[tuple]
+    color: int = 0
+    thickness: int = 1
+
+
+@dataclass
+class FigCircle:
+    cx: int = 0
+    cy: int = 0
+    radius: int = 1
+    color: int = 0
+    thickness: int = 1
+
+
+@dataclass
+class FigText:
+    x: int = 0
+    y: int = 0
+    text: str = ""
+    color: int = 0
+    font_size: int = 12
+
+
+FigObject = Union[FigLine, FigCircle, FigText]
+
+
+@dataclass
+class Figure:
+    """A figure: an ordered collection of drawing objects."""
+
+    objects: List[FigObject] = field(default_factory=list)
+
+    def counts(self) -> dict:
+        out = {"line": 0, "circle": 0, "text": 0}
+        for obj in self.objects:
+            if isinstance(obj, FigLine):
+                out["line"] += 1
+            elif isinstance(obj, FigCircle):
+                out["circle"] += 1
+            else:
+                out["text"] += 1
+        return out
+
+
+def generate_figure(nobjects: int = 100, seed: int = 7,
+                    max_points: int = 12) -> Figure:
+    """A deterministic pseudo-random figure for tests and benchmarks."""
+    rng = DeterministicRng(seed)
+    figure = Figure()
+    for _ in range(nobjects):
+        kind = rng.randint(0, 2)
+        if kind == 0:
+            npoints = rng.randint(2, max_points)
+            points = [(rng.randint(0, 1000), rng.randint(0, 1000))
+                      for _ in range(npoints)]
+            figure.objects.append(
+                FigLine(points, color=rng.randint(0, 31),
+                        thickness=rng.randint(1, 5))
+            )
+        elif kind == 1:
+            figure.objects.append(FigCircle(
+                cx=rng.randint(0, 1000), cy=rng.randint(0, 1000),
+                radius=rng.randint(1, 200), color=rng.randint(0, 31),
+                thickness=rng.randint(1, 5),
+            ))
+        else:
+            length = rng.randint(1, 24)
+            text = "".join(chr(ord("a") + rng.randint(0, 25))
+                           for _ in range(length))
+            figure.objects.append(FigText(
+                x=rng.randint(0, 1000), y=rng.randint(0, 1000),
+                text=text, color=rng.randint(0, 31),
+                font_size=rng.choice([8, 10, 12, 14, 18, 24]),
+            ))
+    return figure

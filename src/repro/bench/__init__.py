@@ -1,0 +1,17 @@
+"""Benchmark support: workload builders, sweep drivers, reporting."""
+
+from repro.bench.harness import Experiment, Measurement, ratio
+from repro.bench.workloads import (
+    build_module_chain,
+    build_module_fanout,
+    make_shell,
+)
+
+__all__ = [
+    "Experiment",
+    "Measurement",
+    "ratio",
+    "build_module_chain",
+    "build_module_fanout",
+    "make_shell",
+]

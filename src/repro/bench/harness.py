@@ -1,0 +1,109 @@
+"""Experiment bookkeeping and report formatting.
+
+Each benchmark measures *simulated cycles* (the deterministic cost-model
+clock) for the comparison the paper makes, and lets pytest-benchmark
+time the simulation itself for regression tracking. The
+:class:`Experiment` helper collects labelled measurements and renders
+the table the paper's row would show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.kernel.timing import Clock
+from repro.util.tables import format_table
+
+
+@dataclass
+class Measurement:
+    """One labelled observation (usually cycles, sometimes counts)."""
+
+    label: str
+    value: float
+    unit: str = "cycles"
+    detail: str = ""
+
+
+@dataclass
+class Experiment:
+    """A named experiment accumulating measurements."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    measurements: List[Measurement] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, label: str, value: float, unit: str = "cycles",
+            detail: str = "") -> Measurement:
+        measurement = Measurement(label, value, unit, detail)
+        self.measurements.append(measurement)
+        return measurement
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def value(self, label: str) -> float:
+        for measurement in self.measurements:
+            if measurement.label == label:
+                return measurement.value
+        raise KeyError(label)
+
+    def report(self) -> str:
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper: {self.paper_claim}",
+        ]
+        rows = [(m.label, _fmt(m.value), m.unit, m.detail)
+                for m in self.measurements]
+        lines.append(format_table(("measurement", "value", "unit", "notes"),
+                                  rows))
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def print_report(self) -> None:
+        print()
+        print(self.report())
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio for speedup reporting."""
+    if denominator == 0:
+        return float("inf")
+    return numerator / denominator
+
+
+class CycleTimer:
+    """Measure simulated-cycle intervals on a kernel clock."""
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self._start: Optional[int] = None
+
+    def __enter__(self) -> "CycleTimer":
+        self._start = self.clock.snapshot()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = self.clock.snapshot() - self._start
+
+    elapsed: int = 0
+
+
+def categories_delta(clock: Clock, before: Dict[str, int]) -> Dict[str, int]:
+    """Per-category cycle deltas since *before* (a by_category copy)."""
+    return {
+        key: clock.by_category.get(key, 0) - before.get(key, 0)
+        for key in set(clock.by_category) | set(before)
+    }
+
+
+def _fmt(value: float) -> str:
+    if value in (float("inf"), float("-inf")):
+        return "inf"
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.2f}"

@@ -1,0 +1,192 @@
+"""Exception hierarchy for the Hemlock reproduction.
+
+Every error raised by the simulation derives from :class:`SimulationError`,
+so callers can distinguish simulated-system failures (a bad address, a
+missing module, a link error) from genuine Python bugs.
+
+The hierarchy mirrors the layering of the system: hardware faults at the
+bottom, then virtual-memory and kernel errors, then file-system errors,
+then linker errors at the top.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Root of all errors raised by the simulated system."""
+
+
+# ---------------------------------------------------------------------------
+# Hardware / VM level
+# ---------------------------------------------------------------------------
+
+class HardwareError(SimulationError):
+    """Errors raised by the simulated CPU or its memory system."""
+
+
+class InvalidInstructionError(HardwareError):
+    """The CPU fetched a word that does not decode to a valid instruction."""
+
+    def __init__(self, pc: int, word: int) -> None:
+        super().__init__(f"invalid instruction 0x{word:08x} at pc=0x{pc:08x}")
+        self.pc = pc
+        self.word = word
+
+
+class AlignmentError(HardwareError):
+    """A load, store, or jump used a misaligned address."""
+
+    def __init__(self, address: int, alignment: int) -> None:
+        super().__init__(
+            f"address 0x{address:08x} is not {alignment}-byte aligned"
+        )
+        self.address = address
+        self.alignment = alignment
+
+
+class ExecutionBudgetExceeded(HardwareError):
+    """A bounded run elapsed without reaching a trap (likely a hang)."""
+
+
+class VMError(SimulationError):
+    """Errors raised by the virtual-memory subsystem."""
+
+
+class MappingError(VMError):
+    """A map/unmap/mprotect request was invalid (overlap, bad range...)."""
+
+
+class OutOfMemoryError(VMError):
+    """The simulated physical memory pool is exhausted."""
+
+
+# ---------------------------------------------------------------------------
+# Kernel level
+# ---------------------------------------------------------------------------
+
+class KernelError(SimulationError):
+    """Errors raised by the simulated kernel proper."""
+
+
+class SyscallError(KernelError):
+    """A system call failed.
+
+    Carries a Unix-flavoured symbolic errno so callers can match on the
+    failure kind rather than on message text.
+    """
+
+    def __init__(self, errno: str, message: str) -> None:
+        super().__init__(f"[{errno}] {message}")
+        self.errno = errno
+        self.message = message
+
+
+class NoSuchProcessError(KernelError):
+    """A pid did not name a live process."""
+
+
+class ProcessDiedError(KernelError):
+    """A simulated process terminated abnormally (unhandled fault/signal)."""
+
+    def __init__(self, pid: int, reason: str) -> None:
+        super().__init__(f"process {pid} died: {reason}")
+        self.pid = pid
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# File-system level
+# ---------------------------------------------------------------------------
+
+class FilesystemError(SimulationError):
+    """Errors raised by the in-memory file systems."""
+
+
+class FileNotFoundSimError(FilesystemError):
+    """Path resolution failed (ENOENT analogue)."""
+
+
+class FileExistsSimError(FilesystemError):
+    """Exclusive creation hit an existing entry (EEXIST analogue)."""
+
+
+class NotADirectorySimError(FilesystemError):
+    """A path component was not a directory (ENOTDIR analogue)."""
+
+
+class IsADirectorySimError(FilesystemError):
+    """A file operation was applied to a directory (EISDIR analogue)."""
+
+
+class PermissionSimError(FilesystemError):
+    """Access check failed (EACCES analogue)."""
+
+
+class FileLimitError(FilesystemError):
+    """An SFS limit was exceeded (inode count or max file size)."""
+
+
+# ---------------------------------------------------------------------------
+# Object-file and linker level
+# ---------------------------------------------------------------------------
+
+class ObjectFormatError(SimulationError):
+    """An object file was malformed or had an unsupported feature."""
+
+
+class AssemblerError(SimulationError):
+    """The assembler rejected its input."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        prefix = f"line {line}: " if line else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+class CompileError(SimulationError):
+    """The toy compiler rejected its input."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        prefix = f"line {line}: " if line else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+class LinkError(SimulationError):
+    """A static or dynamic link step failed."""
+
+
+class UndefinedSymbolError(LinkError):
+    """A reference could not be resolved and the policy demands an error."""
+
+    def __init__(self, symbols: "list[str] | tuple[str, ...] | str") -> None:
+        if isinstance(symbols, str):
+            symbols = [symbols]
+        names = ", ".join(sorted(symbols))
+        super().__init__(f"undefined symbol(s): {names}")
+        self.symbols = tuple(sorted(symbols))
+
+
+class DuplicateSymbolError(LinkError):
+    """Two modules in the same scope defined the same global symbol."""
+
+    def __init__(self, symbol: str, first: str, second: str) -> None:
+        super().__init__(
+            f"symbol {symbol!r} defined in both {first!r} and {second!r}"
+        )
+        self.symbol = symbol
+        self.modules = (first, second)
+
+
+class ModuleNotFoundLinkError(LinkError):
+    """A module named on a link line could not be located on any path."""
+
+    def __init__(self, name: str, searched: "list[str]") -> None:
+        where = ", ".join(searched) if searched else "<empty search path>"
+        super().__init__(f"module {name!r} not found (searched: {where})")
+        self.name = name
+        self.searched = list(searched)
+
+
+class RelocationError(LinkError):
+    """A relocation could not be applied (overflow, bad type...)."""

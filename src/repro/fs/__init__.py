@@ -1,0 +1,35 @@
+"""In-memory Unix-like file system and VFS.
+
+Provides the traditional hierarchy (directories, regular files, symlinks,
+permissions, advisory locks) that Hemlock deliberately retains: "retention
+of the Unix file system interface ... provides valuable functionality"
+(§6). The shared file system of :mod:`repro.sfs` subclasses the generic
+:class:`Filesystem` here and is grafted into the name space with a mount.
+"""
+
+from repro.fs.inode import Inode, InodeType, Stat
+from repro.fs.filesystem import Filesystem
+from repro.fs.path import normalize, split_path, join, dirname, basename
+from repro.fs.vfs import Vfs, OpenFile, O_RDONLY, O_WRONLY, O_RDWR, O_CREAT, \
+    O_EXCL, O_TRUNC, O_APPEND
+
+__all__ = [
+    "Inode",
+    "InodeType",
+    "Stat",
+    "Filesystem",
+    "normalize",
+    "split_path",
+    "join",
+    "dirname",
+    "basename",
+    "Vfs",
+    "OpenFile",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_CREAT",
+    "O_EXCL",
+    "O_TRUNC",
+    "O_APPEND",
+]

@@ -1,0 +1,235 @@
+"""A generic in-memory inode file system.
+
+One instance is one mounted volume: it owns an inode table and a root
+directory. Cross-volume concerns (mount points, path walking with
+symlinks, file descriptors) live in :mod:`repro.fs.vfs`.
+
+Subclasses can impose volume policies by overriding the ``_check_*``
+hooks — the shared file system uses them for its 1024-inode / 1 MiB-file
+limits, its hard-link prohibition, and its address-map maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import (
+    FileExistsSimError,
+    FileNotFoundSimError,
+    FilesystemError,
+    IsADirectorySimError,
+    NotADirectorySimError,
+)
+from repro.fs.inode import Inode, InodeType
+from repro.vm.pages import MemoryObject, PhysicalMemory
+
+DEFAULT_FILE_MODE = 0o644
+DEFAULT_DIR_MODE = 0o755
+
+
+class Filesystem:
+    """One volume of the simulated file hierarchy."""
+
+    def __init__(self, physmem: PhysicalMemory, name: str = "fs") -> None:
+        self.physmem = physmem
+        self.name = name
+        self._inodes: Dict[int, Inode] = {}
+        self._next_ino = 0
+        self.root = self._new_inode(InodeType.DIRECTORY, DEFAULT_DIR_MODE, 0)
+        self.root.entries["."] = self.root
+        self.root.entries[".."] = self.root
+        self.root.nlink = 2
+
+    # ------------------------------------------------------------------
+    # policy hooks (overridden by the SFS)
+    # ------------------------------------------------------------------
+
+    def _allocate_ino(self) -> int:
+        ino = self._next_ino
+        self._next_ino += 1
+        return ino
+
+    def _check_new_inode(self) -> None:
+        """Raise if the volume cannot hold another inode."""
+
+    def _check_write(self, inode: Inode, end_offset: int) -> None:
+        """Raise if a write growing *inode* to *end_offset* exceeds limits."""
+
+    def _allow_hard_links(self) -> bool:
+        return True
+
+    def _on_create(self, inode: Inode) -> None:
+        """Called after a new inode is linked into a directory."""
+
+    def _on_destroy(self, inode: Inode) -> None:
+        """Called when an inode's last link goes away."""
+
+    # ------------------------------------------------------------------
+    # inode management
+    # ------------------------------------------------------------------
+
+    def _new_inode(self, itype: InodeType, mode: int, uid: int) -> Inode:
+        self._check_new_inode()
+        ino = self._allocate_ino()
+        memobj = None
+        if itype is InodeType.FILE:
+            memobj = MemoryObject(self.physmem, 0,
+                                  name=f"{self.name}:ino{ino}")
+        inode = Inode(ino, itype, mode, uid, memobj)
+        self._inodes[ino] = inode
+        return inode
+
+    def inode_by_number(self, number: int) -> Optional[Inode]:
+        return self._inodes.get(number)
+
+    def inode_count(self) -> int:
+        return len(self._inodes)
+
+    def inodes(self) -> Iterator[Inode]:
+        return iter(list(self._inodes.values()))
+
+    # ------------------------------------------------------------------
+    # directory-level operations (single volume; no path walking here)
+    # ------------------------------------------------------------------
+
+    def lookup(self, directory: Inode, name: str) -> Inode:
+        if not directory.is_dir:
+            raise NotADirectorySimError(f"{name!r}: parent is not a directory")
+        child = directory.entries.get(name)
+        if child is None:
+            raise FileNotFoundSimError(f"no entry {name!r}")
+        return child
+
+    def create_file(self, directory: Inode, name: str, uid: int,
+                    mode: int = DEFAULT_FILE_MODE) -> Inode:
+        self._check_entry_free(directory, name)
+        inode = self._new_inode(InodeType.FILE, mode, uid)
+        directory.entries[name] = inode
+        self._on_create(inode)
+        return inode
+
+    def mkdir(self, directory: Inode, name: str, uid: int,
+              mode: int = DEFAULT_DIR_MODE) -> Inode:
+        self._check_entry_free(directory, name)
+        inode = self._new_inode(InodeType.DIRECTORY, mode, uid)
+        inode.entries["."] = inode
+        inode.entries[".."] = directory
+        inode.nlink = 2
+        directory.entries[name] = inode
+        directory.nlink += 1
+        self._on_create(inode)
+        return inode
+
+    def symlink(self, directory: Inode, name: str, target: str,
+                uid: int) -> Inode:
+        self._check_entry_free(directory, name)
+        inode = self._new_inode(InodeType.SYMLINK, 0o777, uid)
+        inode.symlink_target = target
+        directory.entries[name] = inode
+        self._on_create(inode)
+        return inode
+
+    def link(self, directory: Inode, name: str, target: Inode) -> None:
+        """Hard link — prohibited on the SFS (one-one inode/path mapping)."""
+        if not self._allow_hard_links():
+            raise FilesystemError(
+                f"hard links are prohibited on {self.name!r}"
+            )
+        if target.is_dir:
+            raise IsADirectorySimError("cannot hard-link a directory")
+        self._check_entry_free(directory, name)
+        directory.entries[name] = target
+        target.nlink += 1
+
+    def unlink(self, directory: Inode, name: str) -> None:
+        inode = self.lookup(directory, name)
+        if inode.is_dir:
+            raise IsADirectorySimError(f"{name!r} is a directory")
+        del directory.entries[name]
+        inode.nlink -= 1
+        if inode.nlink == 0:
+            self._destroy(inode)
+
+    def rmdir(self, directory: Inode, name: str) -> None:
+        inode = self.lookup(directory, name)
+        if not inode.is_dir:
+            raise NotADirectorySimError(f"{name!r} is not a directory")
+        if set(inode.entries) - {".", ".."}:
+            raise FilesystemError(f"directory {name!r} not empty")
+        del directory.entries[name]
+        directory.nlink -= 1
+        inode.nlink = 0
+        self._destroy(inode)
+
+    def rename(self, src_dir: Inode, src_name: str, dst_dir: Inode,
+               dst_name: str) -> None:
+        inode = self.lookup(src_dir, src_name)
+        existing = dst_dir.entries.get(dst_name)
+        if existing is inode:
+            return
+        if existing is not None:
+            if existing.is_dir:
+                raise IsADirectorySimError(f"{dst_name!r} exists")
+            self.unlink(dst_dir, dst_name)
+        del src_dir.entries[src_name]
+        dst_dir.entries[dst_name] = inode
+        if inode.is_dir:
+            inode.entries[".."] = dst_dir
+            src_dir.nlink -= 1
+            dst_dir.nlink += 1
+
+    def readdir(self, directory: Inode) -> List[str]:
+        if not directory.is_dir:
+            raise NotADirectorySimError("not a directory")
+        return sorted(n for n in directory.entries if n not in (".", ".."))
+
+    def _check_entry_free(self, directory: Inode, name: str) -> None:
+        if not directory.is_dir:
+            raise NotADirectorySimError("parent is not a directory")
+        if "/" in name or name in (".", "..", ""):
+            raise FilesystemError(f"invalid entry name {name!r}")
+        if name in directory.entries:
+            raise FileExistsSimError(f"entry {name!r} exists")
+
+    def _destroy(self, inode: Inode) -> None:
+        self._on_destroy(inode)
+        if inode.memobj is not None:
+            inode.memobj.free()
+        self._inodes.pop(inode.number, None)
+
+    # ------------------------------------------------------------------
+    # file I/O (offset-based; fd bookkeeping lives in the VFS)
+    # ------------------------------------------------------------------
+
+    def read_file(self, inode: Inode, offset: int, length: int) -> bytes:
+        if not inode.is_file:
+            raise IsADirectorySimError("read of non-regular file")
+        assert inode.memobj is not None
+        return inode.memobj.read(offset, length)
+
+    def write_file(self, inode: Inode, offset: int, data: bytes) -> int:
+        if not inode.is_file:
+            raise IsADirectorySimError("write of non-regular file")
+        assert inode.memobj is not None
+        self._check_write(inode, offset + len(data))
+        return inode.memobj.write(offset, data)
+
+    def truncate_file(self, inode: Inode, size: int) -> None:
+        if not inode.is_file:
+            raise IsADirectorySimError("truncate of non-regular file")
+        assert inode.memobj is not None
+        self._check_write(inode, size)
+        inode.memobj.truncate(size)
+
+    # ------------------------------------------------------------------
+
+    def walk(self, visit: Callable[[str, Inode], None],
+             directory: Optional[Inode] = None, prefix: str = "") -> None:
+        """Depth-first traversal calling ``visit(path, inode)``."""
+        directory = directory or self.root
+        for name in self.readdir(directory):
+            child = directory.entries[name]
+            path = f"{prefix}/{name}"
+            visit(path, child)
+            if child.is_dir:
+                self.walk(visit, child, path)

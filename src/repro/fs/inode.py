@@ -1,0 +1,96 @@
+"""Inodes: the on-"disk" objects of the simulated file systems."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.vm.pages import MemoryObject
+
+
+class InodeType(enum.Enum):
+    FILE = "file"
+    DIRECTORY = "directory"
+    SYMLINK = "symlink"
+
+
+@dataclass
+class Stat:
+    """The subset of ``struct stat`` the simulation needs.
+
+    ``st_ino`` matters most: in the shared file system the inode number
+    determines the file's global virtual address (§3, "the stat system
+    call already returns an inode number").
+    """
+
+    st_ino: int
+    st_mode: int
+    st_uid: int
+    st_size: int
+    st_nlink: int
+    st_type: InodeType
+
+
+class Inode:
+    """One file-system object.
+
+    Regular files hold their bytes in a :class:`MemoryObject`, which is
+    exactly what makes a file mappable as a *segment*: mapping and file
+    I/O hit the same pages.
+    """
+
+    def __init__(self, number: int, itype: InodeType, mode: int,
+                 uid: int, memobj: Optional[MemoryObject] = None) -> None:
+        self.number = number
+        self.type = itype
+        self.mode = mode
+        self.uid = uid
+        self.nlink = 1
+        self.memobj = memobj
+        # Directory entries: name -> Inode. Present only on directories.
+        self.entries: Dict[str, "Inode"] = {}
+        # Symlink target path. Present only on symlinks.
+        self.symlink_target: Optional[str] = None
+        # Advisory whole-file lock owner (pid) or None; see kernel.sync.
+        self.lock_owner: Optional[int] = None
+
+    @property
+    def is_dir(self) -> bool:
+        return self.type is InodeType.DIRECTORY
+
+    @property
+    def is_file(self) -> bool:
+        return self.type is InodeType.FILE
+
+    @property
+    def is_symlink(self) -> bool:
+        return self.type is InodeType.SYMLINK
+
+    @property
+    def size(self) -> int:
+        if self.is_file:
+            assert self.memobj is not None
+            return self.memobj.size
+        if self.is_symlink:
+            return len(self.symlink_target or "")
+        return len(self.entries)
+
+    def stat(self) -> Stat:
+        return Stat(self.number, self.mode, self.uid, self.size, self.nlink,
+                    self.type)
+
+    def check_access(self, uid: int, want: str) -> bool:
+        """Owner/other permission check; *want* is 'r', 'w', or 'x'.
+
+        uid 0 (the superuser) passes everything, matching Unix.
+        """
+        if uid == 0:
+            return True
+        bit = {"r": 4, "w": 2, "x": 1}[want]
+        if uid == self.uid:
+            return bool((self.mode >> 6) & bit)
+        return bool(self.mode & bit)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Inode #{self.number} {self.type.value} mode=0o{self.mode:o}>"

@@ -1,0 +1,67 @@
+"""Simulated hardware: an R3000-flavoured ISA, assembler, and CPU.
+
+The ISA keeps exactly the properties Hemlock's linkers care about:
+
+* 16-bit immediates, so absolute addresses are carried by ``lui``/``ori``
+  pairs patched via HI16/LO16 relocations;
+* 26-bit jump targets confined to a 256 MiB region, so direct calls into
+  the 1 GiB shared file-system region need linker-inserted branch islands;
+* a global-pointer register whose 16-bit-offset addressing is incompatible
+  with a large sparse address space — Hemlock compiles with it disabled;
+* precise, restartable memory faults, so a user-level SIGSEGV handler can
+  map a segment (or run the lazy linker) and resume.
+
+There are no branch delay slots; that simplification is irrelevant to the
+linking behaviour under study.
+"""
+
+from repro.hw.isa import (
+    REG_NAMES,
+    REG_ZERO,
+    REG_V0,
+    REG_V1,
+    REG_A0,
+    REG_A1,
+    REG_A2,
+    REG_A3,
+    REG_GP,
+    REG_SP,
+    REG_FP,
+    REG_RA,
+    register_number,
+    encode_r,
+    encode_i,
+    encode_j,
+    jump_target,
+    jump_reachable,
+    disassemble_word,
+)
+from repro.hw.cpu import Cpu, SyscallTrap, BreakTrap, ArithmeticTrap
+from repro.hw.asm import assemble
+
+__all__ = [
+    "REG_NAMES",
+    "REG_ZERO",
+    "REG_V0",
+    "REG_V1",
+    "REG_A0",
+    "REG_A1",
+    "REG_A2",
+    "REG_A3",
+    "REG_GP",
+    "REG_SP",
+    "REG_FP",
+    "REG_RA",
+    "register_number",
+    "encode_r",
+    "encode_i",
+    "encode_j",
+    "jump_target",
+    "jump_reachable",
+    "disassemble_word",
+    "Cpu",
+    "SyscallTrap",
+    "BreakTrap",
+    "ArithmeticTrap",
+    "assemble",
+]

@@ -1,0 +1,238 @@
+"""Instruction-set definition: encodings, register names, disassembly.
+
+32-bit fixed-width instructions, little-endian in memory. Three formats:
+
+* R-type: ``op=0 | rs | rt | rd | shamt | funct``
+* I-type: ``op | rs | rt | imm16``
+* J-type: ``op | target26``
+
+Branches use a signed 16-bit *word* offset relative to the instruction
+after the branch. Jumps replace the low 28 bits of the next PC, keeping
+the top 4 bits — the R3000 region limit central to §3 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.util.bits import sign_extend
+
+# ---------------------------------------------------------------------------
+# registers
+# ---------------------------------------------------------------------------
+
+REG_NAMES: List[str] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+]
+
+REG_ZERO = 0
+REG_AT = 1
+REG_V0 = 2
+REG_V1 = 3
+REG_A0 = 4
+REG_A1 = 5
+REG_A2 = 6
+REG_A3 = 7
+REG_GP = 28
+REG_SP = 29
+REG_FP = 30
+REG_RA = 31
+
+_REG_NUMBERS: Dict[str, int] = {}
+for _i, _name in enumerate(REG_NAMES):
+    _REG_NUMBERS[_name] = _i
+    _REG_NUMBERS[f"r{_i}"] = _i
+    _REG_NUMBERS[f"${_name}"] = _i
+    _REG_NUMBERS[f"${_i}"] = _i
+
+
+def register_number(name: str) -> int:
+    """Resolve a register name (``a0``, ``$a0``, ``r4``, ``$4``) to 0..31."""
+    try:
+        return _REG_NUMBERS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown register {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# opcodes and functs
+# ---------------------------------------------------------------------------
+
+OP_SPECIAL = 0x00
+OP_REGIMM = 0x01
+OP_J = 0x02
+OP_JAL = 0x03
+OP_BEQ = 0x04
+OP_BNE = 0x05
+OP_BLEZ = 0x06
+OP_BGTZ = 0x07
+OP_ADDI = 0x08
+OP_SLTI = 0x0A
+OP_SLTIU = 0x0B
+OP_ANDI = 0x0C
+OP_ORI = 0x0D
+OP_XORI = 0x0E
+OP_LUI = 0x0F
+OP_LB = 0x20
+OP_LH = 0x21
+OP_LW = 0x23
+OP_LBU = 0x24
+OP_LHU = 0x25
+OP_SB = 0x28
+OP_SH = 0x29
+OP_SW = 0x2B
+
+FN_SLL = 0x00
+FN_SRL = 0x02
+FN_SRA = 0x03
+FN_SLLV = 0x04
+FN_SRLV = 0x06
+FN_SRAV = 0x07
+FN_JR = 0x08
+FN_JALR = 0x09
+FN_SYSCALL = 0x0C
+FN_BREAK = 0x0D
+FN_MUL = 0x18
+FN_DIV = 0x1A
+FN_REM = 0x1B
+FN_ADD = 0x20
+FN_SUB = 0x22
+FN_AND = 0x24
+FN_OR = 0x25
+FN_XOR = 0x26
+FN_NOR = 0x27
+FN_SLT = 0x2A
+FN_SLTU = 0x2B
+
+RT_BLTZ = 0x00
+RT_BGEZ = 0x01
+
+JUMP_REGION_BITS = 28  # j/jal reach: 2**28 bytes = 256 MiB
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+def encode_r(funct: int, rd: int = 0, rs: int = 0, rt: int = 0,
+             shamt: int = 0) -> int:
+    """Encode an R-type instruction."""
+    return ((rs & 31) << 21) | ((rt & 31) << 16) | ((rd & 31) << 11) \
+        | ((shamt & 31) << 6) | (funct & 0x3F)
+
+
+def encode_i(op: int, rs: int = 0, rt: int = 0, imm: int = 0) -> int:
+    """Encode an I-type instruction (immediate truncated to 16 bits)."""
+    return ((op & 0x3F) << 26) | ((rs & 31) << 21) | ((rt & 31) << 16) \
+        | (imm & 0xFFFF)
+
+
+def encode_j(op: int, target26: int) -> int:
+    """Encode a J-type instruction from a pre-shifted 26-bit field."""
+    return ((op & 0x3F) << 26) | (target26 & 0x3FFFFFF)
+
+
+def jump_field(address: int) -> int:
+    """The 26-bit field encoding *address* (must be word-aligned)."""
+    return (address >> 2) & 0x3FFFFFF
+
+
+def jump_target(pc: int, target26: int) -> int:
+    """Resolve a J-type field at *pc* to an absolute target address."""
+    return ((pc + 4) & 0xF0000000) | (target26 << 2)
+
+
+def jump_reachable(pc: int, target: int) -> bool:
+    """True if a j/jal at *pc* can reach *target* (same 256 MiB region)."""
+    return ((pc + 4) & 0xF0000000) == (target & 0xF0000000)
+
+
+def branch_offset(pc: int, target: int) -> int:
+    """Signed word offset for a branch at *pc* to *target*."""
+    delta = target - (pc + 4)
+    if delta % 4:
+        raise ValueError("branch target not word aligned")
+    return delta >> 2
+
+
+# ---------------------------------------------------------------------------
+# disassembly
+# ---------------------------------------------------------------------------
+
+_R_NAMES = {
+    FN_SLL: "sll", FN_SRL: "srl", FN_SRA: "sra",
+    FN_SLLV: "sllv", FN_SRLV: "srlv", FN_SRAV: "srav",
+    FN_JR: "jr", FN_JALR: "jalr", FN_SYSCALL: "syscall",
+    FN_BREAK: "break", FN_MUL: "mul", FN_DIV: "div", FN_REM: "rem",
+    FN_ADD: "add", FN_SUB: "sub", FN_AND: "and", FN_OR: "or",
+    FN_XOR: "xor", FN_NOR: "nor", FN_SLT: "slt", FN_SLTU: "sltu",
+}
+
+_I_NAMES = {
+    OP_BEQ: "beq", OP_BNE: "bne", OP_BLEZ: "blez", OP_BGTZ: "bgtz",
+    OP_ADDI: "addi", OP_SLTI: "slti", OP_SLTIU: "sltiu",
+    OP_ANDI: "andi", OP_ORI: "ori", OP_XORI: "xori", OP_LUI: "lui",
+    OP_LB: "lb", OP_LH: "lh", OP_LW: "lw", OP_LBU: "lbu", OP_LHU: "lhu",
+    OP_SB: "sb", OP_SH: "sh", OP_SW: "sw",
+}
+
+_LOADSTORE_OPS = {OP_LB, OP_LH, OP_LW, OP_LBU, OP_LHU, OP_SB, OP_SH, OP_SW}
+_BRANCH2_OPS = {OP_BEQ, OP_BNE}
+_BRANCH1_OPS = {OP_BLEZ, OP_BGTZ}
+
+
+def disassemble_word(word: int, pc: int = 0) -> str:
+    """Best-effort one-line disassembly of *word* at address *pc*."""
+    op = (word >> 26) & 0x3F
+    rs = (word >> 21) & 31
+    rt = (word >> 16) & 31
+    rd = (word >> 11) & 31
+    shamt = (word >> 6) & 31
+    funct = word & 0x3F
+    imm = word & 0xFFFF
+    simm = sign_extend(imm, 16)
+    n = REG_NAMES
+
+    if word == 0:
+        return "nop"
+    if op == OP_SPECIAL:
+        name = _R_NAMES.get(funct)
+        if name is None:
+            return f".word 0x{word:08x}"
+        if funct in (FN_SLL, FN_SRL, FN_SRA):
+            return f"{name} {n[rd]}, {n[rt]}, {shamt}"
+        if funct in (FN_SLLV, FN_SRLV, FN_SRAV):
+            return f"{name} {n[rd]}, {n[rt]}, {n[rs]}"
+        if funct == FN_JR:
+            return f"jr {n[rs]}"
+        if funct == FN_JALR:
+            return f"jalr {n[rd]}, {n[rs]}"
+        if funct in (FN_SYSCALL, FN_BREAK):
+            return name
+        return f"{name} {n[rd]}, {n[rs]}, {n[rt]}"
+    if op == OP_REGIMM:
+        target = pc + 4 + (simm << 2)
+        name = "bltz" if rt == RT_BLTZ else "bgez"
+        return f"{name} {n[rs]}, 0x{target:x}"
+    if op in (OP_J, OP_JAL):
+        target = jump_target(pc, word & 0x3FFFFFF)
+        return f"{'j' if op == OP_J else 'jal'} 0x{target:x}"
+    name = _I_NAMES.get(op)
+    if name is None:
+        return f".word 0x{word:08x}"
+    if op in _BRANCH2_OPS:
+        target = pc + 4 + (simm << 2)
+        return f"{name} {n[rs]}, {n[rt]}, 0x{target:x}"
+    if op in _BRANCH1_OPS:
+        target = pc + 4 + (simm << 2)
+        return f"{name} {n[rs]}, 0x{target:x}"
+    if op == OP_LUI:
+        return f"lui {n[rt]}, 0x{imm:x}"
+    if op in _LOADSTORE_OPS:
+        return f"{name} {n[rt]}, {simm}({n[rs]})"
+    if op in (OP_ANDI, OP_ORI, OP_XORI):
+        return f"{name} {n[rt]}, {n[rs]}, 0x{imm:x}"
+    return f"{name} {n[rt]}, {n[rs]}, {simm}"

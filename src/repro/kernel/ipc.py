@@ -1,0 +1,113 @@
+"""Message queues and pipes — the kernel IPC Hemlock is compared against.
+
+§1 claim 4: "When supported by hardware, shared memory is generally
+faster than either messages or files, since operating system overhead
+and copying costs can often be avoided." Experiment E5 measures exactly
+that, so these baselines charge the honest costs: a syscall per
+operation, a copy into the kernel and a copy out, plus queueing
+overhead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import SyscallError
+from repro.kernel.sync import WouldBlock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.process import Process
+
+MAX_QUEUE_BYTES = 64 * 1024
+PIPE_CAPACITY = 64 * 1024
+
+
+class MessageQueue:
+    """A System V-flavoured message queue (single message type)."""
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.messages: Deque[bytes] = deque()
+        self.bytes_queued = 0
+        self.readers: List["Process"] = []  # blocked in msgrcv
+        self.writers: List["Process"] = []  # blocked in msgsnd
+
+    def send(self, process: "Process", data: bytes,
+             blocking: bool = True) -> bool:
+        if self.bytes_queued + len(data) > MAX_QUEUE_BYTES:
+            if not blocking:
+                return False
+            self.writers.append(process)
+            raise WouldBlock()
+        self.messages.append(bytes(data))
+        self.bytes_queued += len(data)
+        return True
+
+    def receive(self, process: "Process",
+                blocking: bool = True) -> Optional[bytes]:
+        if not self.messages:
+            if not blocking:
+                return None
+            self.readers.append(process)
+            raise WouldBlock()
+        data = self.messages.popleft()
+        self.bytes_queued -= len(data)
+        return data
+
+
+class MessageQueueTable:
+    """msgget-style registry by integer key."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[int, MessageQueue] = {}
+
+    def get(self, key: int, create: bool = True) -> MessageQueue:
+        queue = self._queues.get(key)
+        if queue is None:
+            if not create:
+                raise SyscallError("ENOENT", f"no message queue {key}")
+            queue = MessageQueue(key)
+            self._queues[key] = queue
+        return queue
+
+    def remove(self, key: int) -> None:
+        self._queues.pop(key, None)
+
+
+class Pipe:
+    """A byte-stream pipe with bounded buffering."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self.read_open = True
+        self.write_open = True
+        self.readers: List["Process"] = []
+        self.writers: List["Process"] = []
+
+    def write(self, process: "Process", data: bytes,
+              blocking: bool = True) -> int:
+        if not self.read_open:
+            raise SyscallError("EPIPE", "read end closed")
+        space = PIPE_CAPACITY - len(self.buffer)
+        if space <= 0:
+            if not blocking:
+                return 0
+            self.writers.append(process)
+            raise WouldBlock()
+        chunk = data[:space]
+        self.buffer.extend(chunk)
+        return len(chunk)
+
+    def read(self, process: "Process", length: int,
+             blocking: bool = True) -> Optional[bytes]:
+        if not self.buffer:
+            if not self.write_open:
+                return b""
+            if not blocking:
+                return None
+            self.readers.append(process)
+            raise WouldBlock()
+        chunk = bytes(self.buffer[:length])
+        del self.buffer[:length]
+        return chunk

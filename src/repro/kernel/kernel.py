@@ -1,0 +1,410 @@
+"""The kernel proper: boot, processes, scheduling, fault delivery.
+
+Boot assembles the machine: physical memory, a root file system, the
+shared file system mounted at ``/shared`` (the special partition of §3),
+the syscall layer, lock/semaphore/message tables, and the clock.
+
+Scheduling is deterministic round-robin. Machine processes run a fixed
+instruction quantum; native processes run to their next ``yield``. A
+page fault suspends the faulting instruction, delivers SIGSEGV through
+the process's handler chain (the Hemlock runtime installs the handler
+that implements lazy linking and pointer chasing), and — if some handler
+resolves it — restarts the instruction. Unresolved faults kill the
+process, exactly as an unhandled SIGSEGV would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import (
+    HardwareError,
+    KernelError,
+    NoSuchProcessError,
+    SimulationError,
+    SyscallError,
+)
+from repro.fs.filesystem import Filesystem
+from repro.fs.vfs import Vfs
+from repro.hw.cpu import ArithmeticTrap, BreakTrap, Cpu, SyscallTrap
+from repro.kernel.ipc import MessageQueueTable
+from repro.kernel.loader import load_executable
+from repro.kernel.process import (
+    NativeBody,
+    NativeContext,
+    Process,
+    ProcessState,
+)
+from repro.kernel.signals import SigInfo, Signal
+from repro.kernel.sync import FileLockTable, SemaphoreTable, WouldBlock
+from repro.kernel.syscalls import Syscalls
+from repro.kernel.timing import Clock, CostModel
+from repro.objfile.format import ObjectFile
+from repro.sfs.addrmap import AddressMap
+from repro.sfs.sharedfs import SharedFilesystem
+from repro.vm.address_space import AddressSpace
+from repro.vm.faults import PageFaultError
+from repro.vm.pages import PhysicalMemory
+
+DEFAULT_QUANTUM = 2000          # instructions per machine-process slice
+MAX_FAULT_RETRIES = 64          # same instruction faulting repeatedly
+SFS_MOUNT = "/shared"
+
+
+class Kernel:
+    """One booted instance of the simulated system."""
+
+    def __init__(self, addrmap: Optional[AddressMap] = None,
+                 costs: Optional[CostModel] = None,
+                 max_frames: Optional[int] = None,
+                 wide_addresses: bool = False) -> None:
+        self.physmem = PhysicalMemory(**(
+            {"max_frames": max_frames} if max_frames else {}
+        ))
+        self.clock = Clock(costs or CostModel())
+        self.rootfs = Filesystem(self.physmem, name="rootfs")
+        if wide_addresses:
+            # The paper's 64-bit future work (§3): per-inode address
+            # fields, a B-tree reverse map, relaxed limits.
+            from repro.sfs.sfs64 import SharedFilesystem64
+
+            self.sfs = SharedFilesystem64(self.physmem)
+        else:
+            self.sfs = SharedFilesystem(self.physmem, addrmap=addrmap)
+        self.wide_addresses = wide_addresses
+        self.vfs = Vfs(self.rootfs)
+        self.sfs_mount = SFS_MOUNT
+        self.vfs.mount(SFS_MOUNT, self.sfs)
+        self.syscalls = Syscalls(self)
+        self.locks = FileLockTable()
+        self.semaphores = SemaphoreTable()
+        self.queues = MessageQueueTable()
+        self.processes: Dict[int, Process] = {}
+        self._next_pid = 1
+        self._runqueue: List[int] = []
+        self._wait_blocked: set = set()
+        self.quantum = DEFAULT_QUANTUM
+        # Hooks the runtime package registers at import/attach time so
+        # exec can wire crt0/ldl without a kernel->runtime dependency.
+        self.on_exec: Optional[Callable[[Process, ObjectFile], None]] = None
+
+    def is_public_address(self, address: int) -> bool:
+        """Does *address* fall in this machine's public region?
+
+        The public region is the shared file system's: the 1 GiB window
+        of the 32-bit prototype, or everything above 4 GiB in the
+        64-bit configuration.
+        """
+        return self.sfs.region.contains(address)
+
+    # ------------------------------------------------------------------
+    # process lifecycle
+    # ------------------------------------------------------------------
+
+    def _allocate_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    def create_native_process(self, name: str, body: NativeBody,
+                              uid: int = 0,
+                              env: Optional[Dict[str, str]] = None,
+                              cwd: str = "/") -> Process:
+        """Create a native (Python-bodied) process, runnable immediately."""
+        pid = self._allocate_pid()
+        space = AddressSpace(self.physmem, name=f"pid{pid}")
+        proc = Process(pid, 0, uid, space, name)
+        proc.native = NativeContext(body)
+        proc.environ = dict(env or {})
+        proc.cwd = cwd
+        self.processes[pid] = proc
+        self._runqueue.append(pid)
+        return proc
+
+    def create_machine_process(self, name: str, image: ObjectFile,
+                               uid: int = 0,
+                               env: Optional[Dict[str, str]] = None,
+                               cwd: str = "/") -> Process:
+        """Create a machine process and exec *image* into it."""
+        pid = self._allocate_pid()
+        space = AddressSpace(self.physmem, name=f"pid{pid}")
+        proc = Process(pid, 0, uid, space, name)
+        proc.cpu = Cpu(space)
+        proc.environ = dict(env or {})
+        proc.cwd = cwd
+        self.processes[pid] = proc
+        self._runqueue.append(pid)
+        self.exec_image(proc, image)
+        return proc
+
+    def spawn(self, path: str, name: Optional[str] = None, uid: int = 0,
+              env: Optional[Dict[str, str]] = None,
+              cwd: str = "/") -> Process:
+        """Create a machine process from an executable *file* — the
+        exec-from-filesystem path a shell would take."""
+        data = self.vfs.read_whole(path, uid, cwd=cwd)
+        image = ObjectFile.from_bytes(data)
+        return self.create_machine_process(
+            name or path.rsplit("/", 1)[-1], image, uid=uid, env=env,
+            cwd=cwd,
+        )
+
+    def exec_image(self, proc: Process, image: ObjectFile) -> None:
+        """Load *image* into *proc* (whose address space must be fresh)."""
+        load_executable(proc, image)
+        if self.on_exec is not None:
+            self.on_exec(proc, image)
+
+    def fork(self, proc: Process) -> Process:
+        """Hemlock fork (§5): private mappings copied copy-on-write,
+        public (shared) mappings shared; identical CPU state, child
+        sees return value 0."""
+        if proc.cpu is None:
+            raise KernelError(
+                "fork is only supported for machine processes; native "
+                "bodies cannot be cloned — spawn a new process instead"
+            )
+        pid = self._allocate_pid()
+        child_space = proc.address_space.fork(name=f"pid{pid}")
+        child = Process(pid, proc.pid, proc.uid, child_space,
+                        f"{proc.name}:child")
+        child.cpu = Cpu(child_space)
+        child.cpu.regs[:] = proc.cpu.regs
+        child.cpu.pc = proc.cpu.pc
+        child.environ = dict(proc.environ)
+        child.cwd = proc.cwd
+        child.brk = proc.brk
+        child.runtime = proc.runtime
+        # Parent and child share open file descriptions, like Unix.
+        child.fds = dict(proc.fds)
+        for handle in child.fds.values():
+            handle.refcount += 1
+        child._next_fd = proc._next_fd
+        child.signal_handlers = {
+            sig: list(handlers)
+            for sig, handlers in proc.signal_handlers.items()
+        }
+        self.processes[pid] = child
+        self._runqueue.append(pid)
+        # The child comes out of fork with v0 = 0 and the PC past the
+        # syscall; the parent's return is patched by the dispatcher.
+        from repro.hw import isa
+
+        child.cpu.set_reg(isa.REG_V0, 0)
+        child.cpu.set_reg(isa.REG_V1, 0)
+        child.cpu.pc += 4
+        return child
+
+    def terminate(self, proc: Process, code: int,
+                  reason: Optional[str] = None) -> None:
+        proc.state = ProcessState.ZOMBIE
+        proc.exit_code = code
+        proc.death_reason = reason
+        for handle in proc.fds.values():
+            handle.refcount -= 1
+        proc.fds.clear()
+        proc.address_space.destroy()
+        # Wake a parent blocked in wait(2), if any.
+        parent = self.processes.get(proc.ppid)
+        if parent is not None and parent.pid in self._wait_blocked \
+                and parent.state is ProcessState.BLOCKED:
+            self._wait_blocked.discard(parent.pid)
+            self.wake(parent)
+
+    def register_waiter(self, proc: Process) -> None:
+        """Mark *proc* as about to block in wait(2)."""
+        self._wait_blocked.add(proc.pid)
+
+    def process(self, pid: int) -> Process:
+        proc = self.processes.get(pid)
+        if proc is None:
+            raise NoSuchProcessError(f"no process {pid}")
+        return proc
+
+    # ------------------------------------------------------------------
+    # faults and signals
+    # ------------------------------------------------------------------
+
+    def deliver_fault(self, proc: Process, fault: PageFaultError) -> bool:
+        """Run the SIGSEGV handler chain; True if some handler resolved
+        the fault (the faulting access should be retried)."""
+        self.clock.page_fault()
+        info = SigInfo(Signal.SIGSEGV, address=fault.address,
+                       access=fault.access,
+                       pc=proc.cpu.pc if proc.cpu else 0,
+                       present=fault.present)
+        for handler in list(proc.signal_handlers.get(Signal.SIGSEGV, [])):
+            self.clock.signal()
+            if handler(proc, info):
+                return True
+        return False
+
+    def run_with_faults(self, proc: Process, operation: Callable[[], object],
+                        retries: int = MAX_FAULT_RETRIES) -> object:
+        """Run *operation* (a memory access on behalf of *proc*),
+        transparently resolving faults through the handler chain.
+
+        This is the native-process analogue of instruction restart: the
+        typed views in :mod:`repro.runtime.views` route every load and
+        store through here.
+        """
+        for _ in range(retries):
+            try:
+                return operation()
+            except PageFaultError as fault:
+                if not self.deliver_fault(proc, fault):
+                    raise
+        raise KernelError(
+            f"fault loop: {retries} consecutive faults at the same access"
+        )
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def wake(self, proc: Process) -> None:
+        if proc.state is ProcessState.BLOCKED:
+            proc.state = ProcessState.READY
+            proc.block_reason = None
+            proc.block_object = None
+
+    def _block(self, proc: Process, reason: str) -> None:
+        proc.state = ProcessState.BLOCKED
+        proc.block_reason = reason
+
+    def runnable(self) -> List[Process]:
+        return [self.processes[pid] for pid in self._runqueue
+                if pid in self.processes
+                and self.processes[pid].state is ProcessState.READY]
+
+    def schedule(self, max_slices: int = 100000) -> None:
+        """Round-robin until every process exits (or deadlock)."""
+        slices = 0
+        while True:
+            ready = self.runnable()
+            if not ready:
+                blocked = [p for pid in self._runqueue
+                           for p in [self.processes.get(pid)]
+                           if p is not None
+                           and p.state is ProcessState.BLOCKED]
+                if blocked:
+                    names = ", ".join(p.name for p in blocked)
+                    raise KernelError(f"deadlock: blocked forever: {names}")
+                return
+            for proc in ready:
+                slices += 1
+                if slices > max_slices:
+                    raise KernelError("scheduler slice budget exhausted")
+                self.run_slice(proc)
+                self.clock.context_switch()
+
+    def run_until_exit(self, proc: Process,
+                       max_slices: int = 100000) -> int:
+        """Schedule until *proc* exits; returns its exit code."""
+        slices = 0
+        while proc.alive:
+            ready = self.runnable()
+            if not ready:
+                raise KernelError(
+                    f"{proc.name} cannot finish: nothing is runnable"
+                )
+            for candidate in ready:
+                slices += 1
+                if slices > max_slices:
+                    raise KernelError("scheduler slice budget exhausted")
+                self.run_slice(candidate)
+                self.clock.context_switch()
+                if not proc.alive:
+                    break
+        assert proc.exit_code is not None
+        return proc.exit_code
+
+    def run_slice(self, proc: Process) -> None:
+        """Run one scheduling quantum of *proc*."""
+        if proc.state is not ProcessState.READY:
+            return
+        if proc.cpu is not None:
+            self._run_machine_slice(proc)
+        else:
+            self._run_native_slice(proc)
+
+    def _run_machine_slice(self, proc: Process) -> None:
+        cpu = proc.cpu
+        assert cpu is not None
+        start = cpu.instructions_executed
+        fault_streak = 0
+        while cpu.instructions_executed - start < self.quantum \
+                and proc.state is ProcessState.READY:
+            try:
+                cpu.step()
+                fault_streak = 0
+            except SyscallTrap:
+                try:
+                    self.syscalls.dispatch_machine(proc)
+                except WouldBlock:
+                    self._block(proc, "syscall")
+                    return
+            except PageFaultError as fault:
+                if self.deliver_fault(proc, fault):
+                    fault_streak += 1
+                    if fault_streak > MAX_FAULT_RETRIES:
+                        self.terminate(
+                            proc, -1,
+                            reason=f"fault loop at 0x{fault.address:08x}",
+                        )
+                        return
+                    continue  # restart the faulting instruction
+                self.terminate(
+                    proc, -1,
+                    reason=f"unhandled SIGSEGV at 0x{fault.address:08x} "
+                           f"({fault.access.value}, pc=0x{cpu.pc:08x})",
+                )
+                return
+            except BreakTrap:
+                self.terminate(proc, -1, reason="break instruction")
+                return
+            except ArithmeticTrap:
+                self.terminate(proc, -1, reason="SIGFPE: divide by zero")
+                return
+            except HardwareError as error:
+                self.terminate(proc, -1, reason=f"SIGILL: {error}")
+                return
+        self.clock.instructions(cpu.instructions_executed - start)
+
+    def _run_native_slice(self, proc: Process) -> None:
+        ctx = proc.native
+        assert ctx is not None
+        if ctx.generator is None:
+            ctx.generator = ctx.body(self, proc)
+        try:
+            next(ctx.generator)
+        except StopIteration as stop:
+            ctx.result = stop.value
+            if proc.alive:
+                self.terminate(proc, 0)
+        except WouldBlock:
+            raise KernelError(
+                f"native process {proc.name!r} hit a blocking kernel "
+                f"operation mid-quantum; use the try_ variants and yield"
+            )
+        except SyscallError as error:
+            self.terminate(proc, -1, reason=str(error))
+        except PageFaultError as fault:
+            if proc.alive:
+                self.terminate(
+                    proc, -1,
+                    reason=f"unhandled SIGSEGV at 0x{fault.address:08x}",
+                )
+        except SimulationError as error:
+            if proc.alive:
+                self.terminate(proc, -1, reason=f"{type(error).__name__}: "
+                                                f"{error}")
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> str:
+        alive = sum(1 for p in self.processes.values() if p.alive)
+        return (
+            f"processes={len(self.processes)} (alive {alive}) "
+            f"frames={self.physmem.allocated} cycles={self.clock.cycles}"
+        )

@@ -1,0 +1,79 @@
+"""exec(): loading an ``lds``-produced executable into an address space.
+
+The loader maps the main load image into the *private* portion of the
+address space (Figure 3): text read-execute at its linked base, data +
+bss + initial heap read-write, and a stack below the top of the stack
+region. Public and dynamic modules are NOT the loader's business — the
+special ``crt0`` start-up arranges for ``ldl`` (the lazy dynamic linker)
+to bring those in at run time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.objfile.format import ObjectFile, ObjectKind
+from repro.util.bits import align_up
+from repro.vm.address_space import (
+    MAP_PRIVATE,
+    PROT_RW,
+    PROT_RX,
+)
+from repro.vm.layout import PAGE_SIZE, STACK_TOP
+from repro.kernel.process import Process
+
+STACK_SIZE = 256 * 1024
+DEFAULT_HEAP_SIZE = 1 << 20
+
+
+def load_executable(process: Process, image: ObjectFile) -> int:
+    """Map *image* into *process* and return the entry address.
+
+    The process must have a fresh (or cleared) address space; its CPU
+    state is initialized (PC at entry, SP just below the stack top).
+    """
+    if image.kind is not ObjectKind.EXECUTABLE:
+        raise KernelError(f"{image.name!r} is not an executable image")
+    for required in ("text", "data"):
+        if required not in image.layout:
+            raise KernelError(f"{image.name!r} lacks a {required} layout")
+
+    space = process.address_space
+
+    text = image.layout["text"]
+    text_len = align_up(max(text.size, 1), PAGE_SIZE)
+    space.map(text.base, text_len, prot=PROT_RX, flags=MAP_PRIVATE,
+              name=f"{image.name}:text")
+    space.write_bytes(text.base, bytes(image.text), force=True)
+
+    data = image.layout["data"]
+    bss = image.layout.get("bss")
+    data_end = data.base + data.size
+    if bss is not None:
+        data_end = max(data_end, bss.base + bss.size)
+    heap_base = align_up(data_end, PAGE_SIZE)
+    map_len = align_up(
+        max(heap_base + DEFAULT_HEAP_SIZE - data.base, PAGE_SIZE), PAGE_SIZE
+    )
+    space.map(data.base, map_len, prot=PROT_RW, flags=MAP_PRIVATE,
+              name=f"{image.name}:data+heap")
+    space.write_bytes(data.base, bytes(image.data), force=True)
+    process.brk = heap_base
+
+    stack_base = STACK_TOP - STACK_SIZE
+    space.map(stack_base, STACK_SIZE, prot=PROT_RW, flags=MAP_PRIVATE,
+              name=f"{image.name}:stack")
+
+    entry = _entry_address(image)
+    if process.cpu is not None:
+        process.cpu.pc = entry
+        process.cpu.regs[29] = STACK_TOP - 16  # sp
+        process.cpu.address_space = space
+    return entry
+
+
+def _entry_address(image: ObjectFile) -> int:
+    name = image.entry_symbol or "main"
+    symbol = image.symbols.get(name)
+    if symbol is None or not symbol.defined:
+        raise KernelError(f"{image.name!r} has no entry symbol {name!r}")
+    return symbol.value

@@ -1,0 +1,39 @@
+"""Signals — just enough of them.
+
+Hemlock needs SIGSEGV with restartable faults and the ability for the
+runtime library to interpose on ``signal()`` so that a program-provided
+handler still runs when the dynamic linking system cannot resolve a fault
+(§2). Handlers are Python callables because the runtime library is the
+simulation's "user-level C library"; they run logically in user space.
+
+A handler receives ``(process, siginfo)`` and returns True if it resolved
+the condition (the kernel then restarts the faulting instruction) or
+False to decline (the kernel falls through to the next handler or to the
+default action — process death).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.vm.faults import AccessKind
+
+
+class Signal(enum.Enum):
+    SIGSEGV = 11
+    SIGBUS = 7
+    SIGFPE = 8
+    SIGILL = 4
+
+
+@dataclass
+class SigInfo:
+    """Delivery context for a synchronous signal."""
+
+    signal: Signal
+    address: int = 0
+    access: Optional[AccessKind] = None
+    pc: int = 0
+    present: bool = False  # mapped-but-protected vs not-mapped-at-all

@@ -1,0 +1,127 @@
+"""Kernel synchronization: advisory file locks and semaphores.
+
+``ldl`` "uses file locking to synchronize the creation of shared
+segments" (§4, footnote 3); semaphores are the kernel-supported
+mechanism §5's synchronization discussion starts from.
+
+The scheduler is cooperative and deterministic: a process that cannot
+take a lock is moved to BLOCKED and re-runs the blocking operation when
+woken. Native (Python-bodied) processes run their kernel calls to
+completion within a quantum, so for them a contended lock is reported
+with an exception rather than a block — which the Hemlock runtime never
+triggers, because its critical sections are quantum-atomic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import KernelError, SyscallError
+from repro.fs.inode import Inode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.process import Process
+
+
+class WouldBlock(Exception):
+    """Internal: the current operation must block and be retried."""
+
+
+class FileLockTable:
+    """Whole-file advisory exclusive locks, keyed by inode."""
+
+    def __init__(self) -> None:
+        self._waiters: Dict[int, List["Process"]] = {}
+
+    def acquire(self, process: "Process", inode: Inode,
+                blocking: bool = True) -> bool:
+        """Take the lock; True on success.
+
+        On contention: False when non-blocking; raises :class:`WouldBlock`
+        (after queueing the process) when blocking.
+        """
+        if inode.lock_owner is None or inode.lock_owner == process.pid:
+            inode.lock_owner = process.pid
+            return True
+        if not blocking:
+            return False
+        self._waiters.setdefault(id(inode), []).append(process)
+        raise WouldBlock()
+
+    def release(self, process: "Process", inode: Inode) -> Optional["Process"]:
+        """Drop the lock; returns the woken next owner, if any."""
+        if inode.lock_owner != process.pid:
+            raise SyscallError(
+                "EPERM", f"pid {process.pid} does not hold the lock"
+            )
+        waiters = self._waiters.get(id(inode), [])
+        if waiters:
+            next_owner = waiters.pop(0)
+            inode.lock_owner = next_owner.pid
+            return next_owner
+        inode.lock_owner = None
+        return None
+
+    def drop_all(self, process: "Process", inodes: List[Inode]) -> None:
+        """Release every lock *process* holds (process exit cleanup)."""
+        for inode in inodes:
+            if inode.lock_owner == process.pid:
+                self.release(process, inode)
+
+
+class Semaphore:
+    """A counting semaphore with a FIFO wait queue."""
+
+    def __init__(self, key: int, value: int = 1) -> None:
+        if value < 0:
+            raise KernelError("semaphore initial value must be >= 0")
+        self.key = key
+        self.value = value
+        self.waiters: List["Process"] = []
+        # Hoare-style handoff: V transfers the count directly to a woken
+        # waiter, so its retried P succeeds even if others run first.
+        self._granted: set = set()
+
+    def try_p(self, process: "Process") -> bool:
+        """Non-blocking P; True on success."""
+        if process.pid in self._granted:
+            self._granted.discard(process.pid)
+            return True
+        if self.value > 0:
+            self.value -= 1
+            return True
+        return False
+
+    def p(self, process: "Process") -> None:
+        """Blocking P: queue and raise :class:`WouldBlock` on contention."""
+        if not self.try_p(process):
+            self.waiters.append(process)
+            raise WouldBlock()
+
+    def v(self) -> Optional["Process"]:
+        """V; returns a woken process (which owns the decrement), if any."""
+        if self.waiters:
+            woken = self.waiters.pop(0)
+            self._granted.add(woken.pid)
+            return woken
+        self.value += 1
+        return None
+
+
+class SemaphoreTable:
+    """semget-style registry of semaphores by integer key."""
+
+    def __init__(self) -> None:
+        self._sems: Dict[int, Semaphore] = {}
+
+    def get(self, key: int, value: int = 1, create: bool = True) -> Semaphore:
+        sem = self._sems.get(key)
+        if sem is None:
+            if not create:
+                raise SyscallError("ENOENT", f"no semaphore with key {key}")
+            sem = Semaphore(key, value)
+            self._sems[key] = sem
+        return sem
+
+    def remove(self, key: int) -> None:
+        self._sems.pop(key, None)

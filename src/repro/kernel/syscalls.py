@@ -1,0 +1,543 @@
+"""The system-call layer.
+
+:class:`Syscalls` is the kernel's service interface. Native processes
+(and the Hemlock runtime library) call its methods directly, passing the
+calling process; machine processes reach the same methods through the
+register-based ABI decoded by :meth:`Syscalls.dispatch_machine`.
+
+Every call charges the cost model, so IPC-versus-sharing comparisons
+reflect the syscall and copying overheads the paper argues about.
+
+Machine ABI: syscall number in ``v0``, arguments in ``a0..a3``, result in
+``v0``, error flag in ``v1`` (0 on success, non-zero errno code).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import FilesystemError, SyscallError
+from repro.fs.vfs import (
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    OpenFile,
+)
+from repro.hw import isa
+from repro.kernel.process import Process
+from repro.kernel.sync import WouldBlock
+from repro.vm.address_space import MAP_SHARED
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+# Machine syscall numbers.
+SYS_EXIT = 1
+SYS_WRITE = 2
+SYS_READ = 3
+SYS_OPEN = 4
+SYS_CLOSE = 5
+SYS_FORK = 6
+SYS_GETPID = 7
+SYS_SBRK = 8
+SYS_WAIT = 9
+SYS_MMAP = 10
+SYS_MUNMAP = 11
+SYS_MPROTECT = 12
+SYS_SIGNAL = 13
+SYS_PUTINT = 14
+SYS_ADDR_TO_PATH = 20
+SYS_OPEN_BY_ADDR = 21
+SYS_FLOCK = 22
+SYS_MSGGET = 23
+SYS_MSGSND = 24
+SYS_MSGRCV = 25
+SYS_SEMGET = 26
+SYS_SEMP = 27
+SYS_SEMV = 28
+SYS_GETENV = 30
+SYS_UNLINK = 31
+SYS_SYMLINK = 32
+SYS_MKDIR = 33
+SYS_STAT = 34
+SYS_PLT_RESOLVE = 40  # jump-table baseline; see repro.linker.jumptable
+
+FLOCK_EX = 1
+FLOCK_UN = 2
+FLOCK_TRY = 3
+
+_ERRNO_CODES = {
+    "EPERM": 1, "ENOENT": 2, "EBADF": 9, "ECHILD": 10, "EACCES": 13,
+    "EFAULT": 14, "EEXIST": 17, "ENOTDIR": 20, "EISDIR": 21,
+    "EINVAL": 22, "EFBIG": 27, "ENOSPC": 28, "EPIPE": 32,
+    "ENAMETOOLONG": 36,
+}
+
+
+class Syscalls:
+    """Kernel services, one method per call."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._warm_inodes: set = set()
+
+    # ------------------------------------------------------------------
+    # files
+    # ------------------------------------------------------------------
+
+    def open(self, proc: Process, path: str, flags: int = O_RDONLY,
+             mode: int = 0o644) -> int:
+        self.kernel.clock.syscall()
+        handle = self.kernel.vfs.open(path, flags, proc.uid, mode,
+                                      cwd=proc.cwd)
+        self._charge_cold(handle)
+        return proc.install_fd(handle)
+
+    def _charge_cold(self, handle: OpenFile) -> None:
+        """First touch of a file pays a disk seek; later opens hit cache."""
+        key = (id(handle.fs), handle.inode.number)
+        if key not in self._warm_inodes:
+            self._warm_inodes.add(key)
+            self.kernel.clock.disk_seek()
+
+    def close(self, proc: Process, fd: int) -> None:
+        self.kernel.clock.syscall()
+        proc.close_fd(fd)
+
+    def read(self, proc: Process, fd: int, length: int) -> bytes:
+        self.kernel.clock.syscall()
+        data = proc.fd(fd).read(length)
+        self.kernel.clock.file_io(len(data))
+        return data
+
+    def write(self, proc: Process, fd: int, data: bytes) -> int:
+        self.kernel.clock.syscall()
+        if fd == 1:  # console
+            proc.stdout.extend(data)
+            return len(data)
+        written = proc.fd(fd).write(data)
+        self.kernel.clock.file_io(written)
+        return written
+
+    def pread(self, proc: Process, fd: int, offset: int,
+              length: int) -> bytes:
+        self.kernel.clock.syscall()
+        data = proc.fd(fd).pread(offset, length)
+        self.kernel.clock.file_io(len(data))
+        return data
+
+    def pwrite(self, proc: Process, fd: int, offset: int,
+               data: bytes) -> int:
+        self.kernel.clock.syscall()
+        written = proc.fd(fd).pwrite(offset, data)
+        self.kernel.clock.file_io(written)
+        return written
+
+    def lseek(self, proc: Process, fd: int, offset: int,
+              whence: int = 0) -> int:
+        self.kernel.clock.syscall()
+        return proc.fd(fd).lseek(offset, whence)
+
+    def ftruncate(self, proc: Process, fd: int, size: int) -> None:
+        self.kernel.clock.syscall()
+        proc.fd(fd).truncate(size)
+
+    def stat(self, proc: Process, path: str, follow: bool = True):
+        self.kernel.clock.syscall()
+        return self.kernel.vfs.stat(path, proc.uid, follow=follow,
+                                    cwd=proc.cwd)
+
+    def fstat(self, proc: Process, fd: int):
+        self.kernel.clock.syscall()
+        return proc.fd(fd).inode.stat()
+
+    def unlink(self, proc: Process, path: str) -> None:
+        self.kernel.clock.syscall()
+        self.kernel.vfs.unlink(path, proc.uid, cwd=proc.cwd)
+
+    def mkdir(self, proc: Process, path: str, mode: int = 0o755) -> None:
+        self.kernel.clock.syscall()
+        self.kernel.vfs.mkdir(path, proc.uid, mode, cwd=proc.cwd)
+
+    def rmdir(self, proc: Process, path: str) -> None:
+        self.kernel.clock.syscall()
+        self.kernel.vfs.rmdir(path, proc.uid, cwd=proc.cwd)
+
+    def symlink(self, proc: Process, target: str, linkpath: str) -> None:
+        self.kernel.clock.syscall()
+        self.kernel.vfs.symlink(target, linkpath, proc.uid, cwd=proc.cwd)
+
+    def readlink(self, proc: Process, path: str) -> str:
+        self.kernel.clock.syscall()
+        return self.kernel.vfs.readlink(path, proc.uid, cwd=proc.cwd)
+
+    def rename(self, proc: Process, old: str, new: str) -> None:
+        self.kernel.clock.syscall()
+        self.kernel.vfs.rename(old, new, proc.uid, cwd=proc.cwd)
+
+    def listdir(self, proc: Process, path: str):
+        self.kernel.clock.syscall()
+        return self.kernel.vfs.listdir(path, proc.uid, cwd=proc.cwd)
+
+    def chdir(self, proc: Process, path: str) -> None:
+        self.kernel.clock.syscall()
+        fs, inode = self.kernel.vfs.resolve(path, proc.uid, cwd=proc.cwd)
+        if not inode.is_dir:
+            raise SyscallError("ENOTDIR", f"{path!r} is not a directory")
+        from repro.fs.path import normalize
+
+        proc.cwd = normalize(path, proc.cwd)
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+
+    def mmap(self, proc: Process, addr: Optional[int], length: int,
+             prot: int, flags: int, fd: Optional[int] = None,
+             offset: int = 0, name: str = "") -> int:
+        self.kernel.clock.syscall()
+        self.kernel.clock.map_segment()
+        memobj = None
+        if fd is not None:
+            handle = proc.fd(fd)
+            if not handle.inode.is_file:
+                raise SyscallError("EACCES", "mmap of a non-regular file")
+            memobj = handle.inode.memobj
+            if not name:
+                name = handle.path
+        mapping = proc.address_space.map(
+            addr, length, memobj=memobj, offset=offset, prot=prot,
+            flags=flags, name=name or "<anon>",
+        )
+        return mapping.start
+
+    def munmap(self, proc: Process, addr: int, length: int) -> None:
+        self.kernel.clock.syscall()
+        proc.address_space.unmap(addr, length)
+
+    def mprotect(self, proc: Process, addr: int, length: int,
+                 prot: int) -> None:
+        self.kernel.clock.syscall()
+        proc.address_space.mprotect(addr, length, prot)
+
+    def sbrk(self, proc: Process, delta: int) -> int:
+        self.kernel.clock.syscall()
+        old = proc.brk
+        new = old + delta
+        if delta < 0:
+            raise SyscallError("EINVAL", "shrinking the break is unsupported")
+        heap_mapping = proc.address_space.mapping_at(old) if old else None
+        if heap_mapping is not None and new > heap_mapping.end:
+            raise SyscallError("ENOMEM", "brk exceeds the heap mapping")
+        proc.brk = new
+        return old
+
+    # ------------------------------------------------------------------
+    # Hemlock kernel extensions (§2, §3)
+    # ------------------------------------------------------------------
+
+    def addr_to_path(self, proc: Process,
+                     address: int) -> Tuple[str, int]:
+        """Translate a public address to (absolute path, offset) — the
+        "new kernel call" that the SIGSEGV handler and ldl rely on."""
+        self.kernel.clock.syscall()
+        if not self.kernel.is_public_address(address):
+            raise SyscallError(
+                "EFAULT", f"0x{address:08x} is not a public address"
+            )
+        hit = self.kernel.sfs.path_of_address(address)
+        if hit is None:
+            raise SyscallError(
+                "ENOENT", f"no segment at 0x{address:08x}"
+            )
+        vol_path, offset = hit
+        return self.kernel.sfs_mount.rstrip("/") + vol_path, offset
+
+    def path_to_addr(self, proc: Process, path: str) -> int:
+        """The forward mapping: 'stat already returns an inode number'."""
+        info = self.stat(proc, path)
+        fs = self.kernel.vfs.resolve(path, proc.uid, cwd=proc.cwd)[0]
+        if fs is not self.kernel.sfs:
+            raise SyscallError(
+                "EINVAL", f"{path!r} is not on the shared file system"
+            )
+        return self.kernel.sfs.address_of_inode(info.st_ino)
+
+    def open_by_address(self, proc: Process, address: int,
+                        flags: int = O_RDONLY) -> int:
+        """Overloaded open: open a shared segment by any address in it."""
+        path, _offset = self.addr_to_path(proc, address)
+        # One logical syscall: refund the extra trap charged above.
+        return self.open(proc, path, flags)
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+
+    def getpid(self, proc: Process) -> int:
+        return proc.pid
+
+    def getppid(self, proc: Process) -> int:
+        return proc.ppid
+
+    def exit(self, proc: Process, code: int) -> None:
+        self.kernel.clock.syscall()
+        self.kernel.terminate(proc, code)
+
+    def fork(self, proc: Process) -> Process:
+        self.kernel.clock.syscall()
+        return self.kernel.fork(proc)
+
+    def wait(self, proc: Process) -> Tuple[int, int]:
+        """Reap one zombie child: (pid, exit status).
+
+        Raises :class:`WouldBlock` when children exist but none has
+        exited yet; ECHILD when the process has no children at all.
+        """
+        self.kernel.clock.syscall()
+        children = [p for p in self.kernel.processes.values()
+                    if p.ppid == proc.pid and not p.reaped]
+        if not children:
+            raise SyscallError("ECHILD", "no children to wait for")
+        for child in children:
+            if not child.alive:
+                child.reaped = True
+                return child.pid, child.exit_code or 0
+        self.kernel.register_waiter(proc)
+        raise WouldBlock()
+
+    def getenv(self, proc: Process, name: str) -> str:
+        return proc.getenv(name)
+
+    def setenv(self, proc: Process, name: str, value: str) -> None:
+        proc.setenv(name, value)
+
+    # ------------------------------------------------------------------
+    # synchronization and IPC
+    # ------------------------------------------------------------------
+
+    def flock(self, proc: Process, fd: int, op: int) -> bool:
+        self.kernel.clock.syscall()
+        inode = proc.fd(fd).inode
+        if op == FLOCK_EX:
+            return self.kernel.locks.acquire(proc, inode, blocking=True)
+        if op == FLOCK_TRY:
+            return self.kernel.locks.acquire(proc, inode, blocking=False)
+        if op == FLOCK_UN:
+            woken = self.kernel.locks.release(proc, inode)
+            if woken is not None:
+                self.kernel.wake(woken)
+            return True
+        raise SyscallError("EINVAL", f"bad flock op {op}")
+
+    def semget(self, proc: Process, key: int, value: int = 1) -> int:
+        self.kernel.clock.syscall()
+        self.kernel.semaphores.get(key, value)
+        return key
+
+    def sem_p(self, proc: Process, key: int) -> None:
+        self.kernel.clock.syscall()
+        self.kernel.semaphores.get(key).p(proc)
+
+    def sem_try_p(self, proc: Process, key: int) -> bool:
+        self.kernel.clock.syscall()
+        return self.kernel.semaphores.get(key).try_p(proc)
+
+    def sem_v(self, proc: Process, key: int) -> None:
+        self.kernel.clock.syscall()
+        woken = self.kernel.semaphores.get(key).v()
+        if woken is not None:
+            self.kernel.wake(woken)
+
+    def msgget(self, proc: Process, key: int) -> int:
+        self.kernel.clock.syscall()
+        self.kernel.queues.get(key)
+        return key
+
+    def msgsnd(self, proc: Process, key: int, data: bytes,
+               blocking: bool = True) -> bool:
+        self.kernel.clock.syscall()
+        self.kernel.clock.message()
+        self.kernel.clock.copy(len(data))  # user -> kernel copy
+        queue = self.kernel.queues.get(key)
+        ok = queue.send(proc, data, blocking)
+        if ok and queue.readers:
+            self.kernel.wake(queue.readers.pop(0))
+        return ok
+
+    def msgrcv(self, proc: Process, key: int,
+               blocking: bool = True) -> Optional[bytes]:
+        self.kernel.clock.syscall()
+        queue = self.kernel.queues.get(key)
+        data = queue.receive(proc, blocking)
+        if data is not None:
+            self.kernel.clock.copy(len(data))  # kernel -> user copy
+            if queue.writers:
+                self.kernel.wake(queue.writers.pop(0))
+        return data
+
+    # ------------------------------------------------------------------
+    # machine ABI dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch_machine(self, proc: Process) -> None:
+        """Service the syscall a machine process just trapped with.
+
+        On return the PC has been advanced past the ``syscall``
+        instruction. A :class:`WouldBlock` escape leaves the PC in place
+        so the instruction retries on wake-up.
+        """
+        cpu = proc.cpu
+        assert cpu is not None
+        number = cpu.regs[isa.REG_V0]
+        a0, a1 = cpu.regs[isa.REG_A0], cpu.regs[isa.REG_A1]
+        a2, a3 = cpu.regs[isa.REG_A2], cpu.regs[isa.REG_A3]
+        space = proc.address_space
+        if number == SYS_PLT_RESOLVE:
+            # Jump-table lazy linking: patch the PLT entry containing
+            # the trapping PC and restart execution at its base.
+            self.kernel.clock.syscall()
+            runtime = proc.runtime
+            assert runtime is not None, "PLT trap without a runtime"
+            cpu.pc = runtime.plt_resolve(cpu.pc)  # type: ignore[attr-defined]
+            return
+        try:
+            result = self._machine_call(proc, number, a0, a1, a2, a3)
+        except WouldBlock:
+            raise
+        except SyscallError as error:
+            cpu.set_reg(isa.REG_V0, 0xFFFFFFFF)
+            cpu.set_reg(isa.REG_V1, _ERRNO_CODES.get(error.errno, 22))
+            cpu.pc += 4
+            return
+        except FilesystemError as error:
+            cpu.set_reg(isa.REG_V0, 0xFFFFFFFF)
+            cpu.set_reg(isa.REG_V1, _errno_of(error))
+            cpu.pc += 4
+            return
+        if proc.alive:
+            cpu.set_reg(isa.REG_V0, result & 0xFFFFFFFF)
+            cpu.set_reg(isa.REG_V1, 0)
+            cpu.pc += 4
+        _ = space  # space used by helpers via proc
+
+    def _machine_call(self, proc: Process, number: int, a0: int, a1: int,
+                      a2: int, a3: int) -> int:
+        space = proc.address_space
+        if number == SYS_EXIT:
+            self.exit(proc, a0)
+            return 0
+        if number == SYS_WRITE:
+            data = space.read_bytes(a1, a2, force=True)
+            return self.write(proc, a0, data)
+        if number == SYS_READ:
+            data = self.read(proc, a0, a2)
+            space.write_bytes(a1, data, force=True)
+            return len(data)
+        if number == SYS_OPEN:
+            path = space.read_cstring(a0, force=True)
+            return self.open(proc, path, a1, a2 or 0o644)
+        if number == SYS_CLOSE:
+            self.close(proc, a0)
+            return 0
+        if number == SYS_FORK:
+            child = self.fork(proc)
+            return child.pid
+        if number == SYS_GETPID:
+            return self.getpid(proc)
+        if number == SYS_SBRK:
+            return self.sbrk(proc, _signed(a0))
+        if number == SYS_WAIT:
+            pid, status = self.wait(proc)
+            # Status is reported through memory if a0 is non-zero.
+            if a0:
+                space.store_word(a0, status & 0xFFFFFFFF, force=True)
+            return pid
+        if number == SYS_MMAP:
+            fd = None if a3 == 0xFFFFFFFF else a3
+            return self.mmap(proc, a0 or None, a1, a2 & 0x7,
+                             MAP_SHARED if a2 & 0x8 else 0x2, fd)
+        if number == SYS_MUNMAP:
+            self.munmap(proc, a0, a1)
+            return 0
+        if number == SYS_MPROTECT:
+            self.mprotect(proc, a0, a1, a2)
+            return 0
+        if number == SYS_SIGNAL:
+            proc.machine_sig_handler = a0  # type: ignore[attr-defined]
+            return 0
+        if number == SYS_PUTINT:
+            proc.stdout.extend(str(_signed(a0)).encode())
+            proc.stdout.extend(b"\n")
+            return 0
+        if number == SYS_ADDR_TO_PATH:
+            path, _offset = self.addr_to_path(proc, a0)
+            encoded = path.encode("latin-1")[: max(a2 - 1, 0)]
+            space.write_bytes(a1, encoded + b"\x00", force=True)
+            return len(encoded)
+        if number == SYS_OPEN_BY_ADDR:
+            return self.open_by_address(proc, a0, a1)
+        if number == SYS_FLOCK:
+            return 1 if self.flock(proc, a0, a1) else 0
+        if number == SYS_MSGGET:
+            return self.msgget(proc, a0)
+        if number == SYS_MSGSND:
+            data = space.read_bytes(a1, a2, force=True)
+            self.msgsnd(proc, a0, data)
+            return len(data)
+        if number == SYS_MSGRCV:
+            data = self.msgrcv(proc, a0)
+            assert data is not None
+            data = data[:a2]
+            space.write_bytes(a1, data, force=True)
+            return len(data)
+        if number == SYS_SEMGET:
+            return self.semget(proc, a0, a1)
+        if number == SYS_SEMP:
+            self.sem_p(proc, a0)
+            return 0
+        if number == SYS_SEMV:
+            self.sem_v(proc, a0)
+            return 0
+        if number == SYS_GETENV:
+            name = space.read_cstring(a0, force=True)
+            value = proc.getenv(name).encode("latin-1")[: max(a2 - 1, 0)]
+            space.write_bytes(a1, value + b"\x00", force=True)
+            return len(value)
+        if number == SYS_UNLINK:
+            self.unlink(proc, space.read_cstring(a0, force=True))
+            return 0
+        if number == SYS_SYMLINK:
+            self.symlink(proc, space.read_cstring(a0, force=True),
+                         space.read_cstring(a1, force=True))
+            return 0
+        if number == SYS_MKDIR:
+            self.mkdir(proc, space.read_cstring(a0, force=True))
+            return 0
+        if number == SYS_STAT:
+            info = self.stat(proc, space.read_cstring(a0, force=True))
+            space.store_word(a1, info.st_ino, force=True)
+            space.store_word(a1 + 4, info.st_size, force=True)
+            space.store_word(a1 + 8, info.st_mode, force=True)
+            return 0
+        raise SyscallError("EINVAL", f"unknown syscall {number}")
+
+
+def _signed(value: int) -> int:
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def _errno_of(error: FilesystemError) -> int:
+    from repro import errors
+
+    table = {
+        errors.FileNotFoundSimError: 2,
+        errors.FileExistsSimError: 17,
+        errors.NotADirectorySimError: 20,
+        errors.IsADirectorySimError: 21,
+        errors.PermissionSimError: 13,
+        errors.FileLimitError: 27,
+    }
+    return table.get(type(error), 5)

@@ -1,0 +1,40 @@
+"""crt0 — the program start-up module.
+
+lds "links C programs with a special start-up file" (§3) whose job is to
+give ldl a chance to run before normal execution and to call ``exit``
+when ``main`` returns. In the simulation the ldl bootstrap itself is the
+exec hook the runtime registers with the kernel (the Python-side
+equivalent of crt0 calling into the dynamic linker before ``main``); the
+machine-code part below performs the call-main-then-exit sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.asm import assemble
+from repro.objfile.format import ObjectFile
+
+CRT0_SOURCE = """
+        # Hemlock crt0: ldl has already run (exec hook); call main, then
+        # pass its return value to exit(2).
+        .text
+        .globl  _start
+        .entry  _start
+_start:
+        jal     main
+        move    a0, v0
+        li      v0, 1           # SYS_EXIT
+        syscall
+        break                   # not reached
+"""
+
+_cached: Optional[ObjectFile] = None
+
+
+def crt0_template() -> ObjectFile:
+    """The assembled crt0 module (fresh clone per call)."""
+    global _cached
+    if _cached is None:
+        _cached = assemble(CRT0_SOURCE, "crt0.o")
+    return _cached.clone()

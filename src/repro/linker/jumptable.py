@@ -1,0 +1,123 @@
+"""SunOS-style jump-table (PLT) lazy linking — the baseline of §3.
+
+"The PIC produced by the Sun compilers uses jump tables that allow
+functions to be linked lazily, but references to data objects are all
+resolved at load time." And: "Our fault-driven lazy linking mechanism is
+slower than the jump table mechanism of SunOS, but works for both
+functions and data objects, and does not require compiler support."
+
+This transform gives the simulated toolchain that jump-table mechanism so
+ablation A1 can compare the two. Every external function call is routed
+through a 16-byte PLT entry that initially traps to the run-time resolver
+(syscall ``SYS_PLT_RESOLVE``); the resolver patches the entry into a
+direct ``lui``/``ori``/``jr`` sequence and restarts it. Data relocations
+are untouched — they must be resolved eagerly at load time, which is
+exactly the limitation Hemlock's fault-driven scheme removes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.hw import isa
+from repro.objfile.format import (
+    ObjectFile,
+    Relocation,
+    RelocType,
+    SEC_TEXT,
+    Symbol,
+    SymBinding,
+)
+
+SYS_PLT_RESOLVE = 40
+PLT_ENTRY_SIZE = 16
+PLT_PREFIX = "__plt$"
+
+
+def insert_jump_table(obj: ObjectFile,
+                      needs_stub: Callable[[str], bool]) -> int:
+    """Route external JUMP26 call sites through PLT entries.
+
+    One entry per distinct symbol. Entries are named ``__plt$<symbol>``
+    (local symbols), so the run-time resolver can recover the target
+    symbol from the trapping PC alone. Returns the number of entries.
+    """
+    entries: Dict[str, str] = {}
+    new_relocs = []
+    for reloc in obj.relocations:
+        if reloc.type is not RelocType.JUMP26 or not needs_stub(reloc.symbol):
+            new_relocs.append(reloc)
+            continue
+        label = entries.get(reloc.symbol)
+        if label is None:
+            label = f"{PLT_PREFIX}{reloc.symbol}"
+            entries[reloc.symbol] = label
+            offset = len(obj.text)
+            obj.text.extend(_plt_entry_code())
+            obj.symbols[label] = Symbol(label, SEC_TEXT, offset,
+                                        SymBinding.LOCAL)
+        new_relocs.append(Relocation(SEC_TEXT, reloc.offset,
+                                     RelocType.JUMP26, label,
+                                     0))
+    obj.relocations = new_relocs
+    return len(entries)
+
+
+def _plt_entry_code() -> bytes:
+    words = [
+        # li v0, SYS_PLT_RESOLVE; syscall; then (post-patch) never reached
+        isa.encode_i(isa.OP_ORI, rs=isa.REG_ZERO, rt=isa.REG_V0,
+                     imm=SYS_PLT_RESOLVE),
+        isa.encode_r(isa.FN_SYSCALL),
+        0,  # nop
+        isa.encode_r(isa.FN_BREAK),  # unreachable guard
+    ]
+    return b"".join(word.to_bytes(4, "little") for word in words)
+
+
+def patched_plt_entry(target: int) -> bytes:
+    """The resolved form of a PLT entry: lui/ori/jr through ``at``."""
+    words = [
+        isa.encode_i(isa.OP_LUI, rt=isa.REG_AT, imm=(target >> 16) & 0xFFFF),
+        isa.encode_i(isa.OP_ORI, rs=isa.REG_AT, rt=isa.REG_AT,
+                     imm=target & 0xFFFF),
+        isa.encode_r(isa.FN_JR, rs=isa.REG_AT),
+        isa.encode_r(isa.FN_BREAK),
+    ]
+    return b"".join(word.to_bytes(4, "little") for word in words)
+
+
+def _plt_target(name: str) -> "str | None":
+    """The external symbol a PLT label names, or None.
+
+    Handles the ``module::__plt$sym`` form the local-symbol renaming of
+    :func:`repro.linker.module.merge_objects` produces.
+    """
+    index = name.find(PLT_PREFIX)
+    if index < 0:
+        return None
+    return name[index + len(PLT_PREFIX):]
+
+
+def plt_symbol_at(image: ObjectFile, address: int) -> str:
+    """Which external symbol the PLT entry containing *address* targets.
+
+    *image* must be a linked executable (symbols at absolute addresses).
+    Raises KeyError when *address* is not inside a PLT entry.
+    """
+    for symbol in image.symbols.values():
+        target = _plt_target(symbol.name)
+        if target is None:
+            continue
+        if symbol.value <= address < symbol.value + PLT_ENTRY_SIZE:
+            return target
+    raise KeyError(f"no PLT entry at 0x{address:08x}")
+
+
+def plt_entry_base(image: ObjectFile, address: int) -> int:
+    """Base address of the PLT entry containing *address*."""
+    for symbol in image.symbols.values():
+        if _plt_target(symbol.name) is not None \
+                and symbol.value <= address < symbol.value + PLT_ENTRY_SIZE:
+            return symbol.value
+    raise KeyError(f"no PLT entry at 0x{address:08x}")

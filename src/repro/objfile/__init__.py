@@ -1,0 +1,45 @@
+"""HOF — the Hemlock Object Format.
+
+Linker support for sharing capitalizes on the lowest common denominator
+for language implementations: the object file (§3). This package defines
+that format for the simulated toolchain: relocatable objects produced by
+the assembler and toy compiler, executables produced by ``lds``, and the
+metadata attached to public-module segment images.
+"""
+
+from repro.objfile.format import (
+    SymBinding,
+    SectionLayout,
+    SEC_TEXT,
+    SEC_DATA,
+    SEC_BSS,
+    SEC_UNDEF,
+    SEC_ABS,
+    Symbol,
+    RelocType,
+    Relocation,
+    LinkInfo,
+    ObjectFile,
+    ObjectKind,
+)
+from repro.objfile.archive import Archive
+from repro.objfile.inspect import nm, objdump
+
+__all__ = [
+    "SymBinding",
+    "SectionLayout",
+    "SEC_TEXT",
+    "SEC_DATA",
+    "SEC_BSS",
+    "SEC_UNDEF",
+    "SEC_ABS",
+    "Symbol",
+    "RelocType",
+    "Relocation",
+    "LinkInfo",
+    "ObjectFile",
+    "ObjectKind",
+    "Archive",
+    "nm",
+    "objdump",
+]

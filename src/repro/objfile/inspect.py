@@ -1,0 +1,79 @@
+"""``nm``/``objdump``-style inspectors for HOF objects.
+
+These are developer conveniences used by tests, examples, and debugging —
+the analogue of the binutils a systems programmer would reach for.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.objfile.format import ObjectFile, SymBinding, SEC_UNDEF
+
+
+_SECTION_CODES = {
+    "text": "T",
+    "data": "D",
+    "bss": "B",
+    "*abs*": "A",
+    SEC_UNDEF: "U",
+}
+
+
+def nm(obj: ObjectFile) -> str:
+    """Render the symbol table in ``nm`` style.
+
+    Columns: value (blank for undefined), type code (lowercase for local
+    binding), name. Sorted by name.
+    """
+    lines: List[str] = []
+    for symbol in sorted(obj.symbols.values(), key=lambda s: s.name):
+        code = _SECTION_CODES.get(symbol.section, "?")
+        if symbol.binding is SymBinding.LOCAL:
+            code = code.lower()
+        if symbol.defined:
+            value = f"{symbol.value:08x}"
+        else:
+            value = " " * 8
+        lines.append(f"{value} {code} {symbol.name}")
+    return "\n".join(lines)
+
+
+def objdump(obj: ObjectFile, disassemble: bool = False) -> str:
+    """Render headers, layout, relocations, and optionally a disassembly."""
+    lines = [
+        f"{obj.name}: HOF {obj.kind.name.lower()}",
+        f"  text 0x{len(obj.text):x} bytes, data 0x{len(obj.data):x} bytes, "
+        f"bss 0x{obj.bss_size:x} bytes, heap 0x{obj.heap_size:x} bytes",
+    ]
+    if obj.entry_symbol:
+        lines.append(f"  entry: {obj.entry_symbol}")
+    if obj.layout:
+        lines.append("  layout:")
+        for sec in obj.layout.values():
+            lines.append(
+                f"    {sec.name:5s} 0x{sec.base:08x}-0x{sec.end:08x}"
+            )
+    if obj.link_info.dynamic_modules:
+        lines.append("  dynamic modules:")
+        for module, sclass in obj.link_info.dynamic_modules:
+            lines.append(f"    {module} ({sclass})")
+    if obj.link_info.search_path:
+        lines.append("  search path: " + ":".join(obj.link_info.search_path))
+    if obj.relocations:
+        lines.append("  relocations:")
+        for reloc in obj.relocations:
+            lines.append(f"    {reloc}")
+    if disassemble and obj.text:
+        # Imported here to keep objfile independent of hw at module load.
+        from repro.hw.isa import disassemble_word
+
+        lines.append("  disassembly of text:")
+        base = obj.layout["text"].base if "text" in obj.layout else 0
+        for offset in range(0, len(obj.text), 4):
+            word = int.from_bytes(obj.text[offset: offset + 4], "little")
+            lines.append(
+                f"    {base + offset:08x}: {word:08x}  "
+                f"{disassemble_word(word, base + offset)}"
+            )
+    return "\n".join(lines)

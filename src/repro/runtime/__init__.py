@@ -1,0 +1,28 @@
+"""The Hemlock run-time library — the simulation's user-level C library.
+
+* :mod:`libshared` — the SIGSEGV handler that implements lazy linking
+  and pointer chasing, the wrapped ``signal()`` call, and the per-process
+  runtime object that ties crt0, ldl, and the handler together;
+* :mod:`shmalloc` — the per-segment heap allocator (§5 "Dynamic Storage
+  Management"): space is allocated "from the heaps associated with
+  individual segments, instead of a heap associated with the calling
+  program", so heap state lives *in* the segment and is valid in every
+  process;
+* :mod:`views` — typed records, pointers, and strings over simulated
+  memory, the stand-in for compiled C structure access; every load and
+  store runs under the fault-handling machinery, so following a pointer
+  into a not-yet-mapped segment transparently maps it.
+"""
+
+from repro.runtime.libshared import HemlockRuntime, attach_runtime
+from repro.runtime.shmalloc import SegmentHeap
+from repro.runtime.views import Mem, StructDef, StructView
+
+__all__ = [
+    "HemlockRuntime",
+    "attach_runtime",
+    "SegmentHeap",
+    "Mem",
+    "StructDef",
+    "StructView",
+]

@@ -1,0 +1,172 @@
+"""shmalloc — per-segment heap allocation (§5 "Dynamic Storage Management").
+
+"We have developed a package designed to allocate space from the heaps
+associated with individual segments, instead of a heap associated with
+the calling program."
+
+All allocator state (free list, block headers) lives inside the segment
+itself, expressed as absolute virtual addresses — so any process mapping
+the segment can allocate and free from the same heap, and the heap
+survives across process lifetimes along with its segment.
+
+Layout::
+
+    heap_base: [magic u32][free_head u32]        8-byte heap header
+    block:     [size u32 | used bit][next u32]   8-byte block header
+               [payload ...]
+
+Sizes are multiples of 8, so bit 0 of the size word marks "in use".
+Free blocks are kept on an address-ordered list and coalesced on free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.errors import SimulationError
+from repro.runtime.views import Mem
+
+HEAP_MAGIC = 0x48454D4C  # "HEML"
+HEADER_SIZE = 8
+BLOCK_HEADER = 8
+MIN_BLOCK = 16
+ALIGN = 8
+
+
+class SegmentHeapError(SimulationError):
+    """Heap corruption or exhaustion."""
+
+
+class SegmentHeap:
+    """A heap living at ``[base, base + size)`` inside a segment."""
+
+    def __init__(self, mem: Mem, base: int, size: int) -> None:
+        if size < HEADER_SIZE + MIN_BLOCK:
+            raise SegmentHeapError(f"heap of {size} bytes is too small")
+        self.mem = mem
+        self.base = base
+        self.size = size
+
+    # ------------------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Format the heap (done once, by whoever creates the segment)."""
+        first = self.base + HEADER_SIZE
+        self.mem.store_u32(self.base, HEAP_MAGIC)
+        self.mem.store_u32(self.base + 4, first)
+        self.mem.store_u32(first, (self.size - HEADER_SIZE) & ~1)
+        self.mem.store_u32(first + 4, 0)
+
+    def is_initialized(self) -> bool:
+        return self.mem.load_u32(self.base) == HEAP_MAGIC
+
+    def ensure_initialized(self) -> None:
+        if not self.is_initialized():
+            self.initialize()
+
+    # ------------------------------------------------------------------
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate *nbytes*; returns the payload's absolute address."""
+        self._check_magic()
+        need = max(_round_up(nbytes) + BLOCK_HEADER, MIN_BLOCK)
+        prev = self.base + 4            # address of the link we came from
+        block = self.mem.load_u32(prev)
+        while block:
+            size = self.mem.load_u32(block) & ~1
+            next_free = self.mem.load_u32(block + 4)
+            if size >= need:
+                remainder = size - need
+                if remainder >= MIN_BLOCK:
+                    # Split: tail stays free.
+                    tail = block + need
+                    self.mem.store_u32(tail, remainder)
+                    self.mem.store_u32(tail + 4, next_free)
+                    self.mem.store_u32(prev, tail)
+                    self.mem.store_u32(block, need | 1)
+                else:
+                    self.mem.store_u32(prev, next_free)
+                    self.mem.store_u32(block, size | 1)
+                return block + BLOCK_HEADER
+            prev = block + 4
+            block = next_free
+        raise SegmentHeapError(
+            f"heap at 0x{self.base:08x} exhausted allocating {nbytes} bytes"
+        )
+
+    def free(self, payload: int) -> None:
+        """Return an allocation to the heap, coalescing neighbours."""
+        self._check_magic()
+        block = payload - BLOCK_HEADER
+        header = self.mem.load_u32(block)
+        if not header & 1:
+            raise SegmentHeapError(f"double free at 0x{payload:08x}")
+        size = header & ~1
+        # Insert into the address-ordered free list.
+        prev = self.base + 4
+        cursor = self.mem.load_u32(prev)
+        while cursor and cursor < block:
+            prev = cursor + 4
+            cursor = self.mem.load_u32(prev)
+        self.mem.store_u32(block, size)
+        self.mem.store_u32(block + 4, cursor)
+        self.mem.store_u32(prev, block)
+        # Coalesce with the successor, then with the predecessor.
+        if cursor and block + size == cursor:
+            cursor_size = self.mem.load_u32(cursor) & ~1
+            self.mem.store_u32(block, size + cursor_size)
+            self.mem.store_u32(block + 4, self.mem.load_u32(cursor + 4))
+        if prev != self.base + 4:
+            prev_block = prev - 4
+            prev_size = self.mem.load_u32(prev_block) & ~1
+            if prev_block + prev_size == block:
+                self.mem.store_u32(prev_block,
+                                   prev_size + (self.mem.load_u32(block)
+                                                & ~1))
+                self.mem.store_u32(prev_block + 4,
+                                   self.mem.load_u32(block + 4))
+
+    # ------------------------------------------------------------------
+
+    def free_bytes(self) -> int:
+        """Total bytes on the free list (payload + header)."""
+        return sum(size for _, size in self.free_blocks())
+
+    def free_blocks(self) -> Iterator[Tuple[int, int]]:
+        """(address, size) of each free block, address-ordered."""
+        self._check_magic()
+        block = self.mem.load_u32(self.base + 4)
+        guard = 0
+        while block:
+            guard += 1
+            if guard > 1_000_000:
+                raise SegmentHeapError("free list cycle")
+            size = self.mem.load_u32(block)
+            if size & 1:
+                raise SegmentHeapError(
+                    f"used block 0x{block:08x} on the free list"
+                )
+            yield block, size
+            block = self.mem.load_u32(block + 4)
+
+    def check(self) -> None:
+        """Validate free-list invariants (ordering, bounds, no overlap)."""
+        last_end = self.base + HEADER_SIZE
+        for block, size in self.free_blocks():
+            if block < last_end - 1:
+                raise SegmentHeapError("free list out of order or overlap")
+            if block + size > self.base + self.size:
+                raise SegmentHeapError("free block beyond heap end")
+            last_end = block + size
+
+    def _check_magic(self) -> None:
+        if self.mem.load_u32(self.base) != HEAP_MAGIC:
+            raise SegmentHeapError(
+                f"no heap at 0x{self.base:08x} (bad magic)"
+            )
+
+
+def _round_up(nbytes: int) -> int:
+    if nbytes <= 0:
+        nbytes = 1
+    return (nbytes + ALIGN - 1) & ~(ALIGN - 1)

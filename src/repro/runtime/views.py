@@ -1,0 +1,245 @@
+"""Typed access to simulated memory — the stand-in for compiled C code.
+
+Native (Python-bodied) processes touch shared segments through
+:class:`Mem`, whose every load and store runs under the kernel's
+fault-delivery machinery (:meth:`Kernel.run_with_faults`). Dereferencing
+a pointer into a segment that is not yet mapped therefore behaves exactly
+as it does for machine code: SIGSEGV, the Hemlock handler maps the
+segment (or runs the lazy linker), and the access restarts.
+
+:class:`StructDef` describes a C-struct-like record layout once;
+:class:`StructView` reads and writes one record instance at an address.
+Because public segments sit at the same virtual address in every
+process, pointer fields hold plain absolute addresses and work from any
+protection domain — the paper's central payoff.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+_U16 = struct.Struct("<H")
+
+_FIELD_SIZES = {"u8": 1, "u16": 2, "u32": 4, "i32": 4, "ptr": 4}
+_FIELD_ALIGN = {"u8": 1, "u16": 2, "u32": 4, "i32": 4, "ptr": 4}
+
+
+class Mem:
+    """Fault-transparent memory accessor for one process.
+
+    Each access also charges the cost-model clock a few instruction
+    cycles, since a native process stands in for compiled code whose
+    loads and stores are real instructions — without this, "shared
+    memory is faster" comparisons would divide by zero.
+    """
+
+    # Roughly: address computation + the load/store itself.
+    SCALAR_ACCESS_CYCLES = 4
+
+    def __init__(self, kernel: Kernel, proc: Process) -> None:
+        self.kernel = kernel
+        self.proc = proc
+
+    def _charge_scalar(self) -> None:
+        self.kernel.clock.charge("user_memory", self.SCALAR_ACCESS_CYCLES)
+
+    # -- scalar loads/stores -------------------------------------------
+
+    def load_u32(self, address: int) -> int:
+        self._charge_scalar()
+        return self.kernel.run_with_faults(
+            self.proc, lambda: self.proc.address_space.load_word(address)
+        )
+
+    def store_u32(self, address: int, value: int) -> None:
+        self._charge_scalar()
+        self.kernel.run_with_faults(
+            self.proc,
+            lambda: self.proc.address_space.store_word(address, value),
+        )
+
+    def load_i32(self, address: int) -> int:
+        return _I32.unpack(_U32.pack(self.load_u32(address)))[0]
+
+    def store_i32(self, address: int, value: int) -> None:
+        self.store_u32(address, _U32.unpack(_I32.pack(value))[0])
+
+    def load_u16(self, address: int) -> int:
+        return _U16.unpack(self.load_bytes(address, 2))[0]
+
+    def store_u16(self, address: int, value: int) -> None:
+        self.store_bytes(address, _U16.pack(value & 0xFFFF))
+
+    def load_u8(self, address: int) -> int:
+        return self.load_bytes(address, 1)[0]
+
+    def store_u8(self, address: int, value: int) -> None:
+        self.store_bytes(address, bytes([value & 0xFF]))
+
+    # -- bulk ----------------------------------------------------------
+
+    def load_bytes(self, address: int, length: int) -> bytes:
+        self.kernel.clock.copy(length)
+        return self.kernel.run_with_faults(
+            self.proc,
+            lambda: self.proc.address_space.read_bytes(address, length),
+        )
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        self.kernel.clock.copy(len(data))
+        self.kernel.run_with_faults(
+            self.proc,
+            lambda: self.proc.address_space.write_bytes(address, data),
+        )
+
+    # -- strings -------------------------------------------------------
+
+    def load_cstring(self, address: int, max_length: int = 4096) -> str:
+        out = bytearray()
+        for index in range(max_length):
+            byte = self.load_u8(address + index)
+            if byte == 0:
+                break
+            out.append(byte)
+        return out.decode("latin-1")
+
+    def store_cstring(self, address: int, text: str,
+                      max_length: int = 4096) -> None:
+        encoded = text.encode("latin-1")[: max_length - 1]
+        self.store_bytes(address, encoded + b"\x00")
+
+
+class StructDef:
+    """A record layout: ordered (name, type) fields.
+
+    Types: ``u8 u16 u32 i32 ptr`` plus ``cstr:<n>`` (inline NUL-padded
+    string of n bytes) and ``bytes:<n>``. Fields are aligned naturally;
+    the total size is rounded up to 4 bytes.
+    """
+
+    def __init__(self, name: str,
+                 fields: Sequence[Tuple[str, str]]) -> None:
+        self.name = name
+        self.fields: List[Tuple[str, str]] = list(fields)
+        self.offsets: Dict[str, int] = {}
+        self.types: Dict[str, str] = {}
+        offset = 0
+        for field_name, field_type in self.fields:
+            if field_name in self.offsets:
+                raise SimulationError(
+                    f"duplicate field {field_name!r} in {name!r}"
+                )
+            size, align = _field_size(field_type)
+            offset = (offset + align - 1) & ~(align - 1)
+            self.offsets[field_name] = offset
+            self.types[field_name] = field_type
+            offset += size
+        self.size = (offset + 3) & ~3
+
+    def view(self, mem: Mem, address: int) -> "StructView":
+        return StructView(self, mem, address)
+
+    def array_item(self, mem: Mem, base: int, index: int) -> "StructView":
+        """View of element *index* of an array of this struct at *base*."""
+        return StructView(self, mem, base + index * self.size)
+
+
+class StructView:
+    """One record instance at a concrete address."""
+
+    def __init__(self, struct_def: StructDef, mem: Mem,
+                 address: int) -> None:
+        self.struct = struct_def
+        self.mem = mem
+        self.address = address
+
+    def field_address(self, field: str) -> int:
+        return self.address + self.struct.offsets[field]
+
+    def get(self, field: str):
+        field_type = self.struct.types[field]
+        address = self.field_address(field)
+        if field_type in ("u32", "ptr"):
+            return self.mem.load_u32(address)
+        if field_type == "i32":
+            return self.mem.load_i32(address)
+        if field_type == "u16":
+            return self.mem.load_u16(address)
+        if field_type == "u8":
+            return self.mem.load_u8(address)
+        if field_type.startswith("cstr:"):
+            return self.mem.load_cstring(address,
+                                         int(field_type.split(":")[1]))
+        if field_type.startswith("bytes:"):
+            return self.mem.load_bytes(address,
+                                       int(field_type.split(":")[1]))
+        raise SimulationError(f"bad field type {field_type!r}")
+
+    def set(self, field: str, value) -> None:
+        field_type = self.struct.types[field]
+        address = self.field_address(field)
+        if field_type in ("u32", "ptr"):
+            self.mem.store_u32(address, value)
+        elif field_type == "i32":
+            self.mem.store_i32(address, value)
+        elif field_type == "u16":
+            self.mem.store_u16(address, value)
+        elif field_type == "u8":
+            self.mem.store_u8(address, value)
+        elif field_type.startswith("cstr:"):
+            length = int(field_type.split(":")[1])
+            padded = value.encode("latin-1")[: length - 1]
+            self.mem.store_bytes(address,
+                                 padded + b"\x00" * (length - len(padded)))
+        elif field_type.startswith("bytes:"):
+            length = int(field_type.split(":")[1])
+            if len(value) != length:
+                raise SimulationError(
+                    f"field {field!r} expects exactly {length} bytes"
+                )
+            self.mem.store_bytes(address, value)
+        else:
+            raise SimulationError(f"bad field type {field_type!r}")
+
+    def update(self, **values) -> "StructView":
+        for field, value in values.items():
+            self.set(field, value)
+        return self
+
+    def as_dict(self) -> Dict[str, object]:
+        return {name: self.get(name) for name, _ in self.struct.fields}
+
+
+def iterate_list(mem: Mem, head: int, struct_def: StructDef,
+                 next_field: str = "next",
+                 max_nodes: int = 1_000_000) -> Iterator[StructView]:
+    """Walk an intrusive singly linked list of *struct_def* records.
+
+    *head* is the address of the first node (0 terminates). The pointers
+    are absolute virtual addresses — meaningful in every process, which
+    is the point of the shared file system's uniform addressing.
+    """
+    address = head
+    count = 0
+    while address:
+        if count >= max_nodes:
+            raise SimulationError("linked list too long (cycle?)")
+        view = struct_def.view(mem, address)
+        yield view
+        address = view.get(next_field)
+        count += 1
+
+
+def _field_size(field_type: str) -> Tuple[int, int]:
+    if field_type in _FIELD_SIZES:
+        return _FIELD_SIZES[field_type], _FIELD_ALIGN[field_type]
+    if field_type.startswith("cstr:") or field_type.startswith("bytes:"):
+        return int(field_type.split(":")[1]), 1
+    raise SimulationError(f"bad field type {field_type!r}")

@@ -1,0 +1,34 @@
+"""The shared file system (SFS).
+
+§3 "Address Space and File System Organization": a dedicated partition of
+exactly 1024 inodes, each file at most 1 MiB, hard links prohibited so
+inodes and path names map one-to-one, and a kernel-maintained mapping
+between virtual addresses and files. The inode number determines the
+file's address — the 1 GiB region divided into 1024 slots of 1 MiB.
+
+The kernel's address→file mapping uses a linear lookup table, as in the
+paper's prototype; :class:`BTreeAddressMap` implements the B-tree the
+paper plans for the 64-bit version, and benchmark A2 compares the two.
+"""
+
+from repro.sfs.sharedfs import (
+    SharedFilesystem,
+    SFS_BASE,
+    SEGMENT_SPAN,
+    MAX_INODES,
+    MAX_FILE_SIZE,
+)
+from repro.sfs.addrmap import AddressMap, LinearAddressMap, BTreeAddressMap
+from repro.sfs.btree import BTree
+
+__all__ = [
+    "SharedFilesystem",
+    "SFS_BASE",
+    "SEGMENT_SPAN",
+    "MAX_INODES",
+    "MAX_FILE_SIZE",
+    "AddressMap",
+    "LinearAddressMap",
+    "BTreeAddressMap",
+    "BTree",
+]

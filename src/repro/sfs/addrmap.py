@@ -1,0 +1,132 @@
+"""Kernel address→file lookup tables for the shared file system.
+
+Two implementations of the same interface:
+
+* :class:`LinearAddressMap` — the paper's 32-bit prototype: "For the sake
+  of simplicity, the mapping in the kernel from addresses to files
+  employs a linear lookup table. We initialize the table at boot time by
+  scanning the entire shared file system, and update it as appropriate
+  when files are created and destroyed."
+* :class:`BTreeAddressMap` — the planned 64-bit design: inode address
+  fields linked into a B-tree.
+
+Both count key comparisons so the A2 ablation can report algorithmic
+cost as file counts grow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.sfs.btree import BTree
+
+
+class AddressMap:
+    """Interface: register/unregister segments; translate addresses."""
+
+    def register(self, base: int, span: int, ino: int) -> None:
+        raise NotImplementedError
+
+    def unregister(self, ino: int) -> None:
+        raise NotImplementedError
+
+    def lookup_address(self, address: int) -> Optional[Tuple[int, int]]:
+        """(inode number, offset within segment) for *address*, or None."""
+        raise NotImplementedError
+
+    def lookup_inode(self, ino: int) -> Optional[int]:
+        """Base address of inode *ino*'s segment, or None."""
+        raise NotImplementedError
+
+    def entries(self) -> List[Tuple[int, int, int]]:
+        """All (base, span, ino) triples, base-ordered."""
+        raise NotImplementedError
+
+    def rebuild(self, triples: Iterable[Tuple[int, int, int]]) -> None:
+        """Boot-time scan: discard state and reload from *triples*."""
+        raise NotImplementedError
+
+    @property
+    def comparisons(self) -> int:
+        raise NotImplementedError
+
+
+class LinearAddressMap(AddressMap):
+    """Unordered list scanned linearly on every translation."""
+
+    def __init__(self) -> None:
+        self._table: List[Tuple[int, int, int]] = []  # (base, span, ino)
+        self._comparisons = 0
+
+    def register(self, base: int, span: int, ino: int) -> None:
+        self._table.append((base, span, ino))
+
+    def unregister(self, ino: int) -> None:
+        self._table = [row for row in self._table if row[2] != ino]
+
+    def lookup_address(self, address: int) -> Optional[Tuple[int, int]]:
+        for base, span, ino in self._table:
+            self._comparisons += 1
+            if base <= address < base + span:
+                return ino, address - base
+        return None
+
+    def lookup_inode(self, ino: int) -> Optional[int]:
+        for base, _span, number in self._table:
+            self._comparisons += 1
+            if number == ino:
+                return base
+        return None
+
+    def entries(self) -> List[Tuple[int, int, int]]:
+        return sorted(self._table)
+
+    def rebuild(self, triples: Iterable[Tuple[int, int, int]]) -> None:
+        self._table = list(triples)
+
+    @property
+    def comparisons(self) -> int:
+        return self._comparisons
+
+
+class BTreeAddressMap(AddressMap):
+    """B-tree keyed by segment base address (floor search to translate)."""
+
+    def __init__(self, t: int = 16) -> None:
+        self._tree = BTree(t)
+        self._by_ino: dict = {}
+
+    def register(self, base: int, span: int, ino: int) -> None:
+        self._tree.insert(base, (span, ino))
+        self._by_ino[ino] = base
+
+    def unregister(self, ino: int) -> None:
+        base = self._by_ino.pop(ino, None)
+        if base is not None:
+            self._tree.delete(base)
+
+    def lookup_address(self, address: int) -> Optional[Tuple[int, int]]:
+        entry = self._tree.floor_entry(address)
+        if entry is None:
+            return None
+        base, (span, ino) = entry
+        if address < base + span:
+            return ino, address - base
+        return None
+
+    def lookup_inode(self, ino: int) -> Optional[int]:
+        return self._by_ino.get(ino)
+
+    def entries(self) -> List[Tuple[int, int, int]]:
+        return [(base, span, ino)
+                for base, (span, ino) in self._tree.items()]
+
+    def rebuild(self, triples: Iterable[Tuple[int, int, int]]) -> None:
+        self._tree = BTree(self._tree.t)
+        self._by_ino.clear()
+        for base, span, ino in triples:
+            self.register(base, span, ino)
+
+    @property
+    def comparisons(self) -> int:
+        return self._tree.comparisons

@@ -1,0 +1,272 @@
+"""A classic min-degree B-tree (CLRS style) with insert, search, delete.
+
+The paper's 64-bit plan replaces the linear address→inode lookup table
+with "a lookup structure — most likely a B-tree — whose presence on the
+disk allows it to survive across re-boots". This is that structure; the
+A2 ablation benchmark measures it against the linear table.
+
+Keys are integers, values arbitrary. ``comparisons`` counts key
+comparisons so benchmarks can report algorithmic cost independent of the
+Python constant factor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children", "leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: List[int] = []
+        self.values: List[object] = []
+        self.children: List["_Node"] = []
+        self.leaf = leaf
+
+
+class BTree:
+    """B-tree with minimum degree *t* (each node holds t-1..2t-1 keys)."""
+
+    def __init__(self, t: int = 16) -> None:
+        if t < 2:
+            raise ValueError("minimum degree must be >= 2")
+        self.t = t
+        self.root = _Node(leaf=True)
+        self.size = 0
+        self.comparisons = 0
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def get(self, key: int) -> Optional[object]:
+        """The value for *key*, or None."""
+        node = self.root
+        while True:
+            index = self._find_index(node, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return node.values[index]
+            if node.leaf:
+                return None
+            node = node.children[index]
+
+    def contains(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def floor_entry(self, key: int) -> Optional[Tuple[int, object]]:
+        """The greatest (k, v) with k <= key, or None."""
+        node = self.root
+        best: Optional[Tuple[int, object]] = None
+        while True:
+            index = self._find_index(node, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return (key, node.values[index])
+            if index > 0:
+                best = (node.keys[index - 1], node.values[index - 1])
+            if node.leaf:
+                return best
+            node = node.children[index]
+
+    def _find_index(self, node: _Node, key: int) -> int:
+        """First index whose key is >= *key* (binary search, counted)."""
+        lo, hi = 0, len(node.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.comparisons += 1
+            if node.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: object) -> None:
+        """Insert or replace."""
+        root = self.root
+        if len(root.keys) == 2 * self.t - 1:
+            new_root = _Node(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self.root = new_root
+            root = new_root
+        if self._insert_nonfull(root, key, value):
+            self.size += 1
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self.t
+        child = parent.children[index]
+        sibling = _Node(leaf=child.leaf)
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        parent.children.insert(index + 1, sibling)
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+
+    def _insert_nonfull(self, node: _Node, key: int, value: object) -> bool:
+        while True:
+            index = self._find_index(node, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                return False
+            if node.leaf:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+                return True
+            child = node.children[index]
+            if len(child.keys) == 2 * self.t - 1:
+                self._split_child(node, index)
+                self.comparisons += 1
+                if key == node.keys[index]:
+                    node.values[index] = value
+                    return False
+                if key > node.keys[index]:
+                    index += 1
+            node = node.children[index]
+
+    # ------------------------------------------------------------------
+    # delete
+    # ------------------------------------------------------------------
+
+    def delete(self, key: int) -> bool:
+        """Remove *key*; returns True if it was present."""
+        removed = self._delete(self.root, key)
+        if not self.root.leaf and not self.root.keys:
+            self.root = self.root.children[0]
+        if removed:
+            self.size -= 1
+        return removed
+
+    def _delete(self, node: _Node, key: int) -> bool:
+        t = self.t
+        index = self._find_index(node, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.leaf:
+                node.keys.pop(index)
+                node.values.pop(index)
+                return True
+            return self._delete_internal(node, index)
+        if node.leaf:
+            return False
+        child = node.children[index]
+        if len(child.keys) == t - 1:
+            self._fill_child(node, index)
+            # The tree under `node` changed shape; retry from here.
+            return self._delete(node, key)
+        return self._delete(child, key)
+
+    def _delete_internal(self, node: _Node, index: int) -> bool:
+        t = self.t
+        key = node.keys[index]
+        left, right = node.children[index], node.children[index + 1]
+        if len(left.keys) >= t:
+            pred_key, pred_value = self._max_entry(left)
+            node.keys[index] = pred_key
+            node.values[index] = pred_value
+            return self._delete(left, pred_key)
+        if len(right.keys) >= t:
+            succ_key, succ_value = self._min_entry(right)
+            node.keys[index] = succ_key
+            node.values[index] = succ_value
+            return self._delete(right, succ_key)
+        self._merge_children(node, index)
+        return self._delete(left, key)
+
+    def _max_entry(self, node: _Node) -> Tuple[int, object]:
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def _min_entry(self, node: _Node) -> Tuple[int, object]:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    def _fill_child(self, node: _Node, index: int) -> int:
+        """Ensure child *index* has >= t keys; may merge (returns the
+        possibly shifted child index to descend into)."""
+        t = self.t
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            self._rotate_right(node, index - 1)
+            return index
+        if index < len(node.children) - 1 \
+                and len(node.children[index + 1].keys) >= t:
+            self._rotate_left(node, index)
+            return index
+        if index == len(node.children) - 1:
+            index -= 1
+        self._merge_children(node, index)
+        return index
+
+    def _rotate_right(self, node: _Node, index: int) -> None:
+        left, right = node.children[index], node.children[index + 1]
+        right.keys.insert(0, node.keys[index])
+        right.values.insert(0, node.values[index])
+        node.keys[index] = left.keys.pop()
+        node.values[index] = left.values.pop()
+        if not left.leaf:
+            right.children.insert(0, left.children.pop())
+
+    def _rotate_left(self, node: _Node, index: int) -> None:
+        left, right = node.children[index], node.children[index + 1]
+        left.keys.append(node.keys[index])
+        left.values.append(node.values[index])
+        node.keys[index] = right.keys.pop(0)
+        node.values[index] = right.values.pop(0)
+        if not right.leaf:
+            left.children.append(right.children.pop(0))
+
+    def _merge_children(self, node: _Node, index: int) -> None:
+        left, right = node.children[index], node.children[index + 1]
+        left.keys.append(node.keys.pop(index))
+        left.values.append(node.values.pop(index))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+        node.children.pop(index + 1)
+
+    # ------------------------------------------------------------------
+    # iteration and invariants
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, object]]:
+        """All (key, value) pairs in key order."""
+        yield from self._iterate(self.root)
+
+    def _iterate(self, node: _Node) -> Iterator[Tuple[int, object]]:
+        if node.leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._iterate(node.children[i])
+            yield (key, node.values[i])
+        yield from self._iterate(node.children[-1])
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (used by property tests)."""
+        keys = [k for k, _ in self.items()]
+        assert keys == sorted(set(keys)), "keys out of order or duplicated"
+        assert len(keys) == self.size, "size counter out of sync"
+        self._check_node(self.root, is_root=True)
+
+    def _check_node(self, node: _Node, is_root: bool) -> int:
+        t = self.t
+        assert len(node.keys) <= 2 * t - 1, "node overfull"
+        if not is_root:
+            assert len(node.keys) >= t - 1, "node underfull"
+        assert node.keys == sorted(node.keys), "node keys unsorted"
+        if node.leaf:
+            assert not node.children
+            return 1
+        assert len(node.children) == len(node.keys) + 1, "child count"
+        depths = {self._check_node(child, False) for child in node.children}
+        assert len(depths) == 1, "leaves at unequal depth"
+        return depths.pop() + 1

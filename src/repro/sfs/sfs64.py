@@ -1,0 +1,215 @@
+"""The 64-bit shared file system — the paper's stated future work.
+
+§3: "With 64-bit addresses, we will extend the shared file system to
+include all of secondary store, and will relax the limits on the number
+and sizes of shared files. ... Within the kernel, we will abandon the
+linear lookup table and the direct association between inode numbers
+and addresses. Instead, we will add an address field to the on-disk
+version of each inode, and will link these inodes into a lookup
+structure — most likely a B-tree — whose presence on the disk allows it
+to survive across re-boots."
+
+:class:`SharedFilesystem64` implements that design:
+
+* no inode-count limit and no fixed 1 MiB file ceiling — each file gets
+  a *reservation* of address space (default 16 MiB, larger on request)
+  and may grow up to it;
+* the address is an explicit per-inode field assigned by a range
+  allocator over a vast public region above the 32-bit space, not a
+  function of the inode number;
+* the reverse map is always a B-tree, rebuilt from the on-"disk" inode
+  address fields by the boot-time scan.
+
+The simulated CPU is 32-bit, so 64-bit segments are exercised by native
+processes (the paper likewise treats the 64-bit system as design work
+"beyond the scope of the current paper"); the kernel-side machinery —
+allocation, translation, persistence, fault-driven mapping — is fully
+functional.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import FileLimitError, FileNotFoundSimError
+from repro.fs.filesystem import Filesystem
+from repro.fs.inode import Inode
+from repro.sfs.addrmap import BTreeAddressMap
+from repro.util.bits import align_up
+from repro.vm.layout import AddressRegion, PAGE_SIZE
+from repro.vm.pages import PhysicalMemory
+
+# "The vast majority of the address space would be public" (§5): we
+# give the shared file system everything from 4 GiB up to 2^47.
+SFS64_REGION = AddressRegion("sfs64", 0x1_0000_0000, 1 << 47,
+                             public=True)
+
+DEFAULT_RESERVATION = 16 << 20  # 16 MiB of address space per segment
+
+
+class SharedFilesystem64(Filesystem):
+    """The relaxed, B-tree-indexed shared partition."""
+
+    def __init__(self, physmem: PhysicalMemory,
+                 region: AddressRegion = SFS64_REGION,
+                 default_reservation: int = DEFAULT_RESERVATION,
+                 name: str = "sfs64") -> None:
+        self.region = region
+        self.default_reservation = default_reservation
+        self.addrmap = BTreeAddressMap()
+        self._cursor = region.start
+        # Freed reservations, reusable first-fit: (base, span).
+        self._free_ranges: List[Tuple[int, int]] = []
+        # Reservation requested for the *next* created file (segment
+        # creation passes it through the create call path).
+        self._pending_reservation: Optional[int] = None
+        super().__init__(physmem, name)
+
+    # ------------------------------------------------------------------
+    # address allocation
+    # ------------------------------------------------------------------
+
+    def _allocate_range(self, span: int) -> int:
+        span = align_up(max(span, PAGE_SIZE), PAGE_SIZE)
+        for index, (base, free_span) in enumerate(self._free_ranges):
+            if free_span >= span:
+                if free_span == span:
+                    self._free_ranges.pop(index)
+                else:
+                    self._free_ranges[index] = (base + span,
+                                                free_span - span)
+                return base
+        base = self._cursor
+        if base + span > self.region.end:
+            raise FileLimitError("64-bit shared address space exhausted")
+        self._cursor += span
+        return base
+
+    def _release_range(self, base: int, span: int) -> None:
+        self._free_ranges.append((base, span))
+        self._free_ranges.sort()
+
+    def create_file_with_reservation(self, directory: Inode, name: str,
+                                     uid: int, reservation: int,
+                                     mode: int = 0o644) -> Inode:
+        """Create a file reserving *reservation* bytes of address space."""
+        self._pending_reservation = reservation
+        try:
+            return self.create_file(directory, name, uid, mode)
+        finally:
+            self._pending_reservation = None
+
+    def reserving(self, reservation: int):
+        """Context manager: the next file created (by any code path,
+        e.g. an open(O_CREAT) deep inside the VFS) gets *reservation*
+        bytes of address space."""
+        fs = self
+
+        class _Reserving:
+            def __enter__(self):
+                fs._pending_reservation = reservation
+                return fs
+
+            def __exit__(self, *exc):
+                fs._pending_reservation = None
+
+        return _Reserving()
+
+    # ------------------------------------------------------------------
+    # policy hooks
+    # ------------------------------------------------------------------
+
+    def _check_write(self, inode: Inode, end_offset: int) -> None:
+        span = getattr(inode, "segment_span", None)
+        if span is not None and end_offset > span:
+            raise FileLimitError(
+                f"file exceeds its {span}-byte address reservation; "
+                f"create it with a larger reservation"
+            )
+
+    def _allow_hard_links(self) -> bool:
+        return False  # the 1:1 inode/path property still holds
+
+    def _on_create(self, inode: Inode) -> None:
+        if not inode.is_file:
+            return
+        span = self._pending_reservation or self.default_reservation
+        span = align_up(max(span, PAGE_SIZE), PAGE_SIZE)
+        base = self._allocate_range(span)
+        # "an address field [on] the on-disk version of each inode":
+        inode.segment_address = base          # type: ignore[attr-defined]
+        inode.segment_span = span             # type: ignore[attr-defined]
+        self.addrmap.register(base, span, inode.number)
+
+    def _on_destroy(self, inode: Inode) -> None:
+        if inode.is_file:
+            base = getattr(inode, "segment_address", None)
+            span = getattr(inode, "segment_span", None)
+            if base is not None and span is not None:
+                self.addrmap.unregister(inode.number)
+                self._release_range(base, span)
+
+    # ------------------------------------------------------------------
+    # translation (same interface as the 32-bit SharedFilesystem)
+    # ------------------------------------------------------------------
+
+    def address_of_inode(self, ino: int) -> int:
+        inode = self.inode_by_number(ino)
+        if inode is None or not hasattr(inode, "segment_address"):
+            raise FileNotFoundSimError(f"inode {ino} has no address")
+        return inode.segment_address  # type: ignore[attr-defined]
+
+    def inode_of_address(self, address: int) -> Optional[Tuple[Inode, int]]:
+        hit = self.addrmap.lookup_address(address)
+        if hit is None:
+            return None
+        ino, offset = hit
+        inode = self.inode_by_number(ino)
+        if inode is None:
+            return None
+        return inode, offset
+
+    def path_of_inode(self, ino: int) -> str:
+        found: List[str] = []
+
+        def visit(path: str, inode: Inode) -> None:
+            if inode.number == ino:
+                found.append(path)
+
+        self.walk(visit)
+        if not found:
+            raise FileNotFoundSimError(f"no path for inode {ino}")
+        return found[0]
+
+    def path_of_address(self, address: int) -> Optional[Tuple[str, int]]:
+        hit = self.inode_of_address(address)
+        if hit is None:
+            return None
+        inode, offset = hit
+        return self.path_of_inode(inode.number), offset
+
+    # ------------------------------------------------------------------
+    # boot-time recovery from the per-inode address fields
+    # ------------------------------------------------------------------
+
+    def rebuild_address_map(self) -> int:
+        triples = []
+        for inode in self.inodes():
+            if inode.is_file and hasattr(inode, "segment_address"):
+                triples.append((
+                    inode.segment_address,     # type: ignore[attr-defined]
+                    inode.segment_span,        # type: ignore[attr-defined]
+                    inode.number,
+                ))
+        self.addrmap.rebuild(triples)
+        return len(triples)
+
+    def segments(self) -> List[Tuple[str, Inode]]:
+        out: List[Tuple[str, Inode]] = []
+
+        def visit(path: str, inode: Inode) -> None:
+            if inode.is_file:
+                out.append((path, inode))
+
+        self.walk(visit)
+        return out

@@ -1,0 +1,233 @@
+"""Command-line front ends for the simulated toolchain.
+
+§3: "Our current static linker is implemented as a wrapper, lds, around
+the standard IRIX ld linker. The wrapper processes new command line
+options directly related to its functionality and passes the others to
+ld. Lds-specific options allow for the association of sharing classes
+with modules and the specification of search paths to be used when
+locating modules."
+
+These functions give the toolchain that argv surface (each runs in the
+context of a simulated process, reading and writing the simulated file
+system):
+
+* :func:`lds_main` — ``lds [-o out] [-L dir]... [-e sym] [--strict]
+  [--no-crt0] [-l lib.a]... module.o... [--dynamic-public m.o]...``
+* :func:`toycc_main` — ``toycc -o out.o source.c``
+* :func:`asm_main` — ``as -o out.o source.s``
+* :func:`nm_main` / :func:`objdump_main` — inspection, returning text;
+* :func:`ar_main` — ``ar archive.a member.o...``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import LinkError, SimulationError
+from repro.hw.asm import assemble
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+from repro.linker.classes import SharingClass
+from repro.linker.lds import Lds, LinkRequest, LinkResult, load_template, \
+    store_object
+from repro.objfile.archive import Archive
+from repro.objfile.format import ObjectFile
+from repro.objfile.inspect import nm, objdump
+from repro.toyc import compile_source
+
+_CLASS_FLAGS = {
+    "--static-private": SharingClass.STATIC_PRIVATE,
+    "-spr": SharingClass.STATIC_PRIVATE,
+    "--static-public": SharingClass.STATIC_PUBLIC,
+    "-sp": SharingClass.STATIC_PUBLIC,
+    "--dynamic-public": SharingClass.DYNAMIC_PUBLIC,
+    "-dp": SharingClass.DYNAMIC_PUBLIC,
+    "--dynamic-private": SharingClass.DYNAMIC_PRIVATE,
+    "-dr": SharingClass.DYNAMIC_PRIVATE,
+}
+
+
+class UsageError(SimulationError):
+    """Bad command-line arguments."""
+
+
+def lds_main(kernel: Kernel, proc: Process,
+             argv: Sequence[str]) -> LinkResult:
+    """Run an lds command line; returns the LinkResult."""
+    output = "a.out"
+    search_dirs: List[str] = []
+    archives: List[Archive] = []
+    requests: List[LinkRequest] = []
+    entry: Optional[str] = None
+    with_crt0 = True
+    strict = False
+    use_jumptable = False
+
+    args = list(argv)
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "-o":
+            output = _value(args, index, "-o")
+            index += 2
+        elif arg == "-L":
+            search_dirs.append(_value(args, index, "-L"))
+            index += 2
+        elif arg == "-e":
+            entry = _value(args, index, "-e")
+            index += 2
+        elif arg == "-l":
+            path = _value(args, index, "-l")
+            archives.append(load_archive(kernel, proc, path))
+            index += 2
+        elif arg == "--no-crt0":
+            with_crt0 = False
+            index += 1
+        elif arg == "--strict":
+            strict = True
+            index += 1
+        elif arg == "--jumptable":
+            use_jumptable = True
+            index += 1
+        elif arg in _CLASS_FLAGS:
+            module = _value(args, index, arg)
+            requests.append(LinkRequest(module, _CLASS_FLAGS[arg]))
+            index += 2
+        elif arg.startswith("-"):
+            raise UsageError(f"lds: unknown option {arg!r}")
+        else:
+            requests.append(LinkRequest(arg))
+            index += 1
+
+    if not requests:
+        raise UsageError("lds: no input modules")
+    return Lds(kernel).link(
+        proc, requests, output=output, search_dirs=search_dirs,
+        archives=archives, entry=entry, with_crt0=with_crt0,
+        strict_dynamic=strict, use_jumptable=use_jumptable,
+    )
+
+
+def toycc_main(kernel: Kernel, proc: Process,
+               argv: Sequence[str]) -> str:
+    """Run a toycc command line; returns the output path."""
+    output, source_path = _one_output_one_input(argv, "toycc", ".c")
+    source = kernel.vfs.read_whole(source_path, proc.uid,
+                                   cwd=proc.cwd).decode("latin-1")
+    name = output.rsplit("/", 1)[-1]
+    store_object(kernel, proc, output, compile_source(source, name))
+    return output
+
+
+def asm_main(kernel: Kernel, proc: Process, argv: Sequence[str]) -> str:
+    """Run an as command line; returns the output path."""
+    output, source_path = _one_output_one_input(argv, "as", ".s")
+    source = kernel.vfs.read_whole(source_path, proc.uid,
+                                   cwd=proc.cwd).decode("latin-1")
+    name = output.rsplit("/", 1)[-1]
+    store_object(kernel, proc, output, assemble(source, name))
+    return output
+
+
+def nm_main(kernel: Kernel, proc: Process, argv: Sequence[str]) -> str:
+    """nm <object>: the symbol table as text."""
+    if len(argv) != 1:
+        raise UsageError("nm takes exactly one object file")
+    return nm(_load_any(kernel, proc, argv[0]))
+
+
+def objdump_main(kernel: Kernel, proc: Process,
+                 argv: Sequence[str]) -> str:
+    """objdump [-d] <object>."""
+    args = list(argv)
+    disassemble = "-d" in args
+    if disassemble:
+        args.remove("-d")
+    if len(args) != 1:
+        raise UsageError("objdump takes exactly one object file")
+    return objdump(_load_any(kernel, proc, args[0]),
+                   disassemble=disassemble)
+
+
+def ar_main(kernel: Kernel, proc: Process, argv: Sequence[str]) -> str:
+    """ar <archive> <member.o>...: build an archive file."""
+    if len(argv) < 2:
+        raise UsageError("ar takes an archive name and members")
+    archive_path = argv[0]
+    archive = Archive(archive_path.rsplit("/", 1)[-1])
+    for member_path in argv[1:]:
+        archive.add(load_template(kernel, proc, member_path))
+    kernel.vfs.write_whole(archive_path, archive.to_bytes(), proc.uid,
+                           cwd=proc.cwd)
+    return archive_path
+
+
+def segls_main(kernel: Kernel, proc: Process,
+               argv: Sequence[str] = ()) -> str:
+    """segls: peruse every segment on the shared partition.
+
+    The §5 garbage-collection affordance: manual cleanup requires "the
+    ability to peruse all of the segments in existence". Lists path,
+    base address, and size; with ``-l`` also whether the file is a
+    linked module (has segment metadata).
+    """
+    long_form = "-l" in argv
+    from repro.linker.segments import read_segment_meta
+
+    lines = []
+    mount = kernel.sfs_mount.rstrip("/")
+    for vol_path, inode in kernel.sfs.segments():
+        base = kernel.sfs.address_of_inode(inode.number)
+        line = (f"0x{base:012x}  {inode.size:9d}  "
+                f"{mount}{vol_path}")
+        if long_form:
+            try:
+                read_segment_meta(kernel, proc, mount + vol_path)
+                line += "  [module]"
+            except SimulationError:
+                line += "  [data]"
+        lines.append(line)
+    return "\n".join(sorted(lines))
+
+
+def load_archive(kernel: Kernel, proc: Process, path: str) -> Archive:
+    data = kernel.vfs.read_whole(path, proc.uid, cwd=proc.cwd)
+    return Archive.from_bytes(data)
+
+
+def _load_any(kernel: Kernel, proc: Process, path: str) -> ObjectFile:
+    try:
+        return load_template(kernel, proc, path)
+    except SimulationError as error:
+        raise LinkError(f"{path!r} is not a HOF object: {error}")
+
+
+def _value(args: List[str], index: int, flag: str) -> str:
+    if index + 1 >= len(args):
+        raise UsageError(f"lds: {flag} needs a value")
+    return args[index + 1]
+
+
+def _one_output_one_input(argv: Sequence[str], tool: str,
+                          extension: str) -> "tuple[str, str]":
+    args = list(argv)
+    output = None
+    inputs = []
+    index = 0
+    while index < len(args):
+        if args[index] == "-o":
+            output = _value(args, index, "-o")
+            index += 2
+        elif args[index].startswith("-"):
+            raise UsageError(f"{tool}: unknown option {args[index]!r}")
+        else:
+            inputs.append(args[index])
+            index += 1
+    if len(inputs) != 1:
+        raise UsageError(f"{tool}: exactly one input file required")
+    if output is None:
+        source = inputs[0]
+        base = source[: -len(extension)] if source.endswith(extension) \
+            else source
+        output = base + ".o"
+    return output, inputs[0]

@@ -1,0 +1,37 @@
+"""toyc — a small C-like compiler targeting the simulated toolchain.
+
+Figure 1 of the paper starts at ``cc``: shared and private ``.c`` files
+are compiled to ``.o`` templates that lds/ldl then link. toyc plays that
+role, so every Hemlock scenario can be driven from source code rather
+than hand-written assembly.
+
+The language ("Toy C") is a C subset:
+
+* types: ``int`` (32-bit), ``char``, pointers (``int *``, ``char *``),
+  one-dimensional arrays, and named ``struct`` types (with nested
+  structs, array members, and self-reference through pointers — the
+  linked-list idiom of §4's xfig and compiler-table examples); structs
+  are accessed via ``.``/``->`` and passed by pointer;
+* globals with initializers (including string initializers and arrays),
+  ``extern`` declarations for objects defined in other modules — this is
+  exactly how a program names shared variables (§2: "declared in a
+  separate .h file, and defined in a separate .c file");
+* functions with up to four ``int``-sized parameters (the a0–a3
+  registers), local variables and arrays, recursion;
+* statements: blocks, ``if``/``else``, ``while``, ``for``, ``return``,
+  expression statements;
+* expressions: integer/char/string literals, variables, indexing, calls,
+  assignment, ``& * + - ! ~``, the usual binary arithmetic, comparison,
+  shift, bitwise and short-circuit logical operators;
+* pointer arithmetic scales by the element size, as in C.
+
+The compiler makes no attempt at optimization: it generates
+straightforward stack-machine code, which is plenty for studying linking
+behaviour. Like the paper's SGI compilers with the ``-G 0`` analogue, it
+never uses the global-pointer register (gp-relative addressing is
+incompatible with the sparse shared address space, §3).
+"""
+
+from repro.toyc.compiler import compile_source, compile_to_assembly
+
+__all__ = ["compile_source", "compile_to_assembly"]

@@ -1,0 +1,283 @@
+"""AST node definitions for Toy C.
+
+Types are represented by :class:`CType`, a tiny lattice: ``int``,
+``char``, pointers to either, and arrays (which decay to pointers in
+expressions, as in C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+@dataclass(frozen=True)
+class CType:
+    """A Toy C type: base ('int' | 'char' | 'void' | 'struct') + pointer
+    depth + array length.
+
+    Struct types carry their tag and (parser-computed) size inline, so
+    the type stays a self-contained value and ``size`` needs no
+    registry. Member offsets live in the translation unit's struct
+    table.
+    """
+
+    base: str
+    pointers: int = 0
+    array_length: Optional[int] = None
+    struct_tag: Optional[str] = None
+    struct_size: int = 0
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointers > 0 and self.array_length is None
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_length is not None
+
+    @property
+    def is_struct(self) -> bool:
+        return self.base == "struct" and self.pointers == 0 \
+            and not self.is_array
+
+    def element(self) -> "CType":
+        """The type obtained by dereferencing or indexing."""
+        if self.is_array:
+            return CType(self.base, self.pointers, None,
+                         self.struct_tag, self.struct_size)
+        if self.pointers > 0:
+            return CType(self.base, self.pointers - 1, None,
+                         self.struct_tag, self.struct_size)
+        raise ValueError(f"cannot dereference {self}")
+
+    def decayed(self) -> "CType":
+        """Arrays decay to pointers in expressions."""
+        if self.is_array:
+            return CType(self.base, self.pointers + 1, None,
+                         self.struct_tag, self.struct_size)
+        return self
+
+    @property
+    def size(self) -> int:
+        """Size in bytes of one object of this type."""
+        if self.is_array:
+            return self.element_size * (self.array_length or 0)
+        if self.pointers > 0:
+            return 4
+        if self.base == "struct":
+            return self.struct_size
+        return {"int": 4, "char": 1, "void": 0}[self.base]
+
+    @property
+    def element_size(self) -> int:
+        """Size of the pointed-to / indexed element (for scaling)."""
+        if self.is_array or self.pointers > 0:
+            return self.element().size
+        return self.size
+
+    def __str__(self) -> str:
+        base = f"struct {self.struct_tag}" if self.base == "struct" \
+            else self.base
+        text = base + "*" * self.pointers
+        if self.is_array:
+            text += f"[{self.array_length}]"
+        return text
+
+
+INT = CType("int")
+CHAR = CType("char")
+VOID = CType("void")
+CHAR_PTR = CType("char", 1)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int
+
+
+@dataclass
+class NumberLit(Expr):
+    value: int
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str            # '-', '!', '~', '*', '&'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr       # VarRef, Unary('*'), or Index
+    value: Expr
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: List[Expr]
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    base: Expr
+    field: str
+    arrow: bool
+
+
+@dataclass
+class SizeofType(Expr):
+    target: "CType"
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt]
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr
+    then_branch: Stmt
+    else_branch: Optional[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr
+    body: Stmt
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Expr]
+    condition: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class LocalDecl(Stmt):
+    name: str
+    ctype: CType
+    initializer: Optional[Expr]
+
+
+# ---------------------------------------------------------------------------
+# top level
+# ---------------------------------------------------------------------------
+
+Initializer = Union[int, str, List[int], None]
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    ctype: CType
+    initializer: Initializer
+    extern: bool
+    line: int
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    return_type: CType
+    params: List[Param]
+    body: Block
+    extern: bool          # declaration only (no body)
+    line: int
+
+
+@dataclass
+class StructField:
+    name: str
+    ctype: CType
+    offset: int
+
+
+@dataclass
+class StructDecl:
+    """A named struct layout, offsets computed at parse time."""
+
+    tag: str
+    fields: List[StructField]
+    size: int
+
+    def field(self, name: str) -> Optional[StructField]:
+        for entry in self.fields:
+            if entry.name == name:
+                return entry
+        return None
+
+
+@dataclass
+class TranslationUnit:
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+    structs: dict = field(default_factory=dict)  # tag -> StructDecl

@@ -1,0 +1,609 @@
+"""Code generation: Toy C AST -> assembly text for repro.hw.asm.
+
+The generated code is deliberately simple and uniform:
+
+* expression results live in ``v0``; binary operators stash the left
+  operand on the stack, so values never live in registers across calls;
+* locals and spilled parameters live at negative offsets from ``fp``
+  (set to the caller's ``sp`` on entry);
+* the global-pointer register is never used (§3: its 16-bit offsets are
+  incompatible with a large sparse address space);
+* every reference to a global goes through an absolute ``la``/
+  symbol-addressed load, producing the HI16/LO16 relocations the linkers
+  resolve — which is exactly what makes ``extern`` variables in shared
+  modules work with ordinary language syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.toyc import ast
+
+_WORD = 4
+
+
+class _FunctionContext:
+    """Per-function state: frame layout, labels, loop stack."""
+
+    def __init__(self, func: ast.FunctionDef, label_prefix: str) -> None:
+        self.func = func
+        self.label_prefix = label_prefix
+        self.locals: Dict[str, Tuple[int, ast.CType]] = {}
+        self.frame_bytes = 8  # saved ra + saved fp
+        self.loop_stack: List[Tuple[str, str]] = []  # (break, continue)
+        self.label_counter = 0
+
+    def add_local(self, name: str, ctype: ast.CType, line: int) -> int:
+        if name in self.locals:
+            raise CompileError(f"redefinition of {name!r}", line)
+        # Layout: fp-4 = saved ra, fp-8 = saved fp, locals below that.
+        size = (max(ctype.size, _WORD) + 3) & ~3
+        self.frame_bytes += size
+        offset = -self.frame_bytes
+        self.locals[name] = (offset, ctype)
+        return offset
+
+    def lookup(self, name: str) -> Optional[Tuple[int, ast.CType]]:
+        return self.locals.get(name)
+
+    def new_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f"__{self.label_prefix}_{hint}_{self.label_counter}"
+
+
+class CodeGenerator:
+    """Generates one module's assembly from a translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit, module_name: str) -> None:
+        self.unit = unit
+        self.structs = unit.structs
+        self.module = module_name.replace(".", "_").replace("/", "_")
+        self.text: List[str] = []
+        self.data: List[str] = []
+        self.bss: List[str] = []
+        self.strings: Dict[str, str] = {}
+        self.global_types: Dict[str, ast.CType] = {}
+        self.function_returns: Dict[str, ast.CType] = {}
+        self.defined_functions: set = set()
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> str:
+        for decl in self.unit.globals:
+            self.global_types[decl.name] = decl.ctype
+        for func in self.unit.functions:
+            self.function_returns[func.name] = func.return_type
+            if not func.extern:
+                self.defined_functions.add(func.name)
+        for decl in self.unit.globals:
+            self._gen_global(decl)
+        for func in self.unit.functions:
+            if not func.extern:
+                self._gen_function(func)
+        lines = ["        .text"]
+        lines += self.text
+        if self.data or self.strings:
+            lines.append("        .data")
+            lines += self.data
+            for label, value in self.strings.items():
+                lines.append(f"{label}:")
+                lines.append(f'        .asciiz "{_escape(value)}"')
+        if self.bss:
+            lines.append("        .bss")
+            lines += self.bss
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # globals
+    # ------------------------------------------------------------------
+
+    def _gen_global(self, decl: ast.GlobalDecl) -> None:
+        if decl.extern:
+            return  # references produce undefined symbols naturally
+        name = decl.name
+        ctype = decl.ctype
+        size = max(ctype.size, _WORD) if not ctype.is_array \
+            else ctype.size
+        kind = "ptr" if ctype.is_pointer else ctype.base
+        if decl.initializer is not None and ctype.is_struct:
+            raise CompileError(
+                f"struct global {name!r} cannot have an initializer",
+                decl.line,
+            )
+        if decl.initializer is None:
+            self.bss.append(f"        .globl {name}")
+            self.bss.append(f"        .size {name}, {size}")
+            self.bss.append(f"        .type {name}, {kind}")
+            self.bss.append("        .align 4")
+            self.bss.append(f"{name}:")
+            self.bss.append(f"        .space {max(ctype.size, _WORD)}")
+            return
+        self.data.append(f"        .globl {name}")
+        self.data.append(f"        .size {name}, {size}")
+        self.data.append(f"        .type {name}, {kind}")
+        self.data.append("        .align 4")
+        self.data.append(f"{name}:")
+        init = decl.initializer
+        if isinstance(init, str):
+            if ctype.is_pointer:
+                label = self._string_label(init)
+                self.data.append(f"        .word {label}")
+            else:
+                self.data.append(f'        .asciiz "{_escape(init)}"')
+                pad = ctype.size - (len(init) + 1)
+                if pad > 0:
+                    self.data.append(f"        .space {pad}")
+        elif isinstance(init, list):
+            if not ctype.is_array:
+                raise CompileError(
+                    f"brace initializer on non-array {name!r}", decl.line
+                )
+            width = ctype.element_size
+            directive = ".word" if width == _WORD else ".byte"
+            for value in init:
+                self.data.append(f"        {directive} {value}")
+            remaining = (ctype.array_length or 0) - len(init)
+            if remaining > 0:
+                self.data.append(f"        .space {remaining * width}")
+        else:
+            self.data.append(f"        .word {int(init)}")
+
+    def _string_label(self, value: str) -> str:
+        for label, existing in self.strings.items():
+            if existing == value:
+                return label
+        label = f"__{self.module}_str_{len(self.strings)}"
+        self.strings[label] = value
+        return label
+
+    # ------------------------------------------------------------------
+    # functions
+    # ------------------------------------------------------------------
+
+    def _gen_function(self, func: ast.FunctionDef) -> None:
+        if len(func.params) > 4:
+            raise CompileError(
+                f"{func.name!r}: at most 4 parameters are supported",
+                func.line,
+            )
+        ctx = _FunctionContext(func, f"{self.module}_{func.name}")
+        for param in func.params:
+            ctx.add_local(param.name, param.ctype, func.line)
+        body_code: List[str] = []
+        self._gen_block(ctx, func.body, body_code)
+
+        frame = (ctx.frame_bytes + 7) & ~7
+        out = self.text
+        out.append(f"        .globl {func.name}")
+        out.append(f"{func.name}:")
+        out.append(f"        addi sp, sp, -{frame}")
+        out.append(f"        sw ra, {frame - 4}(sp)")
+        out.append(f"        sw fp, {frame - 8}(sp)")
+        out.append(f"        addi fp, sp, {frame}")
+        for index, param in enumerate(func.params):
+            offset, _ = ctx.locals[param.name]
+            out.append(f"        sw a{index}, {offset}(fp)")
+        out.extend(body_code)
+        out.append("        li v0, 0")  # falling off the end returns 0
+        out.append(f"__{ctx.label_prefix}_ret:")
+        out.append("        lw ra, -4(fp)")
+        out.append("        move t9, fp")
+        out.append("        lw fp, -8(t9)")
+        out.append("        move sp, t9")
+        out.append("        jr ra")
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _gen_block(self, ctx: _FunctionContext, block: ast.Block,
+                   out: List[str]) -> None:
+        for stmt in block.statements:
+            self._gen_statement(ctx, stmt, out)
+
+    def _gen_statement(self, ctx: _FunctionContext, stmt: ast.Stmt,
+                       out: List[str]) -> None:
+        if isinstance(stmt, ast.Block):
+            self._gen_block(ctx, stmt, out)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(ctx, stmt.expr, out)
+        elif isinstance(stmt, ast.LocalDecl):
+            offset = ctx.add_local(stmt.name, stmt.ctype, stmt.line)
+            if stmt.initializer is not None:
+                self._gen_expr(ctx, stmt.initializer, out)
+                self._store_local(stmt.ctype, offset, out)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._gen_expr(ctx, stmt.value, out)
+            else:
+                out.append("        li v0, 0")
+            out.append(f"        b __{ctx.label_prefix}_ret")
+        elif isinstance(stmt, ast.If):
+            self._gen_if(ctx, stmt, out)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(ctx, stmt, out)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(ctx, stmt, out)
+        elif isinstance(stmt, ast.Break):
+            if not ctx.loop_stack:
+                raise CompileError("break outside a loop", stmt.line)
+            out.append(f"        b {ctx.loop_stack[-1][0]}")
+        elif isinstance(stmt, ast.Continue):
+            if not ctx.loop_stack:
+                raise CompileError("continue outside a loop", stmt.line)
+            out.append(f"        b {ctx.loop_stack[-1][1]}")
+        else:
+            raise CompileError(f"unsupported statement {stmt!r}", stmt.line)
+
+    def _gen_if(self, ctx: _FunctionContext, stmt: ast.If,
+                out: List[str]) -> None:
+        else_label = ctx.new_label("else")
+        end_label = ctx.new_label("endif")
+        self._gen_expr(ctx, stmt.condition, out)
+        out.append(f"        beqz v0, {else_label}")
+        self._gen_statement(ctx, stmt.then_branch, out)
+        if stmt.else_branch is not None:
+            out.append(f"        b {end_label}")
+        out.append(f"{else_label}:")
+        if stmt.else_branch is not None:
+            self._gen_statement(ctx, stmt.else_branch, out)
+            out.append(f"{end_label}:")
+
+    def _gen_while(self, ctx: _FunctionContext, stmt: ast.While,
+                   out: List[str]) -> None:
+        top = ctx.new_label("while")
+        end = ctx.new_label("wend")
+        ctx.loop_stack.append((end, top))
+        out.append(f"{top}:")
+        self._gen_expr(ctx, stmt.condition, out)
+        out.append(f"        beqz v0, {end}")
+        self._gen_statement(ctx, stmt.body, out)
+        out.append(f"        b {top}")
+        out.append(f"{end}:")
+        ctx.loop_stack.pop()
+
+    def _gen_for(self, ctx: _FunctionContext, stmt: ast.For,
+                 out: List[str]) -> None:
+        top = ctx.new_label("for")
+        step_label = ctx.new_label("fstep")
+        end = ctx.new_label("fend")
+        if stmt.init is not None:
+            self._gen_expr(ctx, stmt.init, out)
+        ctx.loop_stack.append((end, step_label))
+        out.append(f"{top}:")
+        if stmt.condition is not None:
+            self._gen_expr(ctx, stmt.condition, out)
+            out.append(f"        beqz v0, {end}")
+        self._gen_statement(ctx, stmt.body, out)
+        out.append(f"{step_label}:")
+        if stmt.step is not None:
+            self._gen_expr(ctx, stmt.step, out)
+        out.append(f"        b {top}")
+        out.append(f"{end}:")
+        ctx.loop_stack.pop()
+
+    # ------------------------------------------------------------------
+    # expressions (result in v0; returns the expression's type)
+    # ------------------------------------------------------------------
+
+    def _gen_expr(self, ctx: _FunctionContext, expr: ast.Expr,
+                  out: List[str]) -> ast.CType:
+        if isinstance(expr, ast.NumberLit):
+            out.append(f"        li v0, {expr.value}")
+            return ast.INT
+        if isinstance(expr, ast.StringLit):
+            label = self._string_label(expr.value)
+            out.append(f"        la v0, {label}")
+            return ast.CHAR_PTR
+        if isinstance(expr, ast.SizeofType):
+            out.append(f"        li v0, {expr.target.size}")
+            return ast.INT
+        if isinstance(expr, ast.VarRef):
+            return self._gen_varref(ctx, expr, out)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(ctx, expr, out)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(ctx, expr, out)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(ctx, expr, out)
+        if isinstance(expr, ast.Index):
+            ctype = self._gen_address(ctx, expr, out)
+            return self._load_through(ctype, out)
+        if isinstance(expr, ast.Member):
+            ctype = self._gen_address(ctx, expr, out)
+            return self._load_through(ctype, out)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(ctx, expr, out)
+        raise CompileError(f"unsupported expression {expr!r}", expr.line)
+
+    def _gen_varref(self, ctx: _FunctionContext, expr: ast.VarRef,
+                    out: List[str]) -> ast.CType:
+        local = ctx.lookup(expr.name)
+        if local is not None:
+            offset, ctype = local
+            if ctype.is_array or ctype.is_struct:
+                out.append(f"        addi v0, fp, {offset}")
+                return ctype.decayed() if ctype.is_array else ctype
+            out.append(f"        {_load_op(ctype)} v0, {offset}(fp)")
+            return ctype
+        ctype = self.global_types.get(expr.name)
+        if ctype is None:
+            # Unknown identifier: assume an extern int, as K&R C would.
+            ctype = ast.INT
+        if ctype.is_array or ctype.is_struct:
+            out.append(f"        la v0, {expr.name}")
+            return ctype.decayed() if ctype.is_array else ctype
+        out.append(f"        {_load_op(ctype)} v0, {expr.name}")
+        return ctype
+
+    def _gen_address(self, ctx: _FunctionContext, expr: ast.Expr,
+                     out: List[str]) -> ast.CType:
+        """Leave an lvalue's address in v0; returns the *object* type."""
+        if isinstance(expr, ast.VarRef):
+            local = ctx.lookup(expr.name)
+            if local is not None:
+                offset, ctype = local
+                out.append(f"        addi v0, fp, {offset}")
+                return ctype
+            ctype = self.global_types.get(expr.name, ast.INT)
+            out.append(f"        la v0, {expr.name}")
+            return ctype
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            pointer = self._gen_expr(ctx, expr.operand, out)
+            return _element_of(pointer, expr.line)
+        if isinstance(expr, ast.Index):
+            base_type = self._gen_expr(ctx, expr.base, out)
+            element = _element_of(base_type, expr.line)
+            self._push(out)
+            self._gen_expr(ctx, expr.index, out)
+            self._scale(element.size, out)
+            self._pop("t0", out)
+            out.append("        add v0, t0, v0")
+            return element
+        if isinstance(expr, ast.Member):
+            return self._gen_member_address(ctx, expr, out)
+        raise CompileError("expression is not an lvalue", expr.line)
+
+    def _gen_member_address(self, ctx: _FunctionContext,
+                            expr: ast.Member,
+                            out: List[str]) -> ast.CType:
+        """Leave the address of ``base.field`` / ``base->field`` in v0;
+        returns the field's type."""
+        if expr.arrow:
+            base_type = self._gen_expr(ctx, expr.base, out)
+            if not (base_type.is_pointer and base_type.base == "struct"):
+                raise CompileError(
+                    f"'->' applied to non-struct-pointer {base_type}",
+                    expr.line,
+                )
+            struct_type = base_type.element()
+        else:
+            struct_type = self._gen_address(ctx, expr.base, out)
+            if not struct_type.is_struct:
+                raise CompileError(
+                    f"'.' applied to non-struct {struct_type}", expr.line
+                )
+        decl = self.structs.get(struct_type.struct_tag or "")
+        if decl is None:
+            raise CompileError(
+                f"unknown struct {struct_type.struct_tag!r}", expr.line
+            )
+        field = decl.field(expr.field)
+        if field is None:
+            raise CompileError(
+                f"struct {decl.tag!r} has no field {expr.field!r}",
+                expr.line,
+            )
+        if field.offset:
+            out.append(f"        addi v0, v0, {field.offset}")
+        return field.ctype
+
+    def _gen_assign(self, ctx: _FunctionContext, expr: ast.Assign,
+                    out: List[str]) -> ast.CType:
+        # Fast path: scalar local/global targets avoid address math.
+        if isinstance(expr.target, ast.VarRef):
+            local = ctx.lookup(expr.target.name)
+            if local is not None and not local[1].is_array:
+                offset, ctype = local
+                self._gen_expr(ctx, expr.value, out)
+                self._store_local(ctype, offset, out)
+                return ctype
+        ctype = self._gen_address(ctx, expr.target, out)
+        if ctype.is_struct:
+            raise CompileError(
+                "struct assignment by value is not supported; copy "
+                "members or use pointers", expr.line,
+            )
+        self._push(out)
+        self._gen_expr(ctx, expr.value, out)
+        self._pop("t0", out)
+        out.append(f"        {_store_op(ctype)} v0, 0(t0)")
+        return ctype
+
+    def _gen_unary(self, ctx: _FunctionContext, expr: ast.Unary,
+                   out: List[str]) -> ast.CType:
+        if expr.op == "&":
+            ctype = self._gen_address(ctx, expr.operand, out)
+            return ast.CType(ctype.base, ctype.pointers + 1, None,
+                             ctype.struct_tag, ctype.struct_size)
+        if expr.op == "*":
+            pointer = self._gen_expr(ctx, expr.operand, out)
+            element = _element_of(pointer, expr.line)
+            return self._load_through(element, out)
+        ctype = self._gen_expr(ctx, expr.operand, out)
+        if expr.op == "-":
+            out.append("        sub v0, zero, v0")
+        elif expr.op == "!":
+            out.append("        sltiu v0, v0, 1")
+        elif expr.op == "~":
+            out.append("        nor v0, v0, zero")
+        else:
+            raise CompileError(f"bad unary operator {expr.op!r}", expr.line)
+        return ast.INT
+
+    def _gen_binary(self, ctx: _FunctionContext, expr: ast.Binary,
+                    out: List[str]) -> ast.CType:
+        if expr.op in ("&&", "||"):
+            return self._gen_logical(ctx, expr, out)
+        if expr.op in ("<<", ">>"):
+            return self._gen_shift(ctx, expr, out)
+
+        left_type = self._gen_expr(ctx, expr.left, out)
+        self._push(out)
+        right_type = self._gen_expr(ctx, expr.right, out)
+
+        # Pointer arithmetic scaling.
+        if expr.op == "+" and _is_pointerish(left_type) \
+                and not _is_pointerish(right_type):
+            self._scale(_element_of(left_type, expr.line).size, out)
+        if expr.op == "-" and _is_pointerish(left_type) \
+                and not _is_pointerish(right_type):
+            self._scale(_element_of(left_type, expr.line).size, out)
+        self._pop("t0", out)
+        if expr.op == "+" and _is_pointerish(right_type) \
+                and not _is_pointerish(left_type):
+            # i + p: scale the left operand (now in t0).
+            scale = _element_of(right_type, expr.line).size
+            if scale != 1:
+                out.append(f"        li t1, {scale}")
+                out.append("        mul t0, t0, t1")
+
+        table = {
+            "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+            "&": "and", "|": "or", "^": "xor",
+        }
+        if expr.op in table:
+            out.append(f"        {table[expr.op]} v0, t0, v0")
+            if expr.op == "-" and _is_pointerish(left_type) \
+                    and _is_pointerish(right_type):
+                scale = _element_of(left_type, expr.line).size
+                if scale != 1:
+                    out.append(f"        li t1, {scale}")
+                    out.append("        div v0, v0, t1")
+                return ast.INT
+            if expr.op in ("+", "-") and _is_pointerish(left_type):
+                return left_type.decayed()
+            if expr.op == "+" and _is_pointerish(right_type):
+                return right_type.decayed()
+            return ast.INT
+        comparisons = {
+            "<": ["        slt v0, t0, v0"],
+            ">": ["        slt v0, v0, t0"],
+            "<=": ["        slt v0, v0, t0", "        xori v0, v0, 1"],
+            ">=": ["        slt v0, t0, v0", "        xori v0, v0, 1"],
+            "==": ["        xor t1, t0, v0", "        sltiu v0, t1, 1"],
+            "!=": ["        xor t1, t0, v0", "        sltu v0, zero, t1"],
+        }
+        if expr.op in comparisons:
+            out.extend(comparisons[expr.op])
+            return ast.INT
+        raise CompileError(f"bad binary operator {expr.op!r}", expr.line)
+
+    def _gen_shift(self, ctx: _FunctionContext, expr: ast.Binary,
+                   out: List[str]) -> ast.CType:
+        if isinstance(expr.right, ast.NumberLit):
+            amount = expr.right.value
+            if not 0 <= amount < 32:
+                raise CompileError("shift amount out of range", expr.line)
+            self._gen_expr(ctx, expr.left, out)
+            op = "sll" if expr.op == "<<" else "srl"
+            out.append(f"        {op} v0, v0, {amount}")
+            return ast.INT
+        # Variable amount: use the register-shift instructions.
+        self._gen_expr(ctx, expr.left, out)
+        self._push(out)
+        self._gen_expr(ctx, expr.right, out)
+        self._pop("t0", out)
+        op = "sllv" if expr.op == "<<" else "srlv"
+        out.append(f"        {op} v0, t0, v0")
+        return ast.INT
+
+    def _gen_logical(self, ctx: _FunctionContext, expr: ast.Binary,
+                     out: List[str]) -> ast.CType:
+        end = ctx.new_label("lend")
+        self._gen_expr(ctx, expr.left, out)
+        out.append("        sltu v0, zero, v0")
+        if expr.op == "&&":
+            out.append(f"        beqz v0, {end}")
+        else:
+            out.append(f"        bnez v0, {end}")
+        self._gen_expr(ctx, expr.right, out)
+        out.append("        sltu v0, zero, v0")
+        out.append(f"{end}:")
+        return ast.INT
+
+    def _gen_call(self, ctx: _FunctionContext, expr: ast.Call,
+                  out: List[str]) -> ast.CType:
+        if len(expr.args) > 4:
+            raise CompileError(
+                f"call to {expr.name!r}: at most 4 arguments", expr.line
+            )
+        for arg in expr.args:
+            self._gen_expr(ctx, arg, out)
+            self._push(out)
+        for index in reversed(range(len(expr.args))):
+            self._pop(f"a{index}", out)
+        out.append(f"        jal {expr.name}")
+        return self.function_returns.get(expr.name, ast.INT)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _push(self, out: List[str]) -> None:
+        out.append("        addi sp, sp, -4")
+        out.append("        sw v0, 0(sp)")
+
+    def _pop(self, register: str, out: List[str]) -> None:
+        out.append(f"        lw {register}, 0(sp)")
+        out.append("        addi sp, sp, 4")
+
+    def _scale(self, size: int, out: List[str]) -> None:
+        if size == 1:
+            return
+        if size & (size - 1) == 0:
+            out.append(f"        sll v0, v0, {size.bit_length() - 1}")
+        else:
+            out.append(f"        li t1, {size}")
+            out.append("        mul v0, v0, t1")
+
+    def _store_local(self, ctype: ast.CType, offset: int,
+                     out: List[str]) -> None:
+        out.append(f"        {_store_op(ctype)} v0, {offset}(fp)")
+
+    def _load_through(self, ctype: ast.CType, out: List[str]) -> ast.CType:
+        """v0 holds an address of *ctype*; load the value."""
+        if ctype.is_array:
+            return ctype.decayed()  # address already is the value
+        if ctype.is_struct:
+            return ctype            # structs are handled by address
+        out.append(f"        {_load_op(ctype)} v0, 0(v0)")
+        return ctype
+
+
+def _load_op(ctype: ast.CType) -> str:
+    return "lbu" if ctype.size == 1 and not ctype.is_pointer else "lw"
+
+
+def _store_op(ctype: ast.CType) -> str:
+    return "sb" if ctype.size == 1 and not ctype.is_pointer else "sw"
+
+
+def _is_pointerish(ctype: ast.CType) -> bool:
+    return ctype.is_pointer or ctype.is_array
+
+
+def _element_of(ctype: ast.CType, line: int) -> ast.CType:
+    try:
+        return ctype.element()
+    except ValueError:
+        raise CompileError(f"cannot dereference {ctype}", line) from None
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"')
+        .replace("\n", "\\n").replace("\t", "\\t").replace("\0", "\\0")
+    )

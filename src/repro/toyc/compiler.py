@@ -1,0 +1,19 @@
+"""Compiler driver: Toy C source -> assembly -> HOF template."""
+
+from __future__ import annotations
+
+from repro.hw.asm import assemble
+from repro.objfile.format import ObjectFile
+from repro.toyc.codegen import CodeGenerator
+from repro.toyc.parser import parse
+
+
+def compile_to_assembly(source: str, name: str = "module") -> str:
+    """Compile Toy C *source* to assembly text."""
+    unit = parse(source)
+    return CodeGenerator(unit, name).generate()
+
+def compile_source(source: str, name: str = "module.o") -> ObjectFile:
+    """Compile Toy C *source* to a relocatable object (a template)."""
+    base = name[:-2] if name.endswith(".o") else name
+    return assemble(compile_to_assembly(source, base), name)

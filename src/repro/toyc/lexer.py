@@ -1,0 +1,148 @@
+"""Tokenizer for Toy C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int", "char", "void", "if", "else", "while", "for", "return",
+    "extern", "break", "continue", "sizeof", "struct",
+}
+
+# Longest-first so that '->' never mis-lexes as '-' then '>'.
+OPERATORS = [
+    "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # 'ident', 'number', 'string', 'char', 'op', 'keyword',
+    #                  'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Produce the token list (ending with an 'eof' token)."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    index = 0
+    line = 1
+    length = len(source)
+    while index < length:
+        ch = source[index]
+        if ch == "\n":
+            line += 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end < 0 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", index, end)
+            index = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, line)
+            continue
+        if ch.isdigit():
+            start = index
+            if source.startswith("0x", index) or source.startswith("0X",
+                                                                   index):
+                index += 2
+                while index < length and source[index] in \
+                        "0123456789abcdefABCDEF":
+                    index += 1
+            else:
+                while index < length and source[index].isdigit():
+                    index += 1
+            yield Token("number", source[start:index], line)
+            continue
+        if ch == '"':
+            text, index = _string(source, index, line)
+            yield Token("string", text, line)
+            continue
+        if ch == "'":
+            text, index = _char(source, index, line)
+            yield Token("char", text, line)
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, index):
+                yield Token("op", op, line)
+                index += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)
+    yield Token("eof", "", line)
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"',
+            "'": "'"}
+
+
+def _string(source: str, index: int, line: int) -> "tuple[str, int]":
+    out = []
+    index += 1
+    while index < len(source):
+        ch = source[index]
+        if ch == '"':
+            return "".join(out), index + 1
+        if ch == "\n":
+            raise CompileError("newline in string literal", line)
+        if ch == "\\":
+            if index + 1 >= len(source):
+                break
+            escape = source[index + 1]
+            if escape not in _ESCAPES:
+                raise CompileError(f"bad escape \\{escape}", line)
+            out.append(_ESCAPES[escape])
+            index += 2
+            continue
+        out.append(ch)
+        index += 1
+    raise CompileError("unterminated string literal", line)
+
+
+def _char(source: str, index: int, line: int) -> "tuple[str, int]":
+    index += 1
+    if index >= len(source):
+        raise CompileError("unterminated char literal", line)
+    ch = source[index]
+    if ch == "\\":
+        if index + 1 >= len(source):
+            raise CompileError("unterminated char literal", line)
+        escape = source[index + 1]
+        if escape not in _ESCAPES:
+            raise CompileError(f"bad escape \\{escape}", line)
+        value = _ESCAPES[escape]
+        index += 2
+    else:
+        value = ch
+        index += 1
+    if index >= len(source) or source[index] != "'":
+        raise CompileError("unterminated char literal", line)
+    return value, index + 1

@@ -1,0 +1,479 @@
+"""Recursive-descent parser for Toy C."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompileError
+from repro.toyc import ast
+from repro.toyc.lexer import Token, tokenize
+
+# Binary operator precedence (higher binds tighter). Assignment is
+# handled separately (right-associative, lowest).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse *source* into a translation unit."""
+    return _Parser(tokenize(source)).parse_unit()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self._structs: dict = {}
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None
+               ) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise CompileError(
+                f"expected {want!r}, found {self.current.text!r}",
+                self.current.line,
+            )
+        return self.advance()
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        self._structs = unit.structs
+        while not self.check("eof"):
+            self._parse_top_level(unit)
+        return unit
+
+    def _parse_top_level(self, unit: ast.TranslationUnit) -> None:
+        line = self.current.line
+        extern = self.accept("keyword", "extern") is not None
+        if self.check("keyword", "struct") \
+                and self.tokens[self.pos + 2].text == "{":
+            if extern:
+                raise CompileError("extern struct declarations make no "
+                                   "sense", line)
+            self._parse_struct_decl(unit)
+            return
+        base = self._parse_base_type()
+        pointers = 0
+        while self.accept("op", "*"):
+            pointers += 1
+        name = self.expect("ident").text
+
+        if self.check("op", "("):
+            unit.functions.append(
+                self._parse_function(name, _apply(base, pointers),
+                                     extern, line)
+            )
+            return
+        # One or more global object declarators.
+        while True:
+            unit.globals.append(
+                self._parse_global(name, base, pointers, extern, line)
+            )
+            if self.accept("op", ","):
+                pointers = 0
+                while self.accept("op", "*"):
+                    pointers += 1
+                name = self.expect("ident").text
+                continue
+            break
+        self.expect("op", ";")
+
+    def _parse_struct_decl(self, unit: ast.TranslationUnit) -> None:
+        """``struct tag { fields... };`` — offsets computed here."""
+        line = self.expect("keyword", "struct").line
+        tag = self.expect("ident").text
+        if tag in unit.structs:
+            raise CompileError(f"struct {tag!r} redefined", line)
+        # Register a placeholder so fields may be pointers to the
+        # struct being defined (the linked-list idiom).
+        unit.structs[tag] = ast.StructDecl(tag, [], 0)
+        self.expect("op", "{")
+        fields: list = []
+        offset = 0
+        while not self.check("op", "}"):
+            field_base = self._parse_base_type()
+            pointers = 0
+            while self.accept("op", "*"):
+                pointers += 1
+            field_name = self.expect("ident").text
+            array_length = None
+            if self.accept("op", "["):
+                array_length = self._const_int()
+                self.expect("op", "]")
+            self.expect("op", ";")
+            ctype = _apply(field_base, pointers, array_length)
+            if ctype.is_struct and ctype.struct_tag == tag:
+                raise CompileError(
+                    f"struct {tag!r} cannot contain itself "
+                    f"(use a pointer)", line,
+                )
+            align = 1 if ctype.size == 1 and not ctype.is_array else 4
+            if ctype.is_array and ctype.element_size > 1:
+                align = 4
+            offset = (offset + align - 1) & ~(align - 1)
+            if any(f.name == field_name for f in fields):
+                raise CompileError(
+                    f"duplicate field {field_name!r} in struct {tag!r}",
+                    line,
+                )
+            fields.append(ast.StructField(field_name, ctype, offset))
+            offset += ctype.size
+        self.expect("op", "}")
+        self.expect("op", ";")
+        size = (offset + 3) & ~3
+        unit.structs[tag] = ast.StructDecl(tag, fields, max(size, 4))
+
+    def _parse_base_type(self) -> ast.CType:
+        token = self.current
+        if token.kind == "keyword" and token.text in ("int", "char",
+                                                      "void"):
+            self.advance()
+            return ast.CType(token.text)
+        if token.kind == "keyword" and token.text == "struct":
+            self.advance()
+            tag = self.expect("ident").text
+            decl = self._structs.get(tag)
+            if decl is None:
+                raise CompileError(f"unknown struct {tag!r}", token.line)
+            return ast.CType("struct", struct_tag=tag,
+                             struct_size=decl.size)
+        raise CompileError(f"expected a type, found {token.text!r}",
+                           token.line)
+
+    def _parse_global(self, name: str, base: ast.CType, pointers: int,
+                      extern: bool, line: int) -> ast.GlobalDecl:
+        array_length: Optional[int] = None
+        if self.accept("op", "["):
+            if self.check("op", "]"):
+                array_length = -1  # inferred from the initializer
+            else:
+                array_length = self._const_int()
+            self.expect("op", "]")
+        initializer: ast.Initializer = None
+        if self.accept("op", "="):
+            if extern:
+                raise CompileError(
+                    f"extern declaration of {name!r} cannot have an "
+                    f"initializer", line,
+                )
+            initializer = self._parse_global_initializer()
+        ctype = _apply(base, pointers, array_length)
+        ctype = _fix_inferred_array(ctype, initializer, name, line)
+        return ast.GlobalDecl(name, ctype, initializer, extern, line)
+
+    def _parse_global_initializer(self) -> ast.Initializer:
+        if self.check("string"):
+            return self.advance().text
+        if self.accept("op", "{"):
+            values = []
+            if not self.check("op", "}"):
+                values.append(self._const_int())
+                while self.accept("op", ","):
+                    if self.check("op", "}"):
+                        break
+                    values.append(self._const_int())
+            self.expect("op", "}")
+            return values
+        return self._const_int()
+
+    def _const_int(self) -> int:
+        negative = self.accept("op", "-") is not None
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            value = int(token.text, 0)
+        elif token.kind == "char":
+            self.advance()
+            value = ord(token.text)
+        else:
+            raise CompileError(
+                f"expected a constant, found {token.text!r}", token.line
+            )
+        return -value if negative else value
+
+    # -- functions ---------------------------------------------------------
+
+    def _parse_function(self, name: str, return_type: ast.CType,
+                        extern: bool, line: int) -> ast.FunctionDef:
+        if return_type.is_struct:
+            raise CompileError(
+                f"{name!r}: structs are returned by pointer, not by "
+                f"value", line,
+            )
+        self.expect("op", "(")
+        params: List[ast.Param] = []
+        if not self.check("op", ")"):
+            if self.check("keyword", "void") \
+                    and self.tokens[self.pos + 1].text == ")":
+                self.advance()
+            else:
+                params.append(self._parse_param())
+                while self.accept("op", ","):
+                    params.append(self._parse_param())
+        self.expect("op", ")")
+        if self.accept("op", ";"):
+            return ast.FunctionDef(name, return_type, params,
+                                   ast.Block(line, []), True, line)
+        body = self._parse_block()
+        return ast.FunctionDef(name, return_type, params, body, extern,
+                               line)
+
+    def _parse_param(self) -> ast.Param:
+        base = self._parse_base_type()
+        pointers = 0
+        while self.accept("op", "*"):
+            pointers += 1
+        ctype = _apply(base, pointers)
+        if ctype.is_struct:
+            raise CompileError(
+                "structs are passed by pointer, not by value",
+                self.current.line,
+            )
+        name = self.expect("ident").text
+        return ast.Param(name, ctype)
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self.expect("op", "{")
+        statements: List[ast.Stmt] = []
+        while not self.check("op", "}"):
+            statements.append(self._parse_statement())
+        self.expect("op", "}")
+        return ast.Block(start.line, statements)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind == "op" and token.text == "{":
+            return self._parse_block()
+        if token.kind == "keyword":
+            if token.text in ("int", "char", "struct"):
+                return self._parse_local_decl()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "return":
+                self.advance()
+                value = None
+                if not self.check("op", ";"):
+                    value = self._parse_expression()
+                self.expect("op", ";")
+                return ast.Return(token.line, value)
+            if token.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(token.line)
+        expr = self._parse_expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(token.line, expr)
+
+    def _parse_local_decl(self) -> ast.Stmt:
+        line = self.current.line
+        base = self._parse_base_type()
+        pointers = 0
+        while self.accept("op", "*"):
+            pointers += 1
+        name = self.expect("ident").text
+        array_length: Optional[int] = None
+        if self.accept("op", "["):
+            array_length = self._const_int()
+            self.expect("op", "]")
+        initializer = None
+        if self.accept("op", "="):
+            initializer = self._parse_expression()
+        self.expect("op", ";")
+        ctype = _apply(base, pointers, array_length)
+        if ctype.is_struct and initializer is not None:
+            raise CompileError(
+                "struct locals cannot have initializers", line
+            )
+        return ast.LocalDecl(line, name, ctype, initializer)
+
+    def _parse_if(self) -> ast.If:
+        token = self.expect("keyword", "if")
+        self.expect("op", "(")
+        condition = self._parse_expression()
+        self.expect("op", ")")
+        then_branch = self._parse_statement()
+        else_branch = None
+        if self.accept("keyword", "else"):
+            else_branch = self._parse_statement()
+        return ast.If(token.line, condition, then_branch, else_branch)
+
+    def _parse_while(self) -> ast.While:
+        token = self.expect("keyword", "while")
+        self.expect("op", "(")
+        condition = self._parse_expression()
+        self.expect("op", ")")
+        return ast.While(token.line, condition, self._parse_statement())
+
+    def _parse_for(self) -> ast.For:
+        token = self.expect("keyword", "for")
+        self.expect("op", "(")
+        init = None if self.check("op", ";") else self._parse_expression()
+        self.expect("op", ";")
+        condition = None if self.check("op", ";") \
+            else self._parse_expression()
+        self.expect("op", ";")
+        step = None if self.check("op", ")") else self._parse_expression()
+        self.expect("op", ")")
+        return ast.For(token.line, init, condition, step,
+                       self._parse_statement())
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_binary(0)
+        if self.check("op", "="):
+            token = self.advance()
+            value = self._parse_assignment()
+            if not isinstance(left, (ast.VarRef, ast.Index,
+                                     ast.Member)) and not (
+                    isinstance(left, ast.Unary) and left.op == "*"):
+                raise CompileError("invalid assignment target", token.line)
+            return ast.Assign(token.line, left, value)
+        return left
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.current
+            if token.kind != "op":
+                return left
+            precedence = _PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self.advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(token.line, token.text, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!", "~", "*", "&"):
+            self.advance()
+            return ast.Unary(token.line, token.text, self._parse_unary())
+        if token.kind == "keyword" and token.text == "sizeof":
+            self.advance()
+            self.expect("op", "(")
+            base = self._parse_base_type()
+            pointers = 0
+            while self.accept("op", "*"):
+                pointers += 1
+            self.expect("op", ")")
+            return ast.SizeofType(token.line, _apply(base, pointers))
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.accept("op", "["):
+                index = self._parse_expression()
+                self.expect("op", "]")
+                expr = ast.Index(self.current.line, expr, index)
+                continue
+            if self.check("op", ".") or self.check("op", "->"):
+                token = self.advance()
+                field = self.expect("ident").text
+                expr = ast.Member(token.line, expr, field,
+                                  arrow=token.text == "->")
+                continue
+            return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ast.NumberLit(token.line, int(token.text, 0))
+        if token.kind == "char":
+            self.advance()
+            return ast.NumberLit(token.line, ord(token.text))
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLit(token.line, token.text)
+        if token.kind == "ident":
+            self.advance()
+            if self.check("op", "("):
+                return self._parse_call(token)
+            return ast.VarRef(token.line, token.text)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            expr = self._parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise CompileError(f"unexpected token {token.text!r}", token.line)
+
+    def _parse_call(self, name_token: Token) -> ast.Call:
+        self.expect("op", "(")
+        args: List[ast.Expr] = []
+        if not self.check("op", ")"):
+            args.append(self._parse_expression())
+            while self.accept("op", ","):
+                args.append(self._parse_expression())
+        self.expect("op", ")")
+        return ast.Call(name_token.line, name_token.text, args)
+
+
+def _apply(base: ast.CType, pointers: int,
+           array_length: "Optional[int]" = None) -> ast.CType:
+    """Combine a parsed base type with declarator pointers/array."""
+    return ast.CType(base.base, pointers, array_length,
+                     base.struct_tag, base.struct_size)
+
+
+def _fix_inferred_array(ctype: ast.CType, initializer: ast.Initializer,
+                        name: str, line: int) -> ast.CType:
+    if ctype.array_length != -1:
+        return ctype
+    if isinstance(initializer, str):
+        return ast.CType(ctype.base, ctype.pointers,
+                         len(initializer) + 1,
+                         ctype.struct_tag, ctype.struct_size)
+    if isinstance(initializer, list):
+        return ast.CType(ctype.base, ctype.pointers, len(initializer),
+                         ctype.struct_tag, ctype.struct_size)
+    raise CompileError(
+        f"array {name!r} needs an explicit length or an initializer", line
+    )

@@ -1,0 +1,33 @@
+"""Small shared utilities: bit packing, deterministic RNG, table rendering."""
+
+from repro.util.bits import (
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+    fits_signed,
+    fits_unsigned,
+    align_down,
+    align_up,
+    is_aligned,
+    hi16,
+    lo16,
+    compose_hi_lo,
+)
+from repro.util.rng import DeterministicRng
+from repro.util.tables import format_table
+
+__all__ = [
+    "sign_extend",
+    "to_signed32",
+    "to_unsigned32",
+    "fits_signed",
+    "fits_unsigned",
+    "align_down",
+    "align_up",
+    "is_aligned",
+    "hi16",
+    "lo16",
+    "compose_hi_lo",
+    "DeterministicRng",
+    "format_table",
+]

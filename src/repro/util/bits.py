@@ -1,0 +1,82 @@
+"""Bit-manipulation helpers used by the ISA, assembler, and linkers.
+
+All simulated addresses and machine words are 32-bit. Python integers are
+unbounded, so these helpers provide the explicit truncation and
+sign-extension the hardware would perform.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+
+def to_unsigned32(value: int) -> int:
+    """Truncate *value* to its unsigned 32-bit representation."""
+    return value & _MASK32
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of *value* as a signed two's-complement int."""
+    value &= _MASK32
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low *bits* bits of *value* to a Python int."""
+    if bits <= 0:
+        raise ValueError("bit width must be positive")
+    mask = (1 << bits) - 1
+    value &= mask
+    sign_bit = 1 << (bits - 1)
+    if value & sign_bit:
+        value -= 1 << bits
+    return value
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    """True if *value* is representable as a *bits*-bit signed integer."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value: int, bits: int) -> bool:
+    """True if *value* is representable as a *bits*-bit unsigned integer."""
+    return 0 <= value < (1 << bits)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to a multiple of *alignment* (a power of two)."""
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to a multiple of *alignment* (a power of two)."""
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True if *value* is a multiple of *alignment*."""
+    return (value & (alignment - 1)) == 0
+
+
+def hi16(address: int) -> int:
+    """High half of *address* for a LUI/ORI pair (no carry adjustment).
+
+    The ISA composes full addresses as ``(hi << 16) | lo`` with an
+    unsigned low half, so unlike real MIPS no +1 carry correction is
+    needed.
+    """
+    return (to_unsigned32(address) >> 16) & 0xFFFF
+
+
+def lo16(address: int) -> int:
+    """Low half of *address* for a LUI/ORI pair (unsigned)."""
+    return to_unsigned32(address) & 0xFFFF
+
+
+def compose_hi_lo(hi: int, lo: int) -> int:
+    """Reassemble an address from its :func:`hi16`/:func:`lo16` halves."""
+    return ((hi & 0xFFFF) << 16) | (lo & 0xFFFF)

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness regenerates the paper's table and figure data as
+aligned text tables on stdout; this module does the formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render *rows* under *headers* as an aligned monospace table.
+
+    Cells are converted with ``str``; columns are left-aligned except that
+    purely numeric columns are right-aligned.
+    """
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    numeric = [
+        all(_is_numeric(row[i]) for row in str_rows) and bool(str_rows)
+        for i in range(len(headers))
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric[i] and _is_numeric(cell):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    if not cell:
+        return False
+    stripped = cell.replace(",", "").lstrip("+-")
+    return stripped.replace(".", "", 1).replace("x", "", 1).isdigit()

@@ -1,0 +1,71 @@
+"""Virtual-memory substrate: layout, frames, memory objects, address spaces.
+
+This package models the part of the IRIX VM system that Hemlock relies on:
+page-granular mappings with independent protections, shared mappings of
+memory objects (so stores are visible across protection domains and persist
+in files), copy-on-write private mappings for ``fork``, and page faults
+that the kernel can turn into a user-visible SIGSEGV and then restart.
+"""
+
+from repro.vm.layout import (
+    PAGE_SIZE,
+    PAGE_SHIFT,
+    AddressRegion,
+    TEXT_REGION,
+    HEAP_REGION,
+    SFS_REGION,
+    STACK_REGION,
+    KERNEL_REGION,
+    PRIVATE_DYNAMIC_BASE,
+    STACK_TOP,
+    is_public_address,
+    region_of,
+    describe_layout,
+)
+from repro.vm.pages import Frame, PhysicalMemory, MemoryObject
+from repro.vm.faults import AccessKind, PageFaultError
+from repro.vm.address_space import (
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+    PROT_EXEC,
+    PROT_RW,
+    PROT_RX,
+    PROT_RWX,
+    MAP_SHARED,
+    MAP_PRIVATE,
+    Mapping,
+    AddressSpace,
+)
+
+__all__ = [
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "AddressRegion",
+    "TEXT_REGION",
+    "HEAP_REGION",
+    "SFS_REGION",
+    "STACK_REGION",
+    "KERNEL_REGION",
+    "PRIVATE_DYNAMIC_BASE",
+    "STACK_TOP",
+    "is_public_address",
+    "region_of",
+    "describe_layout",
+    "Frame",
+    "PhysicalMemory",
+    "MemoryObject",
+    "AccessKind",
+    "PageFaultError",
+    "PROT_NONE",
+    "PROT_READ",
+    "PROT_WRITE",
+    "PROT_EXEC",
+    "PROT_RW",
+    "PROT_RX",
+    "PROT_RWX",
+    "MAP_SHARED",
+    "MAP_PRIVATE",
+    "Mapping",
+    "AddressSpace",
+]

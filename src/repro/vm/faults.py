@@ -1,0 +1,42 @@
+"""Page-fault events raised by the VM and CPU.
+
+A fault is represented as an exception so the interpreter loop can abort
+the current instruction cleanly; the kernel catches it, consults the
+process's signal table, runs the user SIGSEGV handler, and (if the handler
+fixed the mapping) restarts the faulting instruction. This restartability
+is the mechanism behind Hemlock's lazy linking and pointer chasing.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import VMError
+
+
+class AccessKind(enum.Enum):
+    """The kind of memory access that faulted."""
+
+    READ = "read"
+    WRITE = "write"
+    EXEC = "exec"
+
+
+class PageFaultError(VMError):
+    """An access touched an unmapped page or violated page protections.
+
+    Attributes:
+        address: the faulting virtual address.
+        access: which access kind faulted.
+        present: True if the page was mapped but the protection forbade
+            the access; False if the page was not mapped at all.
+    """
+
+    def __init__(self, address: int, access: AccessKind, present: bool) -> None:
+        state = "protection" if present else "not-present"
+        super().__init__(
+            f"page fault ({state}) on {access.value} at 0x{address:08x}"
+        )
+        self.address = address
+        self.access = access
+        self.present = present

@@ -1,0 +1,96 @@
+"""Address-space layout constants reproducing Figure 3 of the paper.
+
+The paper's 32-bit prototype reserves a 1 GiB region between the Unix heap
+and stack for the kernel-maintained shared file system. Addresses in that
+region mean the same thing in every protection domain ("public"); all
+other user addresses are overloaded per process ("private").
+
+Layout (Figure 3)::
+
+    0x80000000 - 0xFFFFFFFF   kernel
+    0x70000000 - 0x7FFF0000   stack (grows down)
+    0x30000000 - 0x70000000   shared file system (1 GiB, public)
+    0x10000000 - 0x30000000   heap / bss / data (private)
+    0x00000000 - 0x10000000   program text + dynamically linked modules
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB pages, as on the R3000
+
+
+@dataclass(frozen=True)
+class AddressRegion:
+    """A named half-open address range ``[start, end)``."""
+
+    name: str
+    start: int
+    end: int
+    public: bool
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    def __str__(self) -> str:
+        kind = "public" if self.public else "private"
+        return f"{self.name}: 0x{self.start:08x}-0x{self.end:08x} ({kind})"
+
+
+TEXT_REGION = AddressRegion("text", 0x0000_0000, 0x1000_0000, public=False)
+HEAP_REGION = AddressRegion("heap", 0x1000_0000, 0x3000_0000, public=False)
+SFS_REGION = AddressRegion("sfs", 0x3000_0000, 0x7000_0000, public=True)
+STACK_REGION = AddressRegion("stack", 0x7000_0000, 0x7FFF_0000, public=False)
+KERNEL_REGION = AddressRegion("kernel", 0x8000_0000, 0x1_0000_0000, public=False)
+
+ALL_REGIONS: List[AddressRegion] = [
+    TEXT_REGION,
+    HEAP_REGION,
+    SFS_REGION,
+    STACK_REGION,
+    KERNEL_REGION,
+]
+
+# Default link address for program text (main load image).
+TEXT_BASE = 0x0040_0000
+
+# Private dynamic modules (dynamic private sharing class) are mapped here,
+# well above the static heap but still in the overloaded private region.
+PRIVATE_DYNAMIC_BASE = 0x2000_0000
+
+# Initial stack pointer; the stack grows downward from just below the top
+# of the stack region.
+STACK_TOP = STACK_REGION.end
+
+# Default size of the brk-style heap placed at the bottom of HEAP_REGION.
+HEAP_BASE = HEAP_REGION.start
+
+
+def is_public_address(address: int) -> bool:
+    """True if *address* falls in the globally consistent (SFS) region."""
+    return SFS_REGION.contains(address)
+
+
+def region_of(address: int) -> AddressRegion:
+    """Return the named region containing *address*.
+
+    Raises :class:`ValueError` for addresses outside the 32-bit space or in
+    the unnamed gap below the kernel.
+    """
+    for region in ALL_REGIONS:
+        if region.contains(address):
+            return region
+    raise ValueError(f"address 0x{address:08x} lies in no architected region")
+
+
+def describe_layout() -> str:
+    """Human-readable rendering of the Figure 3 layout, top of memory first."""
+    lines = [str(region) for region in reversed(ALL_REGIONS)]
+    return "\n".join(lines)

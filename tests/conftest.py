@@ -1,0 +1,39 @@
+"""Shared fixtures: a booted system, a shell process, common dirs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import boot
+from repro.bench.workloads import make_shell
+
+
+@pytest.fixture
+def system():
+    """A freshly booted simulated machine (lazy linking, linear map)."""
+    return boot()
+
+
+@pytest.fixture
+def kernel(system):
+    return system.kernel
+
+
+@pytest.fixture
+def shell(kernel):
+    """A native process used as the context for toolchain operations."""
+    return make_shell(kernel)
+
+
+@pytest.fixture
+def physmem(kernel):
+    return kernel.physmem
+
+
+@pytest.fixture
+def dirs(kernel, shell):
+    """Standard directories used across linking tests."""
+    kernel.vfs.makedirs("/shared/lib")
+    kernel.vfs.makedirs("/src")
+    kernel.vfs.makedirs("/bin")
+    return {"lib": "/shared/lib", "src": "/src", "bin": "/bin"}

@@ -1,0 +1,194 @@
+"""Administrative files: /etc/passwd as text vs shared data structure."""
+
+import pytest
+
+from repro.apps.admin import (
+    FilePasswd,
+    PasswdEntry,
+    SharedPasswd,
+    generate_users,
+)
+from repro.apps.admin.common import ValidationError, validate_database
+from repro.apps.admin.fileimpl import format_line, parse_line
+from repro.bench.workloads import make_shell
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def users():
+    return generate_users(40)
+
+
+class TestTextFormat:
+    def test_line_roundtrip(self, users):
+        for entry in users:
+            clone = parse_line(format_line(entry))
+            assert clone == entry
+
+    def test_malformed_line(self):
+        with pytest.raises(SimulationError):
+            parse_line("too:few:fields")
+
+    def test_file_roundtrip(self, kernel, shell, users):
+        db = FilePasswd(kernel, shell)
+        db.write_all(users)
+        assert db.read_all() == users
+
+    def test_getpwnam(self, kernel, shell, users):
+        db = FilePasswd(kernel, shell)
+        db.write_all(users)
+        assert db.getpwnam("user005").uid == 1005
+        assert db.getpwnam("nobody") is None
+
+
+class TestValidation:
+    def test_rules(self):
+        ok = PasswdEntry("alice", 1000, 100, "Alice", "/home/alice",
+                         "/bin/sh")
+        validate_database([ok])
+        bad_cases = [
+            PasswdEntry("", 1, 1, "", "/h", "/s"),
+            PasswdEntry("1abc", 1, 1, "", "/h", "/s"),
+            PasswdEntry("a:b", 1, 1, "", "/h", "/s"),
+            PasswdEntry("bob", -1, 1, "", "/h", "/s"),
+            PasswdEntry("bob", 1, 1, "x:y", "/h", "/s"),
+            PasswdEntry("bob", 1, 1, "", "home", "/s"),
+            PasswdEntry("bob", 1, 1, "", "/h", "sh"),
+        ]
+        for entry in bad_cases:
+            with pytest.raises(ValidationError):
+                validate_database([entry])
+
+    def test_duplicate_names(self):
+        a = PasswdEntry("dup", 1, 1, "", "/h", "/sh")
+        b = PasswdEntry("dup", 2, 1, "", "/h", "/sh")
+        with pytest.raises(ValidationError):
+            validate_database([a, b])
+
+    def test_vipw_rejects_invalid_edit(self, kernel, shell, users):
+        db = FilePasswd(kernel, shell)
+        db.write_all(users)
+
+        def corrupt(entries):
+            entries[0].home = "not-absolute"
+
+        with pytest.raises(ValidationError):
+            db.vipw(corrupt)
+
+
+class TestSharedDatabase:
+    def test_roundtrip_and_equivalence(self, kernel, shell, users):
+        text_db = FilePasswd(kernel, shell)
+        shm_db = SharedPasswd(kernel, shell)
+        text_db.write_all(users)
+        shm_db.write_all(users)
+        for probe in ("user000", "user020", "user039", "ghost"):
+            assert text_db.getpwnam(probe) == shm_db.getpwnam(probe)
+
+    def test_getpwuid(self, kernel, shell, users):
+        db = SharedPasswd(kernel, shell)
+        db.write_all(users)
+        assert db.getpwuid(1007).name == "user007"
+        assert db.getpwuid(9) is None
+
+    def test_visible_across_processes(self, kernel, shell, users):
+        db = SharedPasswd(kernel, shell)
+        db.write_all(users)
+        other = make_shell(kernel, "nss-client")
+        other_view = SharedPasswd(kernel, other)
+        assert other_view.getpwnam("user013").home == "/home/user013"
+
+    def test_update_entry_in_place(self, kernel, shell, users):
+        db = SharedPasswd(kernel, shell)
+        db.write_all(users)
+
+        def change_shell(entry):
+            entry.shell = "/bin/zsh"
+
+        assert db.update_entry("user003", change_shell)
+        assert db.getpwnam("user003").shell == "/bin/zsh"
+        assert not db.update_entry("ghost", change_shell)
+
+    def test_update_entry_validates(self, kernel, shell, users):
+        db = SharedPasswd(kernel, shell)
+        db.write_all(users)
+
+        def corrupt(entry):
+            entry.home = "relative"
+
+        with pytest.raises(ValidationError):
+            db.update_entry("user001", corrupt)
+        # Nothing was committed.
+        assert db.getpwnam("user001").home == "/home/user001"
+
+    def test_rename_through_update_rejected(self, kernel, shell, users):
+        db = SharedPasswd(kernel, shell)
+        db.write_all(users)
+
+        def rename(entry):
+            entry.name = "other"
+
+        with pytest.raises(SimulationError):
+            db.update_entry("user002", rename)
+
+    def test_vipw_add_user(self, kernel, shell, users):
+        db = SharedPasswd(kernel, shell)
+        db.write_all(users)
+
+        def add(entries):
+            entries.append(PasswdEntry("newbie", 2000, 100, "New",
+                                       "/home/newbie", "/bin/sh"))
+
+        db.vipw(add)
+        assert db.count == len(users) + 1
+        assert db.getpwnam("newbie").uid == 2000
+
+    def test_capacity_enforced(self, kernel, shell):
+        db = SharedPasswd(kernel, shell, max_users=5)
+        with pytest.raises(SimulationError):
+            db.write_all(generate_users(6))
+
+    def test_lock_released_after_edit(self, kernel, shell, users):
+        db = SharedPasswd(kernel, shell)
+        db.write_all(users)
+        db.update_entry("user001", lambda e: None)
+        _fs, inode = kernel.vfs.resolve(db.segment)
+        assert inode.lock_owner is None
+
+
+class TestLossOfCommonality:
+    def test_export_import_bridge(self, kernel, shell, users):
+        """§5: the shared form abandons text-tool compatibility; the
+        explicit export restores it on demand (the terminfo pattern)."""
+        db = SharedPasswd(kernel, shell)
+        db.write_all(users)
+        db.export_text("/etc/passwd.txt")
+        text = kernel.vfs.read_whole("/etc/passwd.txt").decode("latin-1")
+        # grep-able, line-oriented, colon-separated:
+        assert f"user000:x:1000:" in text
+        assert len(text.splitlines()) == len(users)
+
+        # And a text edit can be imported back, with validation.
+        edited = text.replace("/home/user000", "/users/zero")
+        kernel.vfs.write_whole("/etc/passwd.txt",
+                               edited.encode("latin-1"))
+        db.import_text("/etc/passwd.txt")
+        assert db.getpwnam("user000").home == "/users/zero"
+
+
+class TestCosts:
+    def test_shared_lookup_cheaper(self, kernel, shell):
+        users = generate_users(120)
+        text_db = FilePasswd(kernel, shell)
+        shm_db = SharedPasswd(kernel, shell)
+        text_db.write_all(users)
+        shm_db.write_all(users)
+        text_db.getpwnam("user060")   # warm the file cache
+
+        start = kernel.clock.snapshot()
+        text_db.getpwnam("user060")
+        file_cycles = kernel.clock.snapshot() - start
+        start = kernel.clock.snapshot()
+        shm_db.getpwnam("user060")
+        shm_cycles = kernel.clock.snapshot() - start
+        assert shm_cycles < file_cycles

@@ -1,0 +1,213 @@
+"""Lynx table sharing and the Presto parallel runtime."""
+
+import pytest
+
+from repro.apps.libsys import build_libsys
+from repro.apps.lynx import (
+    EXPR_GRAMMAR,
+    build_expression_tables,
+    build_slr_tables,
+    parse_expression,
+    read_tables_segment,
+    tables_from_ascii,
+    tables_to_ascii,
+    tables_to_toyc,
+    tokenize_expression,
+    write_tables_segment,
+)
+from repro.apps.lynx.slr import Grammar, flatten_tables
+from repro.apps.lynx.tablegen import (
+    load_tables_ascii,
+    save_tables_ascii,
+)
+from repro.apps.presto import PrestoApp
+from repro.errors import SimulationError
+from repro.toyc import compile_source
+
+
+class TestSlrGenerator:
+    def test_expression_grammar_states(self):
+        tables = build_slr_tables(EXPR_GRAMMAR)
+        assert tables.nstates == 12  # the textbook SLR automaton
+
+    def test_no_conflicts(self):
+        build_slr_tables(EXPR_GRAMMAR)  # raises on conflict
+
+    def test_conflicting_grammar_detected(self):
+        ambiguous = Grammar(
+            terminals=["a"],
+            nonterminals=["S'", "S"],
+            productions=[("S'", ("S",)), ("S", ("S", "S")),
+                         ("S", ("a",))],
+        )
+        with pytest.raises(SimulationError):
+            build_slr_tables(ambiguous)
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(SimulationError):
+            Grammar(terminals=["a"], nonterminals=["S'"],
+                    productions=[("S'", ("mystery",))])
+
+    def test_flatten_shape(self):
+        tables = build_slr_tables(EXPR_GRAMMAR)
+        flat = flatten_tables(tables)
+        nstates, nterms, nnonterms, nprods = flat["dims"]
+        assert len(flat["action"]) == nstates * nterms
+        assert len(flat["goto"]) == nstates * nnonterms
+        assert len(flat["prod_heads"]) == nprods
+
+
+class TestDriver:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return build_expression_tables()
+
+    def test_tokenizer(self):
+        tokens = tokenize_expression("12 + 3*(4)")
+        assert tokens == [("num", 12), ("+", 0), ("num", 3), ("*", 0),
+                          ("(", 0), ("num", 4), (")", 0), ("$", 0)]
+
+    def test_tokenizer_rejects_garbage(self):
+        with pytest.raises(SimulationError):
+            tokenize_expression("2 $ 3")
+
+    @pytest.mark.parametrize("text,value", [
+        ("1", 1),
+        ("2+3", 5),
+        ("2*3+4", 10),
+        ("2+3*4", 14),
+        ("(2+3)*4", 20),
+        ("((((7))))", 7),
+        ("1+2*3+4*5", 27),
+        ("10*10*10", 1000),
+    ])
+    def test_evaluation(self, tables, text, value):
+        assert parse_expression(tables, text) == value
+
+    @pytest.mark.parametrize("text", ["+", "2+", "(2", "2)+1", ""])
+    def test_parse_errors(self, tables, text):
+        with pytest.raises(SimulationError):
+            parse_expression(tables, text)
+
+
+class TestTablePipelines:
+    def test_ascii_roundtrip(self):
+        tables = build_expression_tables()
+        clone = tables_from_ascii(tables_to_ascii(tables))
+        assert clone.action == tables.action
+        assert clone.goto == tables.goto
+        assert parse_expression(clone, "6*7") == 42
+
+    def test_ascii_file_pipeline(self, kernel, shell):
+        tables = build_expression_tables()
+        save_tables_ascii(kernel, shell, tables, "/tables.txt")
+        loaded = load_tables_ascii(kernel, shell, "/tables.txt")
+        assert parse_expression(loaded, "2+2") == 4
+
+    def test_toyc_emission_compiles(self):
+        """The paper's pipeline: tables as (Toy) C source that compiles."""
+        tables = build_expression_tables()
+        source = tables_to_toyc(tables)
+        obj = compile_source(source, "lynx_tables.o")
+        exported = {s.name for s in obj.defined_globals()}
+        assert {"lynx_action", "lynx_goto", "lynx_prod_heads",
+                "lynx_prod_lengths", "lynx_nstates"} <= exported
+        # "over 5400 lines" in the paper; ours is proportionally sized
+        # (one initializer per line, ~146 lines for the 12-state tables).
+        assert source.count("\n") > 100
+
+    def test_segment_pipeline(self, kernel, shell):
+        """The Hemlock pipeline: write once, link in, use directly."""
+        from repro.bench.workloads import make_shell
+
+        tables = build_expression_tables()
+        write_tables_segment(kernel, shell, tables, "/shared/lynx")
+        compiler_proc = make_shell(kernel, "compiler")
+        loaded = read_tables_segment(kernel, compiler_proc,
+                                     "/shared/lynx")
+        assert parse_expression(loaded, "(1+2)*(3+4)") == 21
+
+    def test_segment_cheaper_than_ascii(self, kernel, shell):
+        tables = build_expression_tables()
+        save_tables_ascii(kernel, shell, tables, "/tables.txt")
+        write_tables_segment(kernel, shell, tables, "/shared/lynx")
+        # Warm both paths once.
+        load_tables_ascii(kernel, shell, "/tables.txt")
+        read_tables_segment(kernel, shell, "/shared/lynx")
+
+        start = kernel.clock.snapshot()
+        load_tables_ascii(kernel, shell, "/tables.txt")
+        ascii_cycles = kernel.clock.snapshot() - start
+        start = kernel.clock.snapshot()
+        read_tables_segment(kernel, shell, "/shared/lynx")
+        segment_cycles = kernel.clock.snapshot() - start
+        assert segment_cycles < ascii_cycles
+
+
+class TestLibsys:
+    def test_archive_contents(self):
+        archive = build_libsys()
+        index = archive.symbol_index()
+        for name in ("exit", "put_int", "sem_p", "sem_v", "msg_send",
+                     "strlen", "put_str"):
+            assert name in index
+
+    def test_put_str_machine(self, kernel):
+        from repro.hw.asm import assemble
+        from repro.linker.baseline_ld import link_static
+
+        main = assemble("""
+            .text
+            .globl main
+        main:
+            addi sp, sp, -8
+            sw ra, 0(sp)
+            la a0, msg
+            jal put_str
+            lw ra, 0(sp)
+            addi sp, sp, 8
+            li v0, 0
+            jr ra
+            .data
+        msg: .asciiz "from libsys"
+        """, "m.o")
+        image = link_static([main], archives=[build_libsys()])
+        proc = kernel.create_machine_process("p", image)
+        kernel.run_until_exit(proc)
+        assert proc.stdout_text() == "from libsys"
+
+
+class TestPresto:
+    def test_parallel_sum_exact(self, kernel, shell):
+        app = PrestoApp(kernel, shell, nitems=48)
+        result = app.run_instance(nworkers=4)
+        assert result.total == app.expected_total()
+        assert sorted(result.results) == \
+            sorted(i * i + 1 for i in range(48))
+        assert sum(result.per_worker_items) == 48
+
+    def test_work_is_distributed(self, kernel, shell):
+        app = PrestoApp(kernel, shell, nitems=64)
+        result = app.run_instance(nworkers=4)
+        # More than one worker made progress (preemptive round-robin).
+        busy = [count for count in result.per_worker_items if count > 0]
+        assert len(busy) >= 2
+
+    def test_instances_are_isolated(self, kernel, shell):
+        app = PrestoApp(kernel, shell, nitems=16)
+        first = app.run_instance(nworkers=2)
+        second = app.run_instance(nworkers=2)
+        assert first.total == second.total == app.expected_total()
+        assert first.instance_dir != second.instance_dir
+
+    def test_cleanup_removes_everything(self, kernel, shell):
+        app = PrestoApp(kernel, shell, nitems=16)
+        result = app.run_instance(nworkers=2)
+        assert not kernel.vfs.exists(result.instance_dir)
+        assert kernel.vfs.listdir("/shared/tmp") == []
+
+    def test_single_worker_does_all(self, kernel, shell):
+        app = PrestoApp(kernel, shell, nitems=8)
+        result = app.run_instance(nworkers=1)
+        assert result.per_worker_items == [8]
+        assert result.total == app.expected_total()

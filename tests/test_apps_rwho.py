@@ -1,0 +1,186 @@
+"""rwho: the file baseline and the shared-memory version must agree —
+and the shared version must be cheaper."""
+
+import pytest
+
+from repro.apps.rwho import (
+    FileRwhod,
+    ShmRwhod,
+    file_ruptime,
+    file_rwho,
+    generate_network,
+    shm_ruptime,
+    shm_rwho,
+)
+from repro.apps.rwho.common import updated_status
+from repro.apps.rwho.fileimpl import pack_status, unpack_status
+from repro.apps.rwho.shmimpl import read_database
+from repro.util.rng import DeterministicRng
+
+
+@pytest.fixture
+def network():
+    return generate_network(nhosts=12, seed=3)
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        a = generate_network(nhosts=5, seed=1)
+        b = generate_network(nhosts=5, seed=1)
+        assert [h.hostname for h in a] == [h.hostname for h in b]
+        assert [h.load_1 for h in a] == [h.load_1 for h in b]
+
+    def test_paper_network_size(self):
+        assert len(generate_network()) == 65
+
+    def test_update_preserves_identity(self):
+        rng = DeterministicRng(9)
+        host = generate_network(nhosts=1)[0]
+        updated = updated_status(host, 60, rng)
+        assert updated.hostname == host.hostname
+        assert updated.boot_time == host.boot_time
+        assert updated.update_time == host.update_time + 60
+
+
+class TestWireFormat:
+    def test_pack_unpack_roundtrip(self, network):
+        for status in network:
+            clone = unpack_status(pack_status(status))
+            assert clone.hostname == status.hostname
+            assert clone.load_1 == status.load_1
+            assert len(clone.users) == len(status.users)
+            for a, b in zip(clone.users, status.users):
+                assert (a.name, a.tty, a.idle_seconds) == \
+                    (b.name, b.tty, b.idle_seconds)
+
+
+class TestEquivalence:
+    def test_rwho_outputs_identical(self, kernel, shell, network):
+        file_daemon = FileRwhod(kernel, shell)
+        shm_daemon = ShmRwhod(kernel, shell, nhosts=len(network))
+        for status in network:
+            file_daemon.receive(status)
+            shm_daemon.receive(status)
+        assert file_rwho(kernel, shell) == shm_rwho(kernel, shell)
+        assert file_ruptime(kernel, shell) == shm_ruptime(kernel, shell)
+
+    def test_update_in_place(self, kernel, shell, network):
+        daemon = ShmRwhod(kernel, shell, nhosts=len(network))
+        for status in network:
+            daemon.receive(status)
+        rng = DeterministicRng(4)
+        refreshed = updated_status(network[0], 60, rng)
+        daemon.receive(refreshed)
+        records = read_database(kernel, shell)
+        assert len(records) == len(network)  # no duplicate slot
+        by_name = {r.hostname: r for r in records}
+        assert by_name[network[0].hostname].update_time == \
+            refreshed.update_time
+
+    def test_database_survives_daemon_restart(self, kernel, shell,
+                                              network):
+        daemon = ShmRwhod(kernel, shell, nhosts=len(network))
+        for status in network:
+            daemon.receive(status)
+        # A "restarted" daemon attaches to the existing segment.
+        daemon2 = ShmRwhod(kernel, shell, nhosts=len(network))
+        assert daemon2.base == daemon.base
+        rng = DeterministicRng(4)
+        daemon2.receive(updated_status(network[1], 60, rng))
+        assert len(read_database(kernel, shell)) == len(network)
+
+    def test_reader_in_other_process(self, kernel, shell, network):
+        from repro.bench.workloads import make_shell
+
+        daemon = ShmRwhod(kernel, shell, nhosts=len(network))
+        for status in network:
+            daemon.receive(status)
+        reader = make_shell(kernel, "reader")
+        assert shm_rwho(kernel, reader) == shm_rwho(kernel, shell)
+
+
+class TestCosts:
+    def test_shared_query_cheaper_than_files(self, kernel, shell):
+        """The headline claim: rwho against the shared database beats
+        rwho against 65 files."""
+        network = generate_network(nhosts=65)
+        file_daemon = FileRwhod(kernel, shell)
+        shm_daemon = ShmRwhod(kernel, shell, nhosts=65)
+        for status in network:
+            file_daemon.receive(status)
+            shm_daemon.receive(status)
+
+        start = kernel.clock.snapshot()
+        file_rwho(kernel, shell)
+        file_cycles = kernel.clock.snapshot() - start
+
+        start = kernel.clock.snapshot()
+        shm_rwho(kernel, shell)
+        shm_cycles = kernel.clock.snapshot() - start
+
+        assert shm_cycles < file_cycles / 5
+
+    def test_shared_update_cheaper_than_rewrite(self, kernel, shell):
+        network = generate_network(nhosts=20)
+        file_daemon = FileRwhod(kernel, shell)
+        shm_daemon = ShmRwhod(kernel, shell, nhosts=20)
+        for status in network:  # warm both
+            file_daemon.receive(status)
+            shm_daemon.receive(status)
+        rng = DeterministicRng(8)
+
+        start = kernel.clock.snapshot()
+        for status in network:
+            file_daemon.receive(updated_status(status, 60, rng))
+        file_cycles = kernel.clock.snapshot() - start
+
+        start = kernel.clock.snapshot()
+        for status in network:
+            shm_daemon.receive(updated_status(status, 60, rng))
+        shm_cycles = kernel.clock.snapshot() - start
+
+        assert shm_cycles < file_cycles
+
+
+class TestDaemonProcesses:
+    """rwhod running as a real process, fed by a message-queue network."""
+
+    def test_daemon_processes_broadcasts(self, kernel, network):
+        from repro.apps.rwho.daemon import run_network
+
+        received = run_network(kernel, network, "shm")
+        assert received == len(network)
+        assert shm_rwho(kernel,
+                        kernel.create_native_process("u", _noop_body))
+
+    def test_both_daemons_agree(self, kernel, network):
+        from repro.apps.rwho.daemon import run_network
+        from repro.bench.workloads import make_shell
+
+        run_network(kernel, network, "file")
+        run_network(kernel, network, "shm")
+        user = make_shell(kernel, "user")
+        assert file_rwho(kernel, user) == shm_rwho(kernel, user)
+        assert file_ruptime(kernel, user) == shm_ruptime(kernel, user)
+
+    def test_daemon_handles_interleaved_rounds(self, kernel, network):
+        from repro.apps.rwho.daemon import run_network
+        from repro.apps.rwho.common import updated_status
+        from repro.apps.rwho.shmimpl import read_database
+        from repro.bench.workloads import make_shell
+        from repro.util.rng import DeterministicRng
+
+        rng = DeterministicRng(6)
+        rounds = list(network)
+        for status in network:
+            rounds.append(updated_status(status, 60, rng))
+        received = run_network(kernel, rounds, "shm")
+        assert received == len(rounds)
+        user = make_shell(kernel, "user")
+        records = read_database(kernel, user)
+        assert len(records) == len(network)  # updates, not duplicates
+
+
+def _noop_body(_kernel, _proc):
+    return
+    yield

@@ -1,0 +1,149 @@
+"""xfig: ASCII translation baseline vs pointer-rich shared figures."""
+
+import pytest
+
+from repro.apps.xfig import (
+    FigCircle,
+    FigLine,
+    FigText,
+    Figure,
+    SharedFigure,
+    figure_from_ascii,
+    figure_to_ascii,
+    generate_figure,
+)
+from repro.apps.xfig.ascii import load_figure_ascii, save_figure_ascii
+from repro.errors import SimulationError
+
+
+def figures_equal(a: Figure, b: Figure) -> bool:
+    if len(a.objects) != len(b.objects):
+        return False
+    for left, right in zip(a.objects, b.objects):
+        if type(left) is not type(right):
+            return False
+        if left.__dict__ != right.__dict__:
+            return False
+    return True
+
+
+class TestModel:
+    def test_generator_deterministic(self):
+        assert figures_equal(generate_figure(40, seed=5),
+                             generate_figure(40, seed=5))
+
+    def test_counts(self):
+        figure = generate_figure(100, seed=1)
+        counts = figure.counts()
+        assert sum(counts.values()) == 100
+        assert all(count > 0 for count in counts.values())
+
+
+class TestAsciiFormat:
+    def test_roundtrip(self):
+        figure = generate_figure(60, seed=2)
+        assert figures_equal(figure,
+                             figure_from_ascii(figure_to_ascii(figure)))
+
+    def test_text_with_spaces_and_backslashes(self):
+        figure = Figure([FigText(1, 2, "hello world \\ done", 3, 12)])
+        assert figures_equal(figure,
+                             figure_from_ascii(figure_to_ascii(figure)))
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(SimulationError):
+            figure_from_ascii("not a figure\n0\n")
+
+    def test_file_roundtrip(self, kernel, shell):
+        figure = generate_figure(30, seed=3)
+        save_figure_ascii(kernel, shell, figure, "/fig.txt")
+        assert figures_equal(figure,
+                             load_figure_ascii(kernel, shell, "/fig.txt"))
+
+
+class TestSharedFigure:
+    def test_build_and_read_back(self, kernel, shell):
+        figure = generate_figure(50, seed=4)
+        shared = SharedFigure(kernel, shell, "/shared/fig", create=True)
+        shared.build_from(figure)
+        assert shared.count == 50
+        assert figures_equal(figure, shared.to_figure())
+
+    def test_open_existing_from_other_process(self, kernel, shell):
+        from repro.bench.workloads import make_shell
+
+        figure = generate_figure(20, seed=5)
+        shared = SharedFigure(kernel, shell, "/shared/fig", create=True)
+        shared.build_from(figure)
+        other = make_shell(kernel, "viewer")
+        reopened = SharedFigure(kernel, other, "/shared/fig")
+        assert figures_equal(figure, reopened.to_figure())
+
+    def test_copy_object_duplicates_deeply(self, kernel, shell):
+        shared = SharedFigure(kernel, shell, "/shared/fig", create=True)
+        original = shared.add_object(FigLine([(1, 2), (3, 4)], 5, 2))
+        copy = shared.copy_object(original)
+        assert copy != original
+        a = shared.read_object(original)
+        b = shared.read_object(copy)
+        assert a.points == b.points
+        # Deep: the copies have separate point storage.
+        from repro.apps.xfig.shared import OBJ
+
+        extra_a = OBJ.view(shared.mem, original).get("extra")
+        extra_b = OBJ.view(shared.mem, copy).get("extra")
+        assert extra_a != extra_b
+
+    def test_delete_object(self, kernel, shell):
+        shared = SharedFigure(kernel, shell, "/shared/fig", create=True)
+        a = shared.add_object(FigCircle(1, 2, 3))
+        b = shared.add_object(FigText(1, 1, "keep"))
+        shared.delete_object(a)
+        assert shared.count == 1
+        remaining = shared.to_figure().objects
+        assert isinstance(remaining[0], FigText)
+        del b
+
+    def test_delete_unknown_rejected(self, kernel, shell):
+        shared = SharedFigure(kernel, shell, "/shared/fig", create=True)
+        with pytest.raises(SimulationError):
+            shared.delete_object(0x30000000)
+
+    def test_heap_reuse_after_delete(self, kernel, shell):
+        shared = SharedFigure(kernel, shell, "/shared/fig", create=True)
+        first = shared.add_object(FigCircle(1, 1, 1))
+        shared.delete_object(first)
+        second = shared.add_object(FigCircle(2, 2, 2))
+        assert second == first  # freed record block reused
+
+    def test_editing_is_the_persistent_form(self, kernel, shell):
+        """No explicit save step exists: mutate, reopen, see it."""
+        from repro.bench.workloads import make_shell
+
+        shared = SharedFigure(kernel, shell, "/shared/fig", create=True)
+        address = shared.add_object(FigText(5, 6, "draft"))
+        from repro.apps.xfig.shared import OBJ
+
+        OBJ.view(shared.mem, address).set("p1", 50)  # move the text
+        other = make_shell(kernel, "viewer")
+        reopened = SharedFigure(kernel, other, "/shared/fig")
+        text = reopened.to_figure().objects[0]
+        assert text.x == 50
+
+    def test_costs_favor_shared_load(self, kernel, shell):
+        """'Loading' a figure from the segment must beat parsing ASCII."""
+        figure = generate_figure(80, seed=6)
+        save_figure_ascii(kernel, shell, figure, "/fig.txt")
+        shared = SharedFigure(kernel, shell, "/shared/fig",
+                              size=512 * 1024, create=True)
+        shared.build_from(figure)
+
+        start = kernel.clock.snapshot()
+        load_figure_ascii(kernel, shell, "/fig.txt")
+        ascii_cycles = kernel.clock.snapshot() - start
+
+        start = kernel.clock.snapshot()
+        count = SharedFigure(kernel, shell, "/shared/fig").count
+        shared_cycles = kernel.clock.snapshot() - start
+        assert count == 80
+        assert shared_cycles < ascii_cycles

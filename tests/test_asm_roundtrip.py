@@ -1,0 +1,116 @@
+"""Property tests tying the assembler, disassembler, and CPU together."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import isa
+from repro.hw.asm import assemble
+from repro.hw.cpu import Cpu, SyscallTrap
+from repro.util.bits import to_signed32
+from repro.vm.address_space import AddressSpace, PROT_RWX
+from repro.vm.pages import PhysicalMemory
+
+REG_NAMES = [n for n in isa.REG_NAMES
+             if n not in ("zero", "k0", "k1", "gp", "sp", "fp", "ra",
+                          "at")]
+
+register = st.sampled_from(REG_NAMES)
+imm16 = st.integers(min_value=-32768, max_value=32767)
+
+
+class TestAssembleDisassemble:
+    @settings(max_examples=60)
+    @given(register, register, register,
+           st.sampled_from(["add", "sub", "and", "or", "xor", "slt",
+                            "sltu", "mul"]))
+    def test_three_reg_roundtrip(self, rd, rs, rt, op):
+        obj = assemble(f".text\n{op} {rd}, {rs}, {rt}")
+        word = int.from_bytes(obj.text[:4], "little")
+        assert isa.disassemble_word(word) == f"{op} {rd}, {rs}, {rt}"
+
+    @settings(max_examples=60)
+    @given(register, register, imm16,
+           st.sampled_from(["lw", "sw", "lb", "lbu", "sb"]))
+    def test_loadstore_roundtrip(self, rt, base, offset, op):
+        obj = assemble(f".text\n{op} {rt}, {offset}({base})")
+        word = int.from_bytes(obj.text[:4], "little")
+        assert isa.disassemble_word(word) == f"{op} {rt}, {offset}({base})"
+
+    @settings(max_examples=40)
+    @given(register, register, st.integers(min_value=0, max_value=31),
+           st.sampled_from(["sll", "srl", "sra"]))
+    def test_shift_roundtrip(self, rd, rt, amount, op):
+        obj = assemble(f".text\n{op} {rd}, {rt}, {amount}")
+        word = int.from_bytes(obj.text[:4], "little")
+        assert isa.disassemble_word(word) == f"{op} {rd}, {rt}, {amount}"
+
+
+def _run_fragment(body: str, max_instructions: int = 200) -> Cpu:
+    obj = assemble(f".text\n{body}\nsyscall\n")
+    pm = PhysicalMemory()
+    space = AddressSpace(pm)
+    space.map(0x1000, 0x2000, prot=PROT_RWX)
+    space.write_bytes(0x1000, bytes(obj.text))
+    cpu = Cpu(space)
+    cpu.pc = 0x1000
+    with pytest.raises(SyscallTrap):
+        cpu.run(max_instructions)
+    return cpu
+
+
+class TestCpuArithmeticProperties:
+    @settings(max_examples=40)
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+           st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_add_matches_python(self, a, b):
+        cpu = _run_fragment(f"li t0, {a}\nli t1, {b}\nadd t2, t0, t1")
+        assert to_signed32(cpu.regs[10]) == to_signed32(a + b)
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+           st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_slt_matches_python(self, a, b):
+        cpu = _run_fragment(f"li t0, {a}\nli t1, {b}\nslt t2, t0, t1")
+        assert cpu.regs[10] == (1 if a < b else 0)
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=-(2**20), max_value=2**20),
+           st.integers(min_value=1, max_value=2**20))
+    def test_div_rem_identity(self, a, b):
+        cpu = _run_fragment(
+            f"li t0, {a}\nli t1, {b}\n"
+            f"div t2, t0, t1\nrem t3, t0, t1"
+        )
+        quotient = to_signed32(cpu.regs[10])
+        remainder = to_signed32(cpu.regs[11])
+        assert quotient * b + remainder == a
+        assert abs(remainder) < b
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=31))
+    def test_variable_shift_matches_immediate(self, value, amount):
+        cpu = _run_fragment(
+            f"li t0, {value}\nli t1, {amount}\n"
+            f"sllv t2, t0, t1\nsll t3, t0, {amount}\n"
+            f"srlv t4, t0, t1\nsrl t5, t0, {amount}"
+        )
+        assert cpu.regs[10] == cpu.regs[11]
+        assert cpu.regs[12] == cpu.regs[13]
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=-100, max_value=100),
+                    min_size=1, max_size=8))
+    def test_stack_push_pop_order(self, values):
+        pushes = "".join(
+            f"li t0, {v}\naddi sp, sp, -4\nsw t0, 0(sp)\n"
+            for v in values
+        )
+        pops = "".join(
+            f"lw s{i}, 0(sp)\naddi sp, sp, 4\n"
+            for i in range(min(len(values), 8))
+        )
+        body = "li sp, 0x2800\n" + pushes + pops
+        cpu = _run_fragment(body, max_instructions=500)
+        for i, value in enumerate(reversed(values[-8:])):
+            assert to_signed32(cpu.regs[16 + i]) == value

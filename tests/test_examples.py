@@ -1,0 +1,25 @@
+"""Every example script must run to completion (they self-assert).
+
+The examples double as living documentation; running them here keeps
+them from rotting.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLES) >= 3

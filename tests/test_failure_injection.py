@@ -1,0 +1,183 @@
+"""Failure injection: corrupted files, races, and abuse must be
+contained — processes may die, the kernel may not."""
+
+import pytest
+
+from repro.errors import ObjectFormatError, SimulationError
+from repro.hw.asm import assemble
+from repro.linker.classes import SharingClass
+from repro.linker.lds import LinkRequest, store_object
+from repro.linker.segments import TRAILER, TRAILER_MAGIC, read_segment_meta
+from repro.runtime.libshared import runtime_for
+from repro.runtime.views import Mem
+from repro.toyc import compile_source
+
+
+def put_c(kernel, shell, path, source):
+    store_object(kernel, shell, path,
+                 compile_source(source, path.rsplit("/", 1)[-1]))
+
+
+class TestCorruptSegments:
+    def _module(self, system, shell):
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/lib")
+        put_c(kernel, shell, "/shared/lib/m.o", "int cell = 1;")
+        put_c(kernel, shell, "/main.o",
+              "extern int cell;\nint main() { return cell; }")
+        return system.lds.link(
+            shell,
+            [LinkRequest("/main.o"),
+             LinkRequest("m.o", SharingClass.DYNAMIC_PUBLIC)],
+            output="/bin", search_dirs=["/shared/lib"],
+        ).executable
+
+    def test_truncated_trailer(self, system, shell):
+        exe = self._module(system, shell)
+        kernel = system.kernel
+        # Create the module, then chop its tail off.
+        p0 = kernel.create_machine_process("p0", exe)
+        kernel.run_until_exit(p0)
+        blob = kernel.vfs.read_whole("/shared/lib/m")
+        kernel.vfs.write_whole("/shared/lib/m", blob[:-8])
+        with pytest.raises(ObjectFormatError):
+            read_segment_meta(kernel, shell, "/shared/lib/m")
+        # A new process exec fails cleanly (the module is unusable) but
+        # the kernel survives.
+        with pytest.raises(SimulationError):
+            kernel.create_machine_process("p1", exe)
+        assert kernel.stats()
+
+    def test_garbage_metadata(self, system, shell):
+        exe = self._module(system, shell)
+        kernel = system.kernel
+        p0 = kernel.create_machine_process("p0", exe)
+        kernel.run_until_exit(p0)
+        blob = bytearray(kernel.vfs.read_whole("/shared/lib/m"))
+        # Keep the trailer magic but trash the metadata bytes.
+        magic, image_len, meta_len, _r = TRAILER.unpack(blob[-16:])
+        assert magic == TRAILER_MAGIC
+        blob[image_len: image_len + meta_len] = b"\xde" * meta_len
+        kernel.vfs.write_whole("/shared/lib/m", bytes(blob))
+        with pytest.raises(ObjectFormatError):
+            read_segment_meta(kernel, shell, "/shared/lib/m")
+
+    def test_template_corruption_fails_cleanly(self, system, shell):
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/lib")
+        kernel.vfs.write_whole("/shared/lib/bad.o", b"not an object")
+        put_c(kernel, shell, "/main.o", "int main() { return 0; }")
+        with pytest.raises(ObjectFormatError):
+            system.lds.link(
+                shell,
+                [LinkRequest("/main.o"),
+                 LinkRequest("bad.o", SharingClass.STATIC_PUBLIC)],
+                output="/bin", search_dirs=["/shared/lib"],
+            )
+
+
+class TestUnlinkWhileMapped:
+    def test_mapped_pages_survive_unlink(self, kernel, shell):
+        """Unix semantics: an unlinked-but-mapped segment's pages stay
+        valid for the mapper; the address slot is recycled only after
+        the mapping notion is process-local anyway."""
+        runtime = runtime_for(kernel, shell)
+        base = runtime.create_segment("/shared/doomed", 4096)
+        mem = Mem(kernel, shell)
+        mem.store_u32(base, 77)          # maps it
+        kernel.syscalls.unlink(shell, "/shared/doomed")
+        # The mapping still reads the old page.
+        assert mem.load_u32(base) == 77
+        # The address no longer translates for *new* processes.
+        assert kernel.sfs.inode_of_address(base) is None
+
+    def test_new_segment_reuses_address_cleanly(self, kernel, shell):
+        runtime = runtime_for(kernel, shell)
+        base = runtime.create_segment("/shared/first", 4096)
+        mem = Mem(kernel, shell)
+        mem.store_u32(base, 1)
+        runtime.delete_segment("/shared/first")   # unmaps + unlinks
+        base2 = runtime.create_segment("/shared/second", 4096)
+        assert base2 == base                      # slot reused
+        assert mem.load_u32(base2) == 0           # fresh zero pages
+
+
+class TestRuntimeRobustness:
+    def test_module_vanishes_before_use(self, system, shell):
+        """lds warned about a missing dynamic module; running the
+        program faults at use and dies — not the kernel."""
+        kernel = system.kernel
+        put_c(kernel, shell, "/main.o", """
+            extern int ghost_fn();
+            int main() { return ghost_fn(); }
+        """)
+        result = system.lds.link(
+            shell,
+            [LinkRequest("/main.o"),
+             LinkRequest("ghost.o", SharingClass.DYNAMIC_PUBLIC)],
+            output="/bin",
+        )
+        assert result.warnings
+        proc = kernel.create_machine_process("p", result.executable)
+        kernel.run_until_exit(proc)
+        assert proc.exit_code == -1
+        assert "SIGSEGV" in proc.death_reason
+
+    def test_stack_overflow_dies_cleanly(self, system, shell):
+        kernel = system.kernel
+        put_c(kernel, shell, "/main.o", """
+            int recurse(int n) { return recurse(n + 1); }
+            int main() { return recurse(0); }
+        """)
+        exe = system.lds.link(shell, [LinkRequest("/main.o")],
+                              output="/bin").executable
+        proc = kernel.create_machine_process("p", exe)
+        kernel.run_until_exit(proc)
+        assert proc.exit_code == -1
+        assert "SIGSEGV" in proc.death_reason
+
+    def test_wild_jump_dies_cleanly(self, kernel):
+        from repro.linker.baseline_ld import link_static
+
+        source = """
+            .text
+            .globl main
+        main:
+            li t0, 0x00F00000
+            jr t0
+        """
+        image = link_static([assemble(source, "m.o")])
+        proc = kernel.create_machine_process("p", image)
+        kernel.run_until_exit(proc)
+        assert "SIGSEGV" in proc.death_reason
+
+    def test_heap_corruption_detected(self, kernel, shell):
+        from repro.runtime.shmalloc import SegmentHeap, SegmentHeapError
+
+        runtime = runtime_for(kernel, shell)
+        base = runtime.create_segment("/shared/heapseg", 8192)
+        mem = Mem(kernel, shell)
+        heap = SegmentHeap(mem, base, 8192)
+        heap.initialize()
+        block = heap.alloc(64)
+        # A buggy client scribbles over the heap header.
+        mem.store_u32(base, 0x41414141)
+        with pytest.raises(SegmentHeapError):
+            heap.alloc(8)
+        with pytest.raises(SegmentHeapError):
+            heap.free(block)
+
+    def test_fault_in_handler_does_not_wedge_kernel(self, kernel, shell):
+        """A broken program-provided handler raising is contained."""
+        runtime = runtime_for(kernel, shell)
+
+        def broken_handler(_proc, _info):
+            raise ValueError("user bug")
+
+        runtime.signal(broken_handler)
+        mem = Mem(kernel, shell)
+        with pytest.raises(ValueError):
+            mem.load_u32(0x6F000000)
+        # The kernel is still functional afterwards.
+        runtime.create_segment("/shared/after", 4096)
+        assert kernel.vfs.exists("/shared/after")

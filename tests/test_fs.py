@@ -1,0 +1,299 @@
+"""File system tests: paths, volumes, VFS, mounts, symlinks, perms."""
+
+import pytest
+
+from repro.errors import (
+    FileExistsSimError,
+    FileNotFoundSimError,
+    FilesystemError,
+    IsADirectorySimError,
+    NotADirectorySimError,
+    PermissionSimError,
+)
+from repro.fs.filesystem import Filesystem
+from repro.fs.inode import InodeType
+from repro.fs.path import basename, dirname, join, normalize, split_path
+from repro.fs.vfs import (
+    O_APPEND,
+    O_CREAT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    Vfs,
+)
+from repro.vm.pages import PhysicalMemory
+
+
+@pytest.fixture
+def pm():
+    return PhysicalMemory()
+
+
+@pytest.fixture
+def vfs(pm):
+    return Vfs(Filesystem(pm, "root"))
+
+
+class TestPaths:
+    def test_normalize(self):
+        assert normalize("/a/b/../c") == "/a/c"
+        assert normalize("a/b", cwd="/home") == "/home/a/b"
+        assert normalize("/a//b/./c") == "/a/b/c"
+        assert normalize("/../..") == "/"
+        assert normalize(".", cwd="/x") == "/x"
+
+    def test_split(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert split_path("/") == []
+
+    def test_join(self):
+        assert join("/a", "b", "c") == "/a/b/c"
+        assert join("/a", "/b") == "/b"
+        assert join("", "x") == "x"
+
+    def test_dirname_basename(self):
+        assert dirname("/a/b/c") == "/a/b"
+        assert basename("/a/b/c") == "c"
+        assert dirname("/") == "/"
+        assert basename("/") == ""
+
+
+class TestFilesAndDirs:
+    def test_create_write_read(self, vfs):
+        vfs.write_whole("/hello.txt", b"hi there")
+        assert vfs.read_whole("/hello.txt") == b"hi there"
+
+    def test_mkdir_and_nesting(self, vfs):
+        vfs.mkdir("/a")
+        vfs.mkdir("/a/b")
+        vfs.write_whole("/a/b/f", b"x")
+        assert vfs.listdir("/a") == ["b"]
+        assert vfs.listdir("/a/b") == ["f"]
+
+    def test_makedirs(self, vfs):
+        vfs.makedirs("/x/y/z")
+        assert vfs.exists("/x/y/z")
+        vfs.makedirs("/x/y/z")  # idempotent
+
+    def test_open_missing_without_creat(self, vfs):
+        with pytest.raises(FileNotFoundSimError):
+            vfs.open("/nope", O_RDONLY)
+
+    def test_excl_creation(self, vfs):
+        vfs.open("/f", O_WRONLY | O_CREAT)
+        with pytest.raises(FileExistsSimError):
+            vfs.open("/f", O_WRONLY | O_CREAT | O_EXCL)
+
+    def test_trunc(self, vfs):
+        vfs.write_whole("/f", b"long content")
+        vfs.open("/f", O_WRONLY | O_TRUNC)
+        assert vfs.read_whole("/f") == b""
+
+    def test_append(self, vfs):
+        vfs.write_whole("/f", b"ab")
+        handle = vfs.open("/f", O_WRONLY | O_APPEND)
+        handle.write(b"cd")
+        assert vfs.read_whole("/f") == b"abcd"
+
+    def test_offset_semantics(self, vfs):
+        vfs.write_whole("/f", b"0123456789")
+        handle = vfs.open("/f", O_RDWR)
+        assert handle.read(4) == b"0123"
+        assert handle.read(4) == b"4567"
+        handle.lseek(2)
+        assert handle.read(2) == b"23"
+        handle.lseek(-2, 2)
+        assert handle.read(10) == b"89"
+
+    def test_read_on_writeonly_rejected(self, vfs):
+        handle = vfs.open("/f", O_WRONLY | O_CREAT)
+        with pytest.raises(PermissionSimError):
+            handle.read(1)
+
+    def test_write_on_readonly_rejected(self, vfs):
+        vfs.write_whole("/f", b"x")
+        handle = vfs.open("/f", O_RDONLY)
+        with pytest.raises(PermissionSimError):
+            handle.write(b"y")
+
+    def test_unlink(self, vfs):
+        vfs.write_whole("/f", b"x")
+        vfs.unlink("/f")
+        assert not vfs.exists("/f")
+
+    def test_unlink_directory_rejected(self, vfs):
+        vfs.mkdir("/d")
+        with pytest.raises(IsADirectorySimError):
+            vfs.unlink("/d")
+
+    def test_rmdir(self, vfs):
+        vfs.mkdir("/d")
+        vfs.rmdir("/d")
+        assert not vfs.exists("/d")
+
+    def test_rmdir_nonempty_rejected(self, vfs):
+        vfs.makedirs("/d/sub")
+        with pytest.raises(FilesystemError):
+            vfs.rmdir("/d")
+
+    def test_rename(self, vfs):
+        vfs.write_whole("/a", b"data")
+        vfs.rename("/a", "/b")
+        assert not vfs.exists("/a")
+        assert vfs.read_whole("/b") == b"data"
+
+    def test_rename_replaces(self, vfs):
+        vfs.write_whole("/a", b"new")
+        vfs.write_whole("/b", b"old")
+        vfs.rename("/a", "/b")
+        assert vfs.read_whole("/b") == b"new"
+
+    def test_stat(self, vfs):
+        vfs.write_whole("/f", b"12345")
+        info = vfs.stat("/f")
+        assert info.st_size == 5
+        assert info.st_type is InodeType.FILE
+        assert info.st_nlink == 1
+
+    def test_file_as_directory_component(self, vfs):
+        vfs.write_whole("/f", b"x")
+        with pytest.raises(NotADirectorySimError):
+            vfs.resolve("/f/child")
+
+
+class TestHardLinks:
+    def test_link_shares_inode(self, vfs):
+        vfs.write_whole("/a", b"shared")
+        vfs.link("/a", "/b")
+        assert vfs.stat("/a").st_ino == vfs.stat("/b").st_ino
+        assert vfs.stat("/a").st_nlink == 2
+        vfs.write_whole("/a", b"updated")
+        assert vfs.read_whole("/b") == b"updated"
+
+    def test_unlink_keeps_other_link(self, vfs):
+        vfs.write_whole("/a", b"x")
+        vfs.link("/a", "/b")
+        vfs.unlink("/a")
+        assert vfs.read_whole("/b") == b"x"
+
+
+class TestSymlinks:
+    def test_follow(self, vfs):
+        vfs.write_whole("/target", b"data")
+        vfs.symlink("/target", "/link")
+        assert vfs.read_whole("/link") == b"data"
+        assert vfs.readlink("/link") == "/target"
+
+    def test_nofollow_stat(self, vfs):
+        vfs.write_whole("/target", b"data")
+        vfs.symlink("/target", "/link")
+        assert vfs.stat("/link", follow=False).st_type is \
+            InodeType.SYMLINK
+        assert vfs.stat("/link").st_type is InodeType.FILE
+
+    def test_relative_target(self, vfs):
+        vfs.makedirs("/d")
+        vfs.write_whole("/d/target", b"rel")
+        vfs.symlink("target", "/d/link")
+        assert vfs.read_whole("/d/link") == b"rel"
+
+    def test_symlink_to_directory(self, vfs):
+        vfs.makedirs("/real/dir")
+        vfs.write_whole("/real/dir/f", b"y")
+        vfs.symlink("/real/dir", "/alias")
+        assert vfs.read_whole("/alias/f") == b"y"
+
+    def test_dangling(self, vfs):
+        vfs.symlink("/nowhere", "/link")
+        with pytest.raises(FileNotFoundSimError):
+            vfs.read_whole("/link")
+
+    def test_loop_detected(self, vfs):
+        vfs.symlink("/b", "/a")
+        vfs.symlink("/a", "/b")
+        with pytest.raises(FilesystemError):
+            vfs.resolve("/a")
+
+
+class TestPermissions:
+    @pytest.fixture
+    def home(self, vfs):
+        """A directory owned by uid 1 (files cannot be created in the
+        root-owned '/' by other users — correct Unix behaviour)."""
+        vfs.mkdir("/home", uid=0, mode=0o777)
+        vfs.mkdir("/home/u1", uid=1)
+        return "/home/u1"
+
+    def test_cannot_create_in_foreign_directory(self, vfs, home):
+        with pytest.raises(PermissionSimError):
+            vfs.write_whole("/f", b"x", uid=1)
+
+    def test_mode_denies_other_write(self, vfs, home):
+        vfs.write_whole(f"{home}/f", b"x", uid=1, mode=0o600)
+        with pytest.raises(PermissionSimError):
+            vfs.open(f"{home}/f", O_WRONLY, uid=2)
+
+    def test_owner_allowed(self, vfs, home):
+        vfs.write_whole(f"{home}/f", b"x", uid=1, mode=0o600)
+        handle = vfs.open(f"{home}/f", O_RDWR, uid=1)
+        handle.write(b"y")
+
+    def test_root_bypasses(self, vfs, home):
+        vfs.write_whole(f"{home}/f", b"x", uid=1, mode=0o000)
+        vfs.open(f"{home}/f", O_RDWR, uid=0)
+
+    def test_readonly_file_readable_by_other(self, vfs, home):
+        vfs.write_whole(f"{home}/f", b"x", uid=1, mode=0o644)
+        assert vfs.read_whole(f"{home}/f", uid=2) == b"x"
+
+    def test_search_permission_required(self, vfs, home):
+        vfs.mkdir(f"{home}/secret", uid=1, mode=0o700)
+        vfs.write_whole(f"{home}/secret/f", b"x", uid=1, mode=0o644)
+        with pytest.raises(PermissionSimError):
+            vfs.read_whole(f"{home}/secret/f", uid=2)
+
+
+class TestMounts:
+    def test_mount_and_cross(self, pm):
+        root = Filesystem(pm, "root")
+        other = Filesystem(pm, "other")
+        vfs = Vfs(root)
+        vfs.mount("/mnt", other)
+        vfs.write_whole("/mnt/f", b"inside")
+        assert vfs.read_whole("/mnt/f") == b"inside"
+        fs, _ = vfs.resolve("/mnt/f")
+        assert fs is other
+
+    def test_double_mount_rejected(self, pm):
+        vfs = Vfs(Filesystem(pm))
+        vfs.mount("/m", Filesystem(pm))
+        with pytest.raises(FilesystemError):
+            vfs.mount("/m", Filesystem(pm))
+
+    def test_cross_volume_link_rejected(self, pm):
+        vfs = Vfs(Filesystem(pm))
+        vfs.mount("/m", Filesystem(pm))
+        vfs.write_whole("/f", b"x")
+        with pytest.raises(FilesystemError):
+            vfs.link("/f", "/m/f")
+
+    def test_cross_volume_rename_rejected(self, pm):
+        vfs = Vfs(Filesystem(pm))
+        vfs.mount("/m", Filesystem(pm))
+        vfs.write_whole("/f", b"x")
+        with pytest.raises(FilesystemError):
+            vfs.rename("/f", "/m/f")
+
+
+class TestWalk:
+    def test_walk_visits_everything(self, pm):
+        fs = Filesystem(pm)
+        vfs = Vfs(fs)
+        vfs.makedirs("/a/b")
+        vfs.write_whole("/a/f1", b"1")
+        vfs.write_whole("/a/b/f2", b"2")
+        seen = []
+        fs.walk(lambda path, inode: seen.append(path))
+        assert set(seen) == {"/a", "/a/b", "/a/f1", "/a/b/f2"}

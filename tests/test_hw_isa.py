@@ -1,0 +1,101 @@
+"""Tests for instruction encodings and the disassembler."""
+
+import pytest
+
+from repro.hw import isa
+
+
+class TestRegisters:
+    def test_names_and_aliases(self):
+        assert isa.register_number("zero") == 0
+        assert isa.register_number("ra") == 31
+        assert isa.register_number("sp") == 29
+        assert isa.register_number("r4") == isa.register_number("a0")
+        assert isa.register_number("$a0") == 4
+        assert isa.register_number("$4") == 4
+        assert isa.register_number("A0") == 4  # case-insensitive
+
+    def test_unknown_register(self):
+        with pytest.raises(ValueError):
+            isa.register_number("x99")
+
+    def test_abi_constants(self):
+        assert isa.REG_V0 == 2
+        assert isa.REG_A0 == 4
+        assert isa.REG_GP == 28
+        assert isa.REG_RA == 31
+
+
+class TestEncoding:
+    def test_r_type_fields(self):
+        word = isa.encode_r(isa.FN_ADD, rd=3, rs=4, rt=5)
+        assert (word >> 26) == 0
+        assert (word >> 21) & 31 == 4
+        assert (word >> 16) & 31 == 5
+        assert (word >> 11) & 31 == 3
+        assert word & 0x3F == isa.FN_ADD
+
+    def test_i_type_immediate_truncation(self):
+        word = isa.encode_i(isa.OP_ADDI, rs=1, rt=2, imm=-1)
+        assert word & 0xFFFF == 0xFFFF
+
+    def test_j_type(self):
+        word = isa.encode_j(isa.OP_JAL, isa.jump_field(0x00400010))
+        assert (word >> 26) == isa.OP_JAL
+        assert isa.jump_target(0x00400000, word & 0x3FFFFFF) == 0x00400010
+
+
+class TestJumpReach:
+    def test_same_region_reachable(self):
+        assert isa.jump_reachable(0x00400000, 0x0FFFFFFC)
+
+    def test_cross_region_unreachable(self):
+        """A call from private text into the SFS region cannot be
+        encoded — the paper's branch-island motivation."""
+        assert not isa.jump_reachable(0x00400000, 0x30400000)
+
+    def test_target_reconstruction_keeps_high_bits(self):
+        field = isa.jump_field(0x34567890)
+        assert isa.jump_target(0x30000000, field) == 0x34567890
+
+    def test_branch_offset(self):
+        assert isa.branch_offset(0x1000, 0x1008) == 1
+        assert isa.branch_offset(0x1008, 0x1000) == -3
+
+    def test_branch_offset_alignment(self):
+        with pytest.raises(ValueError):
+            isa.branch_offset(0x1000, 0x1002)
+
+
+class TestDisassembler:
+    def test_nop(self):
+        assert isa.disassemble_word(0) == "nop"
+
+    def test_add(self):
+        word = isa.encode_r(isa.FN_ADD, rd=2, rs=4, rt=5)
+        assert isa.disassemble_word(word) == "add v0, a0, a1"
+
+    def test_load(self):
+        word = isa.encode_i(isa.OP_LW, rs=29, rt=31, imm=-4)
+        assert isa.disassemble_word(word) == "lw ra, -4(sp)"
+
+    def test_jal_target(self):
+        word = isa.encode_j(isa.OP_JAL, isa.jump_field(0x00400100))
+        assert isa.disassemble_word(word, pc=0x00400000) == "jal 0x400100"
+
+    def test_branch_target(self):
+        word = isa.encode_i(isa.OP_BEQ, rs=8, rt=0, imm=3)
+        assert isa.disassemble_word(word, pc=0x1000) == \
+            "beq t0, zero, 0x1010"
+
+    def test_lui(self):
+        word = isa.encode_i(isa.OP_LUI, rt=1, imm=0x3040)
+        assert isa.disassemble_word(word) == "lui at, 0x3040"
+
+    def test_syscall_and_break(self):
+        assert isa.disassemble_word(isa.encode_r(isa.FN_SYSCALL)) == \
+            "syscall"
+        assert isa.disassemble_word(isa.encode_r(isa.FN_BREAK)) == "break"
+
+    def test_unknown_word(self):
+        assert isa.disassemble_word(0x0000003F).startswith(".word")

@@ -1,0 +1,126 @@
+"""exec/loader tests."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.hw.asm import assemble
+from repro.kernel.loader import DEFAULT_HEAP_SIZE, STACK_SIZE, \
+    load_executable
+from repro.linker.baseline_ld import link_static
+from repro.objfile.format import ObjectFile, ObjectKind
+from repro.vm.layout import STACK_TOP, TEXT_BASE
+
+
+SOURCE = """
+    .text
+    .globl main
+main:
+    lw v0, answer
+    jr ra
+    .data
+    .globl answer
+answer: .word 17
+    .bss
+scratch: .space 4096
+"""
+
+
+@pytest.fixture
+def image():
+    return link_static([assemble(SOURCE, "m.o")])
+
+
+class TestLoader:
+    def test_sections_mapped(self, kernel, image):
+        proc = kernel.create_machine_process("p", image)
+        names = [m.name for m in proc.address_space.mappings()]
+        assert any("text" in n for n in names)
+        assert any("data" in n for n in names)
+        assert any("stack" in n for n in names)
+
+    def test_text_not_writable_data_not_executable(self, kernel, image):
+        from repro.vm.address_space import PROT_EXEC, PROT_WRITE
+
+        proc = kernel.create_machine_process("p", image)
+        text_prot = proc.address_space.page_prot(TEXT_BASE)
+        data_prot = proc.address_space.page_prot(
+            image.layout["data"].base
+        )
+        assert not text_prot & PROT_WRITE
+        assert not data_prot & PROT_EXEC
+
+    def test_entry_and_stack_registers(self, kernel, image):
+        proc = kernel.create_machine_process("p", image)
+        assert proc.cpu.pc == image.symbols["_start"].value
+        assert proc.cpu.regs[29] == STACK_TOP - 16
+
+    def test_brk_above_bss(self, kernel, image):
+        proc = kernel.create_machine_process("p", image)
+        bss = image.layout["bss"]
+        assert proc.brk >= bss.end
+        # sbrk can grow within the preallocated heap window.
+        old = kernel.syscalls.sbrk(proc, 4096)
+        assert proc.brk == old + 4096
+        assert proc.brk <= old + DEFAULT_HEAP_SIZE
+
+    def test_stack_size(self, kernel, image):
+        proc = kernel.create_machine_process("p", image)
+        stack = [m for m in proc.address_space.mappings()
+                 if "stack" in m.name][0]
+        assert stack.end - stack.start == STACK_SIZE
+
+    def test_program_runs(self, kernel, image):
+        proc = kernel.create_machine_process("p", image)
+        assert kernel.run_until_exit(proc) == 17
+
+    def test_relocatable_rejected(self, kernel):
+        relocatable = assemble(SOURCE, "m.o")
+        with pytest.raises(KernelError):
+            kernel.create_machine_process("p", relocatable)
+
+    def test_missing_entry_rejected(self, kernel, image):
+        broken = image.clone()
+        broken.entry_symbol = "nonexistent"
+        with pytest.raises(KernelError):
+            kernel.create_machine_process("p", broken)
+
+    def test_missing_layout_rejected(self, kernel, image):
+        broken = ObjectFile("b", ObjectKind.EXECUTABLE)
+        broken.entry_symbol = "main"
+        with pytest.raises(KernelError):
+            load_executable(
+                kernel.create_native_process("n", _noop), broken
+            )
+
+
+def _noop(_kernel, _proc):
+    return
+    yield
+
+
+class TestSpawnFromFilesystem:
+    def test_spawn_runs_the_on_disk_executable(self, system, shell):
+        """The shell path: lds writes /bin/prog; spawn execs it."""
+        from repro.linker.lds import LinkRequest, store_object
+
+        kernel = system.kernel
+        kernel.vfs.makedirs("/bin")
+        store_object(kernel, shell, "/m.o", assemble(SOURCE, "m.o"))
+        system.lds.link(shell, [LinkRequest("/m.o")],
+                        output="/bin/prog")
+        proc = kernel.spawn("/bin/prog")
+        assert proc.name == "prog"
+        assert kernel.run_until_exit(proc) == 17
+
+    def test_spawn_nonexistent(self, kernel):
+        from repro.errors import FileNotFoundSimError
+
+        with pytest.raises(FileNotFoundSimError):
+            kernel.spawn("/bin/ghost")
+
+    def test_spawn_non_executable(self, kernel):
+        from repro.errors import ObjectFormatError
+
+        kernel.vfs.write_whole("/bin2", b"#!/bin/sh\necho nope")
+        with pytest.raises(ObjectFormatError):
+            kernel.spawn("/bin2")

@@ -1,0 +1,300 @@
+"""Syscall layer tests: files, memory, Hemlock extensions, machine ABI."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.fs.vfs import O_CREAT, O_RDONLY, O_RDWR, O_WRONLY
+from repro.hw.asm import assemble
+from repro.linker.baseline_ld import link_static
+from repro.sfs.sharedfs import SEGMENT_SPAN, SFS_BASE
+from repro.vm.address_space import MAP_SHARED, PROT_RW
+
+
+@pytest.fixture
+def sys(kernel):
+    return kernel.syscalls
+
+
+class TestFileSyscalls:
+    def test_open_read_write_close(self, kernel, shell, sys):
+        fd = sys.open(shell, "/f", O_WRONLY | O_CREAT)
+        assert sys.write(shell, fd, b"hello") == 5
+        sys.close(shell, fd)
+        fd = sys.open(shell, "/f", O_RDONLY)
+        assert sys.read(shell, fd, 100) == b"hello"
+        sys.close(shell, fd)
+
+    def test_bad_fd(self, shell, sys):
+        with pytest.raises(SyscallError) as info:
+            sys.read(shell, 99, 10)
+        assert info.value.errno == "EBADF"
+
+    def test_write_to_stdout_captured(self, shell, sys):
+        sys.write(shell, 1, b"console!")
+        assert shell.stdout_text() == "console!"
+
+    def test_pread_pwrite(self, kernel, shell, sys):
+        fd = sys.open(shell, "/f", O_RDWR | O_CREAT)
+        sys.pwrite(shell, fd, 10, b"xy")
+        assert sys.pread(shell, fd, 10, 2) == b"xy"
+        assert sys.fstat(shell, fd).st_size == 12
+
+    def test_lseek(self, kernel, shell, sys):
+        fd = sys.open(shell, "/f", O_RDWR | O_CREAT)
+        sys.write(shell, fd, b"abcdef")
+        sys.lseek(shell, fd, 1)
+        assert sys.read(shell, fd, 2) == b"bc"
+
+    def test_directory_calls(self, kernel, shell, sys):
+        sys.mkdir(shell, "/d")
+        sys.mkdir(shell, "/d/e")
+        assert sys.listdir(shell, "/d") == ["e"]
+        sys.rmdir(shell, "/d/e")
+        assert sys.listdir(shell, "/d") == []
+
+    def test_chdir_and_relative_paths(self, kernel, shell, sys):
+        sys.mkdir(shell, "/work")
+        sys.chdir(shell, "/work")
+        assert shell.cwd == "/work"
+        fd = sys.open(shell, "rel.txt", O_WRONLY | O_CREAT)
+        sys.close(shell, fd)
+        assert kernel.vfs.exists("/work/rel.txt")
+
+    def test_chdir_to_file_rejected(self, kernel, shell, sys):
+        kernel.vfs.write_whole("/f", b"x")
+        with pytest.raises(SyscallError):
+            sys.chdir(shell, "/f")
+
+    def test_symlink_and_readlink(self, kernel, shell, sys):
+        kernel.vfs.write_whole("/t", b"x")
+        sys.symlink(shell, "/t", "/l")
+        assert sys.readlink(shell, "/l") == "/t"
+
+    def test_rename_unlink(self, kernel, shell, sys):
+        kernel.vfs.write_whole("/a", b"1")
+        sys.rename(shell, "/a", "/b")
+        sys.unlink(shell, "/b")
+        assert not kernel.vfs.exists("/a")
+        assert not kernel.vfs.exists("/b")
+
+    def test_cost_accounting(self, kernel, shell, sys):
+        before = kernel.clock.cycles
+        fd = sys.open(shell, "/f", O_WRONLY | O_CREAT)
+        sys.write(shell, fd, b"x" * 4000)
+        after = kernel.clock.cycles
+        assert after - before >= kernel.clock.costs.syscall * 2
+        assert kernel.clock.by_category.get("file_io", 0) >= 1000
+
+    def test_cold_file_pays_disk_seek(self, kernel, shell, sys):
+        kernel.vfs.write_whole("/cold", b"x")
+        before = kernel.clock.by_category.get("disk", 0)
+        fd = sys.open(shell, "/cold", O_RDONLY)
+        sys.close(shell, fd)
+        assert kernel.clock.by_category["disk"] == \
+            before + kernel.clock.costs.disk_seek
+        # Second open is warm.
+        fd = sys.open(shell, "/cold", O_RDONLY)
+        sys.close(shell, fd)
+        assert kernel.clock.by_category["disk"] == \
+            before + kernel.clock.costs.disk_seek
+
+
+class TestMemorySyscalls:
+    def test_mmap_file_shared(self, kernel, shell, sys):
+        kernel.vfs.write_whole("/shared/seg", b"\x2a\x00\x00\x00")
+        fd = sys.open(shell, "/shared/seg", O_RDWR)
+        base = sys.mmap(shell, 0x40000000, 4096, PROT_RW, MAP_SHARED, fd)
+        assert base == 0x40000000
+        assert shell.address_space.load_word(base) == 42
+        shell.address_space.store_word(base, 77)
+        sys.close(shell, fd)
+        assert kernel.vfs.read_whole("/shared/seg")[:4] == \
+            (77).to_bytes(4, "little")
+
+    def test_munmap(self, kernel, shell, sys):
+        base = sys.mmap(shell, 0x20000000, 4096, PROT_RW, 2)
+        sys.munmap(shell, base, 4096)
+        assert not shell.address_space.is_mapped(base)
+
+    def test_mprotect(self, kernel, shell, sys):
+        base = sys.mmap(shell, 0x20000000, 4096, PROT_RW, 2)
+        sys.mprotect(shell, base, 4096, 0)
+        assert shell.address_space.page_prot(base) == 0
+
+
+class TestHemlockExtensions:
+    def test_addr_to_path(self, kernel, shell, sys):
+        kernel.vfs.makedirs("/shared/lib")
+        kernel.vfs.write_whole("/shared/lib/seg", b"data")
+        ino = kernel.vfs.stat("/shared/lib/seg").st_ino
+        base = SFS_BASE + ino * SEGMENT_SPAN
+        path, offset = sys.addr_to_path(shell, base + 42)
+        assert path == "/shared/lib/seg"
+        assert offset == 42
+
+    def test_addr_to_path_private_address_rejected(self, shell, sys):
+        with pytest.raises(SyscallError) as info:
+            sys.addr_to_path(shell, 0x1000_0000)
+        assert info.value.errno == "EFAULT"
+
+    def test_addr_to_path_unbacked_address(self, shell, sys):
+        with pytest.raises(SyscallError) as info:
+            sys.addr_to_path(shell, SFS_BASE + 42)
+        assert info.value.errno == "ENOENT"
+
+    def test_path_to_addr(self, kernel, shell, sys):
+        kernel.vfs.write_whole("/shared/seg", b"x")
+        base = sys.path_to_addr(shell, "/shared/seg")
+        ino = kernel.vfs.stat("/shared/seg").st_ino
+        assert base == SFS_BASE + ino * SEGMENT_SPAN
+
+    def test_path_to_addr_rejects_rootfs(self, kernel, shell, sys):
+        kernel.vfs.write_whole("/plain", b"x")
+        with pytest.raises(SyscallError) as info:
+            sys.path_to_addr(shell, "/plain")
+        assert info.value.errno == "EINVAL"
+
+    def test_open_by_address(self, kernel, shell, sys):
+        kernel.vfs.write_whole("/shared/seg", b"payload")
+        base = sys.path_to_addr(shell, "/shared/seg")
+        fd = sys.open_by_address(shell, base + 3)
+        assert sys.read(shell, fd, 100) == b"payload"
+
+    def test_roundtrip_stat_identity(self, kernel, shell, sys):
+        """'stat already returns an inode number' — the forward map."""
+        kernel.vfs.write_whole("/shared/seg", b"x")
+        base = sys.path_to_addr(shell, "/shared/seg")
+        path, _ = sys.addr_to_path(shell, base)
+        assert sys.path_to_addr(shell, path) == base
+
+
+class TestMachineAbi:
+    def _run(self, kernel, source, env=None):
+        image = link_static([assemble(source, "m.o")])
+        proc = kernel.create_machine_process("p", image, env=env)
+        code = kernel.run_until_exit(proc)
+        return proc, code
+
+    def test_write_and_exit(self, kernel):
+        source = """
+            .text
+            .globl main
+        main:
+            li a0, 1
+            la a1, msg
+            li a2, 5
+            li v0, 2
+            syscall
+            li v0, 9
+            jr ra
+            .data
+        msg: .asciiz "hello"
+        """
+        proc, code = self._run(kernel, source)
+        assert code == 9
+        assert proc.stdout_text() == "hello"
+
+    def test_open_write_read_file(self, kernel):
+        source = """
+            .text
+            .globl main
+        main:
+            la a0, path
+            li a1, 0x241        # O_WRONLY|O_CREAT|O_TRUNC
+            li a2, 0x1A4        # 0o644
+            li v0, 4
+            syscall
+            move s0, v0         # fd
+            move a0, s0
+            la a1, payload
+            li a2, 4
+            li v0, 2
+            syscall
+            move a0, s0
+            li v0, 5
+            syscall
+            li v0, 0
+            jr ra
+            .data
+        path: .asciiz "/out.bin"
+        payload: .asciiz "abcd"
+        """
+        proc, code = self._run(kernel, source)
+        assert code == 0
+        assert kernel.vfs.read_whole("/out.bin") == b"abcd"
+
+    def test_errno_reporting(self, kernel):
+        source = """
+            .text
+            .globl main
+        main:
+            la a0, path
+            li a1, 0            # O_RDONLY, no O_CREAT
+            li a2, 0
+            li v0, 4
+            syscall
+            move v0, v1         # return errno (ENOENT = 2)
+            jr ra
+            .data
+        path: .asciiz "/does/not/exist"
+        """
+        _proc, code = self._run(kernel, source)
+        assert code == 2
+
+    def test_getenv(self, kernel):
+        source = """
+            .text
+            .globl main
+        main:
+            la a0, name
+            la a1, buffer
+            li a2, 32
+            li v0, 30
+            syscall
+            la a0, buffer
+            lbu v0, 0(a0)
+            jr ra
+            .data
+        name: .asciiz "MARKER"
+            .bss
+        buffer: .space 32
+        """
+        _proc, code = self._run(kernel, source, env={"MARKER": "Zed"})
+        assert code == ord("Z")
+
+    def test_getpid_and_fork(self, kernel):
+        source = """
+            .text
+            .globl main
+        main:
+            li v0, 6            # fork
+            syscall
+            beqz v0, child
+            # parent: exit 1
+            li v0, 1
+            li a0, 1
+            syscall
+        child:
+            li v0, 1
+            li a0, 2
+            syscall
+        """
+        image = link_static([assemble(source, "m.o")])
+        parent = kernel.create_machine_process("p", image)
+        kernel.schedule()
+        codes = sorted(p.exit_code for p in kernel.processes.values()
+                       if p.cpu is not None)
+        assert codes == [1, 2]
+
+    def test_unknown_syscall_errno(self, kernel):
+        source = """
+            .text
+            .globl main
+        main:
+            li v0, 222
+            syscall
+            move v0, v1
+            jr ra
+        """
+        _proc, code = self._run(kernel, source)
+        assert code == 22  # EINVAL

@@ -1,0 +1,100 @@
+"""wait(2): parents reap children (and block until they exit)."""
+
+import pytest
+
+from repro.apps.libsys import build_libsys
+from repro.hw.asm import assemble
+from repro.linker.baseline_ld import link_static
+from repro.toyc import compile_source
+
+
+def run_parent(kernel, source, use_toyc=False):
+    if use_toyc:
+        obj = compile_source(source, "m.o")
+    else:
+        obj = assemble(source, "m.o")
+    image = link_static([obj], archives=[build_libsys()])
+    parent = kernel.create_machine_process("parent", image)
+    kernel.schedule()
+    return parent
+
+
+class TestWait:
+    def test_parent_collects_child_status(self, kernel):
+        parent = run_parent(kernel, """
+            int main() {
+                int status = 0;
+                int child;
+                int pid;
+                child = fork();
+                if (child == 0) { return 7; }
+                pid = wait(&status);
+                if (pid != child) { return 100; }
+                return status;
+            }
+        """, use_toyc=True)
+        assert parent.death_reason is None
+        assert parent.exit_code == 7
+
+    def test_parent_blocks_until_child_exits(self, kernel):
+        """The child does real work after the parent calls wait; the
+        parent must see the final value."""
+        parent = run_parent(kernel, """
+            int main() {
+                int status = 0;
+                int i;
+                int total = 0;
+                if (fork() == 0) {
+                    for (i = 0; i < 500; i = i + 1) {
+                        total = total + 1;
+                    }
+                    return total & 0xFF;
+                }
+                wait(&status);
+                return status;
+            }
+        """, use_toyc=True)
+        assert parent.exit_code == 500 & 0xFF
+
+    def test_wait_without_children_errors(self, kernel):
+        parent = run_parent(kernel, """
+            .text
+            .globl main
+        main:
+            li a0, 0
+            li v0, 9            # wait
+            syscall
+            move v0, v1         # errno: ECHILD = 10
+            jr ra
+        """)
+        assert parent.exit_code == 10
+
+    def test_reap_multiple_children(self, kernel):
+        parent = run_parent(kernel, """
+            int main() {
+                int status = 0;
+                int total = 0;
+                if (fork() == 0) { return 1; }
+                if (fork() == 0) { return 2; }
+                wait(&status);
+                total = total + status;
+                wait(&status);
+                total = total + status;
+                return total;
+            }
+        """, use_toyc=True)
+        assert parent.exit_code == 3
+
+    def test_child_is_reaped_once(self, kernel):
+        parent = run_parent(kernel, """
+            int main() {
+                int status = 0;
+                int second;
+                if (fork() == 0) { return 5; }
+                wait(&status);
+                second = wait(&status);   /* ECHILD: returns -1 */
+                if (second == -1) { return status; }
+                return 99;
+            }
+        """, use_toyc=True)
+        assert parent.exit_code == 5

@@ -1,0 +1,431 @@
+"""ldl: lazy dynamic linking, scoped resolution, creation, persistence."""
+
+import pytest
+
+from repro import boot
+from repro.bench.workloads import (
+    build_module_chain,
+    build_module_fanout,
+    chain_expected_exit,
+    fanout_expected_exit,
+    make_shell,
+)
+from repro.hw.asm import assemble
+from repro.linker.classes import SharingClass
+from repro.linker.lds import Lds, LinkRequest, store_object
+from repro.linker.ldl import Ldl
+from repro.linker.scoped import scope_chain
+from repro.objfile.format import ObjectFile, ObjectKind
+
+
+def put(kernel, shell, path, source):
+    store_object(kernel, shell, path,
+                 assemble(source, path.rsplit("/", 1)[-1]))
+
+
+SHARED_COUNTER = """
+        .text
+        .globl bump
+bump:
+        la t0, counter
+        lw v0, 0(t0)
+        addi t1, v0, 1
+        sw t1, 0(t0)
+        jr ra
+        .data
+        .globl counter
+counter: .word 0
+"""
+
+MAIN_BUMPS = """
+        .text
+        .globl main
+main:
+        addi sp, sp, -8
+        sw ra, 0(sp)
+        jal bump
+        jal bump
+        move v0, t1
+        lw ra, 0(sp)
+        addi sp, sp, 8
+        jr ra
+"""
+
+
+class TestStartup:
+    def _link(self, system, shell):
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/lib")
+        kernel.vfs.makedirs("/src")
+        put(kernel, shell, "/shared/lib/counter.o", SHARED_COUNTER)
+        put(kernel, shell, "/src/main.o", MAIN_BUMPS)
+        return system.lds.link(
+            shell,
+            [LinkRequest("/src/main.o"),
+             LinkRequest("counter.o", SharingClass.DYNAMIC_PUBLIC)],
+            output="/src/main",
+            search_dirs=["/shared/lib"],
+        )
+
+    def test_public_module_created_on_first_exec(self, system, shell):
+        result = self._link(system, shell)
+        kernel = system.kernel
+        assert not kernel.vfs.exists("/shared/lib/counter")
+        proc = kernel.create_machine_process("p", result.executable)
+        assert kernel.vfs.exists("/shared/lib/counter")
+        assert kernel.run_until_exit(proc) == 2
+
+    def test_state_persists_across_processes(self, system, shell):
+        result = self._link(system, shell)
+        kernel = system.kernel
+        p1 = kernel.create_machine_process("p1", result.executable)
+        assert kernel.run_until_exit(p1) == 2
+        p2 = kernel.create_machine_process("p2", result.executable)
+        assert kernel.run_until_exit(p2) == 4  # genuine write sharing
+
+    def test_module_mapped_at_global_address(self, system, shell):
+        result = self._link(system, shell)
+        kernel = system.kernel
+        proc = kernel.create_machine_process("p", result.executable)
+        kernel.run_until_exit(proc)
+        ino = kernel.vfs.stat("/shared/lib/counter").st_ino
+        base = kernel.sfs.address_of_inode(ino)
+        runtime = proc.runtime
+        module = runtime.ldl.module_at(base)
+        assert module is not None
+        assert module.base == base
+
+    def test_ld_library_path_overrides(self, system, shell):
+        """Changing LD_LIBRARY_PATH substitutes module versions (§3)."""
+        result = self._link(system, shell)
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/override")
+        put(kernel, shell, "/shared/override/counter.o", """
+            .text
+            .globl bump
+        bump:
+            li t1, 99
+            move v0, t1
+            jr ra
+            .data
+            .globl counter
+        counter: .word 0
+        """)
+        proc = kernel.create_machine_process(
+            "p", result.executable,
+            env={"LD_LIBRARY_PATH": "/shared/override"},
+        )
+        assert kernel.run_until_exit(proc) == 99
+        assert kernel.vfs.exists("/shared/override/counter")
+        assert not kernel.vfs.exists("/shared/lib/counter")
+
+
+class TestLazyVsEager:
+    def test_lazy_links_only_what_runs(self):
+        system = boot(lazy=True)
+        shell = make_shell(system.kernel)
+        graph = build_module_fanout(system.kernel, shell, width=6, used=2,
+                                    module_dir="/shared/fan")
+        proc = system.kernel.create_machine_process("p", graph.executable)
+        assert system.kernel.run_until_exit(proc) == \
+            fanout_expected_exit(2)
+        stats = proc.runtime.ldl.stats
+        assert stats.modules_linked == 2
+        assert stats.faults_serviced == 2
+        # All six root modules were still *mapped* at startup.
+        assert stats.modules_mapped >= 6
+
+    def test_eager_links_everything(self):
+        system = boot(lazy=False)
+        shell = make_shell(system.kernel)
+        graph = build_module_fanout(system.kernel, shell, width=6, used=2,
+                                    module_dir="/shared/fan")
+        proc = system.kernel.create_machine_process("p", graph.executable)
+        assert system.kernel.run_until_exit(proc) == \
+            fanout_expected_exit(2)
+        stats = proc.runtime.ldl.stats
+        assert stats.modules_linked == 6
+        assert stats.faults_serviced == 0
+
+    def test_unused_modules_never_fault(self):
+        system = boot(lazy=True)
+        shell = make_shell(system.kernel)
+        graph = build_module_fanout(system.kernel, shell, width=4, used=0,
+                                    module_dir="/shared/fan")
+        proc = system.kernel.create_machine_process("p", graph.executable)
+        assert system.kernel.run_until_exit(proc) == 0
+        assert proc.runtime.ldl.stats.faults_serviced == 0
+        assert proc.runtime.ldl.stats.modules_linked == 0
+
+    def test_second_process_reuses_resolution(self):
+        """Resolved relocations are persisted in the segment file, so a
+        second process maps an already-linked module."""
+        system = boot(lazy=True)
+        shell = make_shell(system.kernel)
+        graph = build_module_fanout(system.kernel, shell, width=3, used=3,
+                                    module_dir="/shared/fan")
+        p1 = system.kernel.create_machine_process("p1", graph.executable)
+        system.kernel.run_until_exit(p1)
+        p2 = system.kernel.create_machine_process("p2", graph.executable)
+        assert system.kernel.run_until_exit(p2) == fanout_expected_exit(3)
+        assert p2.runtime.ldl.stats.relocs_patched == \
+            len([r for r in graph.executable.relocations])
+
+
+class TestChain:
+    def test_recursive_lazy_inclusion(self):
+        """Figure 2: linking one module chains in modules the original
+        program never named."""
+        system = boot(lazy=True)
+        kernel = system.kernel
+        shell = make_shell(kernel)
+        graph = build_module_chain(kernel, shell, depth=6,
+                                   module_dir="/shared/chain")
+        # Only chain0 appears on the link line.
+        names = [m for m, _ in graph.executable.link_info.dynamic_modules]
+        assert names == ["chain0.o"]
+        proc = kernel.create_machine_process("p", graph.executable)
+        assert kernel.run_until_exit(proc) == chain_expected_exit(6)
+        stats = proc.runtime.ldl.stats
+        assert stats.modules_created == 6
+        assert stats.modules_linked >= 5
+
+    def test_chain_modules_all_public_and_persistent(self):
+        system = boot(lazy=True)
+        kernel = system.kernel
+        shell = make_shell(kernel)
+        graph = build_module_chain(kernel, shell, depth=3,
+                                   module_dir="/shared/chain")
+        proc = kernel.create_machine_process("p", graph.executable)
+        kernel.run_until_exit(proc)
+        for index in range(3):
+            assert kernel.vfs.exists(f"/shared/chain/chain{index}")
+
+
+class TestScopeChain:
+    def _module(self, name):
+        meta = ObjectFile(name, ObjectKind.SEGMENT)
+        from repro.linker.ldl import LoadedModule
+
+        return LoadedModule(name, None, meta, 0, 0,
+                            SharingClass.DYNAMIC_PUBLIC)
+
+    def test_chain_walks_up_only(self):
+        root = self._module("root")
+        mid = self._module("mid")
+        leaf = self._module("leaf")
+        mid.add_parent(root)
+        leaf.add_parent(mid)
+        chain = [m.name for m in scope_chain(leaf)]
+        assert chain == ["leaf", "mid", "root"]
+
+    def test_dag_dedup(self):
+        root = self._module("root")
+        a = self._module("a")
+        b = self._module("b")
+        shared = self._module("shared")
+        a.add_parent(root)
+        b.add_parent(root)
+        shared.add_parent(a)
+        shared.add_parent(b)
+        chain = [m.name for m in scope_chain(shared)]
+        assert chain == ["shared", "a", "b", "root"]
+
+    def test_self_parent_ignored(self):
+        node = self._module("n")
+        node.add_parent(node)
+        assert node.parents == []
+
+
+class TestScopedResolutionSemantics:
+    def test_child_scope_wins_over_parent(self, system, shell):
+        """A module's own search path shadows same-named symbols the
+        parent could provide — abstraction preservation (§3)."""
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/app")
+        kernel.vfs.makedirs("/shared/sub")
+        # The subsystem's own version of `helper` returns 1.
+        put(kernel, shell, "/shared/sub/helper.o",
+            ".text\n.globl helper\nhelper:\nli v0, 1\njr ra")
+        # The application's version returns 2.
+        put(kernel, shell, "/shared/app/helper.o",
+            ".text\n.globl helper\nhelper:\nli v0, 2\njr ra")
+        # The subsystem module searches its own directory first.
+        put(kernel, shell, "/shared/app/subsys.o", """
+            .searchdir /shared/sub
+            .text
+            .globl subsys_fn
+        subsys_fn:
+            addi sp, sp, -8
+            sw ra, 0(sp)
+            jal helper
+            lw ra, 0(sp)
+            addi sp, sp, 8
+            jr ra
+        """)
+        put(kernel, shell, "/src2.o", """
+            .text
+            .globl main
+        main:
+            addi sp, sp, -8
+            sw ra, 0(sp)
+            jal subsys_fn
+            lw ra, 0(sp)
+            addi sp, sp, 8
+            jr ra
+        """)
+        result = system.lds.link(
+            shell,
+            [LinkRequest("/src2.o"),
+             LinkRequest("subsys.o", SharingClass.DYNAMIC_PUBLIC)],
+            output="/bin_a",
+            search_dirs=["/shared/app"],
+        )
+        proc = kernel.create_machine_process("p", result.executable)
+        assert kernel.run_until_exit(proc) == 1  # subsystem's own helper
+
+    def test_falls_back_to_parent_scope(self, system, shell):
+        """A module without its own provider resolves from its parent."""
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/app")
+        put(kernel, shell, "/shared/app/helper.o",
+            ".text\n.globl helper\nhelper:\nli v0, 2\njr ra")
+        put(kernel, shell, "/shared/app/subsys.o", """
+            .text
+            .globl subsys_fn
+        subsys_fn:
+            addi sp, sp, -8
+            sw ra, 0(sp)
+            jal helper
+            lw ra, 0(sp)
+            addi sp, sp, 8
+            jr ra
+        """)
+        put(kernel, shell, "/src2.o", """
+            .text
+            .globl main
+        main:
+            addi sp, sp, -8
+            sw ra, 0(sp)
+            jal subsys_fn
+            lw ra, 0(sp)
+            addi sp, sp, 8
+            jr ra
+        """)
+        result = system.lds.link(
+            shell,
+            [LinkRequest("/src2.o"),
+             LinkRequest("subsys.o", SharingClass.DYNAMIC_PUBLIC)],
+            output="/bin_a",
+            search_dirs=["/shared/app"],
+        )
+        proc = kernel.create_machine_process("p", result.executable)
+        assert kernel.run_until_exit(proc) == 2  # parent scope's helper
+
+    def test_unresolved_at_root_faults_at_use(self, system, shell):
+        """References undefined at the root of the DAG stay unresolved
+        and fault if executed (§3)."""
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/app")
+        put(kernel, shell, "/shared/app/broken.o", """
+            .text
+            .globl broken_fn
+        broken_fn:
+            jal missing_everywhere
+            jr ra
+        """)
+        put(kernel, shell, "/src2.o", """
+            .text
+            .globl main
+        main:
+            addi sp, sp, -8
+            sw ra, 0(sp)
+            jal broken_fn
+            lw ra, 0(sp)
+            addi sp, sp, 8
+            jr ra
+        """)
+        result = system.lds.link(
+            shell,
+            [LinkRequest("/src2.o"),
+             LinkRequest("broken.o", SharingClass.DYNAMIC_PUBLIC)],
+            output="/bin_a",
+            search_dirs=["/shared/app"],
+        )
+        proc = kernel.create_machine_process("p", result.executable)
+        kernel.run_until_exit(proc)
+        assert proc.exit_code == -1
+        assert "SIGSEGV" in proc.death_reason
+
+
+class TestDynamicPrivate:
+    def test_private_instances_are_per_process(self, system, shell):
+        kernel = system.kernel
+        kernel.vfs.makedirs("/lib")
+        put(kernel, shell, "/lib/priv.o", SHARED_COUNTER)
+        put(kernel, shell, "/main.o", MAIN_BUMPS)
+        result = system.lds.link(
+            shell,
+            [LinkRequest("/main.o"),
+             LinkRequest("priv.o", SharingClass.DYNAMIC_PRIVATE)],
+            output="/prog",
+            search_dirs=["/lib"],
+        )
+        p1 = kernel.create_machine_process("p1", result.executable)
+        assert kernel.run_until_exit(p1) == 2
+        p2 = kernel.create_machine_process("p2", result.executable)
+        assert kernel.run_until_exit(p2) == 2  # fresh instance, not 4
+
+    def test_private_template_may_live_off_partition(self, system,
+                                                     shell):
+        kernel = system.kernel
+        kernel.vfs.makedirs("/lib")
+        put(kernel, shell, "/lib/priv.o", SHARED_COUNTER)
+        put(kernel, shell, "/main.o", MAIN_BUMPS)
+        result = system.lds.link(
+            shell,
+            [LinkRequest("/main.o"),
+             LinkRequest("priv.o", SharingClass.DYNAMIC_PRIVATE)],
+            output="/prog",
+            search_dirs=["/lib"],
+        )
+        proc = kernel.create_machine_process("p", result.executable)
+        assert kernel.run_until_exit(proc) == 2
+        # The private module lives in the private dynamic area.
+        from repro.vm.layout import PRIVATE_DYNAMIC_BASE, HEAP_REGION
+
+        module = proc.runtime.ldl.modules()[1]
+        assert PRIVATE_DYNAMIC_BASE <= module.base < HEAP_REGION.end
+
+
+class TestCreationLocking:
+    def test_create_public_is_serialized(self, system, shell):
+        """The creation path takes the template's file lock."""
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/lib")
+        put(kernel, shell, "/shared/lib/counter.o", SHARED_COUNTER)
+        ldl = Ldl(kernel, shell)
+        root = ObjectFile("root", ObjectKind.EXECUTABLE)
+        root.link_info.search_path = ["/shared/lib"]
+        ldl.bootstrap(root)
+        module = ldl.ensure_module("counter.o",
+                                   SharingClass.DYNAMIC_PUBLIC, ldl.root)
+        assert module.path == "/shared/lib/counter"
+        # The lock was released.
+        template_inode = kernel.vfs.resolve("/shared/lib/counter.o")[1]
+        assert template_inode.lock_owner is None
+
+    def test_double_ensure_dedupes(self, system, shell):
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/lib")
+        put(kernel, shell, "/shared/lib/counter.o", SHARED_COUNTER)
+        ldl = Ldl(kernel, shell)
+        root = ObjectFile("root", ObjectKind.EXECUTABLE)
+        root.link_info.search_path = ["/shared/lib"]
+        ldl.bootstrap(root)
+        first = ldl.ensure_module("counter.o",
+                                  SharingClass.DYNAMIC_PUBLIC, ldl.root)
+        second = ldl.ensure_module("counter.o",
+                                   SharingClass.DYNAMIC_PUBLIC, ldl.root)
+        assert first is second
+        assert ldl.stats.modules_created == 1

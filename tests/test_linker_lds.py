@@ -1,0 +1,353 @@
+"""lds: the static linker — classes, publics, retained relocs, warnings."""
+
+import pytest
+
+from repro.errors import (
+    FileLimitError,
+    LinkError,
+    ModuleNotFoundLinkError,
+    UndefinedSymbolError,
+)
+from repro.hw.asm import assemble
+from repro.linker.baseline_ld import link_static
+from repro.linker.classes import SharingClass
+from repro.linker.lds import Lds, LinkRequest, load_template, store_object
+from repro.linker.segments import (
+    create_public_module,
+    module_path_for_template,
+    read_segment_meta,
+)
+from repro.objfile.archive import Archive
+from repro.objfile.format import ObjectKind, RelocType
+from repro.sfs.sharedfs import MAX_FILE_SIZE
+from repro.vm.layout import HEAP_REGION, TEXT_BASE
+
+
+MAIN_CALLS_SHARED = """
+        .text
+        .globl main
+main:
+        addi sp, sp, -8
+        sw ra, 0(sp)
+        jal shared_fn
+        lw ra, 0(sp)
+        addi sp, sp, 8
+        jr ra
+"""
+
+SHARED_MODULE = """
+        .text
+        .globl shared_fn
+shared_fn:
+        li v0, 5
+        jr ra
+"""
+
+
+@pytest.fixture
+def lds(kernel):
+    return Lds(kernel)
+
+
+def put(kernel, shell, path, source, name=None):
+    store_object(kernel, shell, path,
+                 assemble(source, name or path.rsplit("/", 1)[-1]))
+
+
+class TestBaselineLd:
+    def test_static_link_and_run(self, kernel):
+        image = link_static([assemble(
+            ".text\n.globl main\nmain:\nli v0, 3\njr ra", "m.o"
+        )])
+        assert image.kind is ObjectKind.EXECUTABLE
+        assert image.layout["text"].base == TEXT_BASE
+        assert image.layout["data"].base == HEAP_REGION.start
+        proc = kernel.create_machine_process("p", image)
+        assert kernel.run_until_exit(proc) == 3
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(UndefinedSymbolError):
+            link_static([assemble(
+                ".text\n.globl main\nmain:\njal nowhere\njr ra", "m.o"
+            )])
+
+    def test_archive_members_pulled(self, kernel):
+        main = assemble(
+            ".text\n.globl main\nmain:\naddi sp, sp, -8\nsw ra, 0(sp)\n"
+            "jal lib_fn\nlw ra, 0(sp)\naddi sp, sp, 8\njr ra", "m.o"
+        )
+        archive = Archive("lib.a")
+        archive.add(assemble(
+            ".text\n.globl lib_fn\nlib_fn:\nli v0, 8\njr ra", "lib.o"
+        ))
+        archive.add(assemble(
+            ".text\n.globl unused_fn\nunused_fn:\njr ra", "unused.o"
+        ))
+        image = link_static([main], archives=[archive])
+        proc = kernel.create_machine_process("p", image)
+        assert kernel.run_until_exit(proc) == 8
+        # The unused member stayed out.
+        assert "unused_fn" not in image.symbols
+
+    def test_crt0_provides_start(self):
+        image = link_static([assemble(
+            ".text\n.globl main\nmain:\njr ra", "m.o"
+        )])
+        assert image.entry_symbol == "_start"
+        assert image.symbols["_start"].defined
+
+
+class TestLdsStaticPrivate:
+    def test_missing_static_module_aborts(self, lds, shell, dirs):
+        with pytest.raises(ModuleNotFoundLinkError):
+            lds.link(shell, [LinkRequest("missing.o")], output="/bin/a")
+
+    def test_multiple_privates_merge(self, kernel, lds, shell, dirs):
+        put(kernel, shell, "/src/a.o", """
+            .text
+            .globl main
+        main:
+            addi sp, sp, -8
+            sw ra, 0(sp)
+            jal helper
+            lw ra, 0(sp)
+            addi sp, sp, 8
+            jr ra
+        """)
+        put(kernel, shell, "/src/b.o",
+            ".text\n.globl helper\nhelper:\nli v0, 11\njr ra")
+        result = lds.link(
+            shell,
+            [LinkRequest("/src/a.o"), LinkRequest("/src/b.o")],
+            output="/bin/a",
+        )
+        proc = kernel.create_machine_process("p", result.executable)
+        assert kernel.run_until_exit(proc) == 11
+
+    def test_executable_written_to_fs(self, kernel, lds, shell, dirs):
+        put(kernel, shell, "/src/m.o",
+            ".text\n.globl main\nmain:\njr ra")
+        result = lds.link(shell, [LinkRequest("/src/m.o")],
+                          output="/bin/prog")
+        stored = load_template(kernel, shell, "/bin/prog")
+        assert stored.kind is ObjectKind.EXECUTABLE
+        assert stored.to_bytes() == result.executable.to_bytes()
+
+
+class TestLdsStaticPublic:
+    def test_created_next_to_template(self, kernel, lds, shell, dirs):
+        put(kernel, shell, "/shared/lib/shared1.o", SHARED_MODULE,
+            "shared1.o")
+        put(kernel, shell, "/src/main.o", MAIN_CALLS_SHARED)
+        result = lds.link(
+            shell,
+            [LinkRequest("/src/main.o"),
+             LinkRequest("shared1.o", SharingClass.STATIC_PUBLIC)],
+            output="/bin/a",
+            search_dirs=["/shared/lib"],
+        )
+        assert kernel.vfs.exists("/shared/lib/shared1")
+        assert result.static_publics[0][0] == "/shared/lib/shared1"
+
+    def test_references_resolved_at_static_link_time(self, kernel, lds,
+                                                     shell, dirs):
+        """lds resolves refs to static publics itself (ld refuses)."""
+        put(kernel, shell, "/shared/lib/shared1.o", SHARED_MODULE,
+            "shared1.o")
+        put(kernel, shell, "/src/main.o", MAIN_CALLS_SHARED)
+        result = lds.link(
+            shell,
+            [LinkRequest("/src/main.o"),
+             LinkRequest("shared1.o", SharingClass.STATIC_PUBLIC)],
+            output="/bin/a",
+            search_dirs=["/shared/lib"],
+        )
+        # No retained relocation refers to shared_fn: it was resolved.
+        assert all(r.symbol != "shared_fn"
+                   for r in result.executable.relocations)
+        proc = kernel.create_machine_process("p", result.executable)
+        assert kernel.run_until_exit(proc) == 5
+
+    def test_existing_module_reused(self, kernel, lds, shell, dirs):
+        put(kernel, shell, "/shared/lib/shared1.o", SHARED_MODULE,
+            "shared1.o")
+        put(kernel, shell, "/src/main.o", MAIN_CALLS_SHARED)
+        requests = [
+            LinkRequest("/src/main.o"),
+            LinkRequest("shared1.o", SharingClass.STATIC_PUBLIC),
+        ]
+        first = lds.link(shell, requests, output="/bin/a",
+                         search_dirs=["/shared/lib"])
+        second = lds.link(shell, requests, output="/bin/b",
+                          search_dirs=["/shared/lib"])
+        assert first.static_publics == second.static_publics
+
+    def test_template_off_partition_rejected(self, kernel, lds, shell,
+                                             dirs):
+        put(kernel, shell, "/src/shared1.o", SHARED_MODULE, "shared1.o")
+        put(kernel, shell, "/src/main.o", MAIN_CALLS_SHARED)
+        with pytest.raises(LinkError):
+            lds.link(
+                shell,
+                [LinkRequest("/src/main.o"),
+                 LinkRequest("shared1.o", SharingClass.STATIC_PUBLIC)],
+                output="/bin/a",
+                search_dirs=["/src"],
+            )
+
+
+class TestLdsDynamic:
+    def test_missing_dynamic_module_warns_not_errors(self, kernel, lds,
+                                                     shell, dirs):
+        put(kernel, shell, "/src/main.o", MAIN_CALLS_SHARED)
+        result = lds.link(
+            shell,
+            [LinkRequest("/src/main.o"),
+             LinkRequest("ghost.o", SharingClass.DYNAMIC_PUBLIC)],
+            output="/bin/a",
+        )
+        assert any("ghost.o" in warning for warning in result.warnings)
+
+    def test_strict_mode_errors(self, kernel, lds, shell, dirs):
+        put(kernel, shell, "/src/main.o", MAIN_CALLS_SHARED)
+        with pytest.raises(ModuleNotFoundLinkError):
+            lds.link(
+                shell,
+                [LinkRequest("/src/main.o"),
+                 LinkRequest("ghost.o", SharingClass.DYNAMIC_PUBLIC)],
+                output="/bin/a",
+                strict_dynamic=True,
+            )
+
+    def test_dynamic_refs_retained(self, kernel, lds, shell, dirs):
+        put(kernel, shell, "/shared/lib/shared1.o", SHARED_MODULE,
+            "shared1.o")
+        put(kernel, shell, "/src/main.o", MAIN_CALLS_SHARED)
+        result = lds.link(
+            shell,
+            [LinkRequest("/src/main.o"),
+             LinkRequest("shared1.o", SharingClass.DYNAMIC_PUBLIC)],
+            output="/bin/a",
+            search_dirs=["/shared/lib"],
+        )
+        symbols = {r.symbol for r in result.executable.relocations}
+        assert "shared_fn" in symbols
+        assert result.retained_relocations >= 2  # island HI16+LO16
+
+    def test_link_info_saved(self, kernel, lds, shell, dirs):
+        put(kernel, shell, "/shared/lib/shared1.o", SHARED_MODULE,
+            "shared1.o")
+        put(kernel, shell, "/src/main.o", MAIN_CALLS_SHARED)
+        result = lds.link(
+            shell,
+            [LinkRequest("/src/main.o"),
+             LinkRequest("shared1.o", SharingClass.DYNAMIC_PUBLIC)],
+            output="/bin/a",
+            search_dirs=["/shared/lib"],
+        )
+        info = result.executable.link_info
+        assert ("shared1.o", "dynamic_public") in info.dynamic_modules
+        assert "/shared/lib" in info.search_path
+
+    def test_islands_inserted_for_externals(self, kernel, lds, shell,
+                                            dirs):
+        put(kernel, shell, "/shared/lib/shared1.o", SHARED_MODULE,
+            "shared1.o")
+        put(kernel, shell, "/src/main.o", MAIN_CALLS_SHARED)
+        result = lds.link(
+            shell,
+            [LinkRequest("/src/main.o"),
+             LinkRequest("shared1.o", SharingClass.DYNAMIC_PUBLIC)],
+            output="/bin/a",
+            search_dirs=["/shared/lib"],
+        )
+        assert result.islands >= 1
+
+    def test_fully_static_undefined_errors(self, kernel, lds, shell,
+                                           dirs):
+        put(kernel, shell, "/src/main.o", MAIN_CALLS_SHARED)
+        with pytest.raises(UndefinedSymbolError):
+            lds.link(shell, [LinkRequest("/src/main.o")], output="/bin/a")
+
+    def test_add_link_info(self, kernel, lds, shell, dirs):
+        template = assemble(".text\nnop", "t.o")
+        enriched = lds.add_link_info(
+            template, search_dirs=["/shared/x"],
+            modules=[("dep.o", "dynamic_public")],
+        )
+        assert enriched.link_info.search_path == ["/shared/x"]
+        assert template.link_info.search_path == []  # original untouched
+
+
+class TestSegmentFiles:
+    def test_module_path_for_template(self):
+        assert module_path_for_template("/shared/lib/m.o") == \
+            "/shared/lib/m"
+        with pytest.raises(LinkError):
+            module_path_for_template("/shared/lib/m.txt")
+
+    def test_create_and_read_roundtrip(self, kernel, shell, dirs):
+        template = assemble(SHARED_MODULE, "seg.o")
+        store_object(kernel, shell, "/shared/lib/seg.o", template)
+        meta, base = create_public_module(
+            kernel, shell, template, "/shared/lib/seg"
+        )
+        meta2, base2, image_len = read_segment_meta(
+            kernel, shell, "/shared/lib/seg"
+        )
+        assert base2 == base
+        assert meta2.symbols["shared_fn"].value == \
+            meta.symbols["shared_fn"].value
+        assert image_len % 4096 == 0
+
+    def test_base_matches_inode_address(self, kernel, shell, dirs):
+        template = assemble(SHARED_MODULE, "seg.o")
+        _meta, base = create_public_module(
+            kernel, shell, template, "/shared/lib/seg"
+        )
+        ino = kernel.vfs.stat("/shared/lib/seg").st_ino
+        assert base == kernel.sfs.address_of_inode(ino)
+
+    def test_oversized_module_rejected(self, kernel, shell, dirs):
+        template = assemble(f".heap {MAX_FILE_SIZE}\n.text\nnop", "big.o")
+        with pytest.raises(FileLimitError):
+            create_public_module(kernel, shell, template,
+                                 "/shared/lib/big")
+
+    def test_not_a_segment_rejected(self, kernel, shell, dirs):
+        kernel.vfs.write_whole("/shared/lib/junk", b"not a segment file")
+        from repro.errors import ObjectFormatError
+
+        with pytest.raises(ObjectFormatError):
+            read_segment_meta(kernel, shell, "/shared/lib/junk")
+
+
+class TestSegmentLifecycle:
+    def test_destroy_public_module(self, kernel, shell, dirs):
+        from repro.linker.segments import destroy_public_module
+
+        template = assemble(SHARED_MODULE, "seg.o")
+        store_object(kernel, shell, "/shared/lib/seg.o", template)
+        create_public_module(kernel, shell, template, "/shared/lib/seg")
+        assert kernel.vfs.exists("/shared/lib/seg")
+        destroy_public_module(kernel, shell, "/shared/lib/seg")
+        assert not kernel.vfs.exists("/shared/lib/seg")
+        # The template survives; the module can be recreated.
+        meta, base = create_public_module(kernel, shell, template,
+                                          "/shared/lib/seg")
+        assert meta.symbols["shared_fn"].defined
+        assert base == kernel.sfs.address_of_inode(
+            kernel.vfs.stat("/shared/lib/seg").st_ino
+        )
+
+    def test_objdump_of_executable(self, kernel, lds, shell, dirs):
+        from repro.objfile.inspect import objdump
+
+        put(kernel, shell, "/src/m.o",
+            ".text\n.globl main\nmain:\nli v0, 1\njr ra")
+        result = lds.link(shell, [LinkRequest("/src/m.o")],
+                          output="/bin/prog")
+        text = objdump(result.executable, disassemble=True)
+        assert "executable" in text
+        assert "entry: _start" in text
+        assert "jr ra" in text

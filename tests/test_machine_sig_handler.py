@@ -1,0 +1,164 @@
+"""Machine-code program handlers for SIGSEGV (§2's wrapped signal()).
+
+"For compatibility with programs that already catch the SIGSEGV signal,
+the library containing our signal handler provides a new version of the
+standard signal library call. When the dynamic linking system's fault
+handler is unable to resolve a fault, a program-provided handler for
+SIGSEGV is invoked, if one exists."
+
+Here the program-provided handler is genuine machine code, run on the
+process's own CPU with saved/restored register state.
+"""
+
+import pytest
+
+from repro.hw.asm import assemble
+from repro.linker.baseline_ld import link_static
+from repro.runtime.libshared import attach_runtime
+
+
+RECOVERING_PROGRAM = """
+        .text
+        .globl main
+main:
+        # install handler(addr) via the wrapped signal() call
+        la a0, handler
+        li v0, 13           # SYS_SIGNAL
+        syscall
+        # deliberately touch an unmapped private page
+        li t0, 0x20400000
+        lw t1, 0(t0)        # faults; handler maps it and stores 55
+        move v0, t1
+        jr ra
+
+handler:
+        # a0 = faulting address. Map a page there (anonymous private,
+        # prot rwx) and put a recognizable value in it.
+        addi sp, sp, -8
+        sw ra, 0(sp)
+        sw a0, 4(sp)
+        li a1, 4096
+        li a2, 7            # PROT_RWX
+        li a3, 0xFFFFFFFF   # no fd
+        li v0, 10           # SYS_MMAP
+        syscall
+        lw t2, 4(sp)
+        li t3, 55
+        sw t3, 0(t2)
+        lw ra, 0(sp)
+        addi sp, sp, 8
+        li v0, 1            # resolved: retry the instruction
+        jr ra
+"""
+
+DECLINING_PROGRAM = """
+        .text
+        .globl main
+main:
+        la a0, handler
+        li v0, 13
+        syscall
+        li t0, 0x20400000
+        lw t1, 0(t0)
+        move v0, t1
+        jr ra
+
+handler:
+        li v0, 0            # decline: cannot fix it
+        jr ra
+"""
+
+REGISTER_PRESERVATION_PROGRAM = """
+        .text
+        .globl main
+main:
+        la a0, handler
+        li v0, 13
+        syscall
+        li s0, 1234         # callee-saved state the handler clobbers
+        li t0, 0x20400000
+        lw t1, 0(t0)
+        # s0 must still be 1234 after the handler ran
+        move v0, s0
+        jr ra
+
+handler:
+        li s0, 9999         # trashing registers on purpose
+        addi sp, sp, -8
+        sw ra, 0(sp)
+        sw a0, 4(sp)
+        li a1, 4096
+        li a2, 7
+        li a3, 0xFFFFFFFF
+        li v0, 10
+        syscall
+        lw ra, 0(sp)
+        addi sp, sp, 8
+        li v0, 1
+        jr ra
+"""
+
+
+def run(kernel, source):
+    image = link_static([assemble(source, "m.o")])
+    proc = kernel.create_machine_process("p", image)
+    code = kernel.run_until_exit(proc)
+    return code, proc
+
+
+class TestMachineHandlers:
+    def test_handler_recovers_fault(self, kernel):
+        attach_runtime(kernel)
+        code, proc = run(kernel, RECOVERING_PROGRAM)
+        assert proc.death_reason is None
+        assert code == 55
+
+    def test_declining_handler_leads_to_death(self, kernel):
+        attach_runtime(kernel)
+        code, proc = run(kernel, DECLINING_PROGRAM)
+        assert proc.exit_code == -1
+        assert "SIGSEGV" in proc.death_reason
+
+    def test_registers_restored_after_handler(self, kernel):
+        attach_runtime(kernel)
+        code, proc = run(kernel, REGISTER_PRESERVATION_PROGRAM)
+        assert proc.death_reason is None
+        assert code == 1234
+
+    def test_no_handler_registered(self, kernel):
+        attach_runtime(kernel)
+        source = """
+            .text
+            .globl main
+        main:
+            li t0, 0x20400000
+            lw t1, 0(t0)
+            jr ra
+        """
+        code, proc = run(kernel, source)
+        assert proc.exit_code == -1
+        assert "SIGSEGV" in proc.death_reason
+
+    def test_faulting_handler_is_contained(self, kernel):
+        attach_runtime(kernel)
+        source = """
+            .text
+            .globl main
+        main:
+            la a0, handler
+            li v0, 13
+            syscall
+            li t0, 0x20400000
+            lw t1, 0(t0)
+            jr ra
+
+        handler:
+            # the handler itself touches another unmapped page
+            li t5, 0x20500000
+            lw t6, 0(t5)
+            li v0, 1
+            jr ra
+        """
+        code, proc = run(kernel, source)
+        assert proc.exit_code == -1   # unresolved, process dies
+        assert "SIGSEGV" in proc.death_reason

@@ -1,0 +1,89 @@
+"""The explicit dlopen/dlsym interface (§3's dld / SunOS baseline)."""
+
+import pytest
+
+from repro.hw.asm import assemble
+from repro.linker.lds import store_object
+from repro.runtime.libshared import runtime_for
+from repro.runtime.views import Mem
+
+MODULE = """
+        .text
+        .globl dl_fn
+dl_fn:
+        la t0, dl_value
+        lw v0, 0(t0)
+        jr ra
+        .data
+        .globl dl_value
+dl_value: .word 4321
+"""
+
+
+@pytest.fixture
+def loaded(kernel, shell):
+    kernel.vfs.makedirs("/shared/lib")
+    store_object(kernel, shell, "/shared/lib/dlmod.o",
+                 assemble(MODULE, "dlmod.o"))
+    runtime = runtime_for(kernel, shell)
+    runtime.start_native(search_dirs=["/shared/lib"])
+    return runtime
+
+
+class TestDlopen:
+    def test_open_and_sym(self, kernel, shell, loaded):
+        handle = loaded.dlopen("/shared/lib/dlmod.o")
+        address = loaded.dlsym(handle, "dl_value")
+        assert address is not None
+        assert Mem(kernel, shell).load_u32(address) == 4321
+
+    def test_unknown_symbol_is_none(self, loaded):
+        handle = loaded.dlopen("/shared/lib/dlmod.o")
+        assert loaded.dlsym(handle, "nope") is None
+
+    def test_open_links_immediately(self, kernel, shell, loaded):
+        handle = loaded.dlopen("/shared/lib/dlmod.o")
+        assert handle.linked
+        assert handle.accessible
+
+    def test_open_creates_public_module(self, kernel, shell, loaded):
+        loaded.dlopen("/shared/lib/dlmod.o")
+        assert kernel.vfs.exists("/shared/lib/dlmod")
+
+    def test_open_missing_path(self, kernel, shell, loaded):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            loaded.dlopen("/shared/lib/ghost.o")
+
+    def test_dlopen_dedupes_with_transparent_linking(self, kernel, shell,
+                                                     loaded):
+        handle1 = loaded.dlopen("/shared/lib/dlmod.o")
+        # Transparent resolution reaches the same module instance.
+        address = loaded.resolve_symbol("dl_fn")
+        assert address == loaded.dlsym(handle1, "dl_fn")
+
+    def test_lazy_dlopen_defers_link(self, kernel, shell):
+        kernel.vfs.makedirs("/shared/app")
+        store_object(kernel, shell, "/shared/app/outer.o", assemble("""
+            .searchdir /shared/app
+            .text
+            .globl outer_fn
+        outer_fn:
+            jal inner_fn
+            jr ra
+        """, "outer.o"))
+        store_object(kernel, shell, "/shared/app/inner_fn.o", assemble("""
+            .text
+            .globl inner_fn
+        inner_fn:
+            li v0, 9
+            jr ra
+        """, "inner_fn.o"))
+        runtime = runtime_for(kernel, shell)
+        runtime.start_native(search_dirs=["/shared/app"])
+        handle = runtime.dlopen("/shared/app/outer.o", lazy=True)
+        assert not handle.linked      # undefined refs deferred
+        runtime.ldl.link_module(handle)
+        assert handle.linked
+        assert runtime.ldl.stats.modules_created == 2  # inner chained in

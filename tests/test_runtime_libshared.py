@@ -1,0 +1,194 @@
+"""The runtime library: fault handler, signal() wrapper, segments,
+symbol resolution, and the §5 safety caveat."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.hw.asm import assemble
+from repro.kernel.signals import Signal
+from repro.linker.classes import SharingClass
+from repro.linker.lds import LinkRequest, store_object
+from repro.runtime.libshared import HemlockRuntime, runtime_for
+from repro.runtime.views import Mem
+from repro.sfs.sharedfs import MAX_FILE_SIZE
+
+
+class TestSegmentLibrary:
+    def test_create_segment_returns_global_address(self, kernel, shell):
+        runtime = runtime_for(kernel, shell)
+        base = runtime.create_segment("/shared/seg", 4096)
+        ino = kernel.vfs.stat("/shared/seg").st_ino
+        assert base == kernel.sfs.address_of_inode(ino)
+
+    def test_segment_base_for_existing(self, kernel, shell):
+        runtime = runtime_for(kernel, shell)
+        base = runtime.create_segment("/shared/seg", 4096)
+        assert runtime.segment_base("/shared/seg") == base
+
+    def test_create_exclusive(self, kernel, shell):
+        runtime = runtime_for(kernel, shell)
+        runtime.create_segment("/shared/seg", 4096)
+        with pytest.raises(Exception):
+            runtime.create_segment("/shared/seg", 4096)
+        # Non-exclusive re-open succeeds.
+        runtime.create_segment("/shared/seg", 4096, exclusive=False)
+
+    def test_create_oversized_rejected(self, kernel, shell):
+        runtime = runtime_for(kernel, shell)
+        with pytest.raises(SyscallError):
+            runtime.create_segment("/shared/big", MAX_FILE_SIZE + 1)
+
+    def test_delete_segment(self, kernel, shell):
+        runtime = runtime_for(kernel, shell)
+        base = runtime.create_segment("/shared/seg", 4096)
+        mem = Mem(kernel, shell)
+        mem.store_u32(base, 9)  # maps it
+        runtime.delete_segment("/shared/seg")
+        assert not kernel.vfs.exists("/shared/seg")
+        assert not shell.address_space.is_mapped(base)
+
+    def test_runtime_for_is_idempotent(self, kernel, shell):
+        first = runtime_for(kernel, shell)
+        second = runtime_for(kernel, shell)
+        assert first is second
+
+
+class TestPointerChasing:
+    def test_read_only_rights_mapped_read_only(self, kernel, shell):
+        """'access rights permitting' — a segment the user may only
+        read is mapped without write permission; writes still fault."""
+        owner = runtime_for(kernel, shell)
+        base = owner.create_segment("/shared/ro", 4096)
+        mem = Mem(kernel, shell)
+        mem.store_u32(base, 7)
+
+        from repro.bench.workloads import make_shell
+
+        other = make_shell(kernel, "other")
+        other.uid = 5
+        runtime_for(kernel, other)
+        # Make the file read-only for others.
+        _fs, inode = kernel.vfs.resolve("/shared/ro")
+        inode.mode = 0o644
+        other_mem = Mem(kernel, other)
+        assert other_mem.load_u32(base) == 7
+        from repro.vm.faults import PageFaultError
+
+        with pytest.raises(PageFaultError):
+            other_mem.store_u32(base, 8)
+
+    def test_no_rights_not_mapped(self, kernel, shell):
+        owner = runtime_for(kernel, shell)
+        base = owner.create_segment("/shared/hidden", 4096)
+        _fs, inode = kernel.vfs.resolve("/shared/hidden")
+        inode.mode = 0o600
+        from repro.bench.workloads import make_shell
+        from repro.vm.faults import PageFaultError
+
+        other = make_shell(kernel, "other")
+        other.uid = 5
+        runtime_for(kernel, other)
+        with pytest.raises(PageFaultError):
+            Mem(kernel, other).load_u32(base)
+
+    def test_safety_caveat_wild_pointer_maps_segment(self, kernel,
+                                                     shell):
+        """§5 Safety: an *erroneous* reference that happens to land in
+        an accessible segment is silently satisfied — the documented
+        cost of the design, reproduced faithfully."""
+        runtime = runtime_for(kernel, shell)
+        base = runtime.create_segment("/shared/innocent", 4096)
+        mem = Mem(kernel, shell)
+        # This "bug" dereferences a garbage pointer that happens to
+        # point into the innocent segment: no crash.
+        wild_pointer = base + 0x10
+        assert mem.load_u32(wild_pointer) == 0
+        assert runtime.segments_mapped == 1
+
+
+class TestSignalWrapper:
+    def test_program_handler_runs_after_runtime(self, kernel, shell):
+        runtime = runtime_for(kernel, shell)
+        seen = []
+
+        def program_handler(_proc, info):
+            seen.append(info.address)
+            return False
+
+        runtime.signal(program_handler)
+        handlers = shell.signal_handlers[Signal.SIGSEGV]
+        assert handlers[0] == runtime._segv_handler
+        assert handlers[-1] == program_handler
+
+        from repro.vm.faults import AccessKind, PageFaultError
+
+        fault = PageFaultError(0x6F000000, AccessKind.READ, present=False)
+        resolved = kernel.deliver_fault(shell, fault)
+        assert not resolved       # nothing could map it...
+        assert seen == [0x6F000000]  # ...so the program handler ran
+
+    def test_program_handler_can_resolve(self, kernel, shell):
+        runtime = runtime_for(kernel, shell)
+
+        def recovery(proc, info):
+            proc.address_space.map(info.address & ~0xFFF, 4096, prot=0x7)
+            return True
+
+        runtime.signal(recovery)
+        mem = Mem(kernel, shell)
+        assert mem.load_u32(0x12340000) == 0  # program handler mapped it
+
+
+class TestSymbolResolution:
+    def test_resolve_symbol_through_dag(self, system, shell):
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/lib")
+        store_object(kernel, shell, "/shared/lib/vars.o", assemble("""
+            .text
+            .globl get
+        get:
+            jr ra
+            .data
+            .globl shared_var
+        shared_var: .word 31337
+        """, "vars.o"))
+        runtime = runtime_for(kernel, shell)
+        runtime.start_native(search_dirs=["/shared/lib"])
+        address = runtime.resolve_symbol("shared_var")
+        assert address is not None
+        mem = Mem(kernel, shell)
+        assert mem.load_u32(address) == 31337
+
+    def test_resolve_unknown_symbol(self, kernel, shell):
+        runtime = runtime_for(kernel, shell)
+        runtime.start_native()
+        assert runtime.resolve_symbol("ghost") is None
+
+    def test_native_process_links_module_symbolically(self, system,
+                                                      shell):
+        """Language-level access from a native process: resolve a name,
+        then read/write the variable directly."""
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/lib")
+        store_object(kernel, shell, "/shared/lib/vars.o", assemble("""
+            .data
+            .globl config_value
+        config_value: .word 10
+        """, "vars.o"))
+        runtime = runtime_for(kernel, shell)
+        runtime.start_native(
+            modules=[("vars.o", SharingClass.DYNAMIC_PUBLIC.value)],
+            search_dirs=["/shared/lib"],
+        )
+        address = runtime.resolve_symbol("config_value")
+        mem = Mem(kernel, shell)
+        assert mem.load_u32(address) == 10
+        mem.store_u32(address, 20)
+        # Visible through the file interface too (same segment pages).
+        from repro.linker.segments import read_segment_meta
+
+        meta, base, _len = read_segment_meta(kernel, shell,
+                                             "/shared/lib/vars")
+        offset = address - base
+        raw = kernel.vfs.read_whole("/shared/lib/vars")[offset:offset + 4]
+        assert int.from_bytes(raw, "little") == 20

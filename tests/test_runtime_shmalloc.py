@@ -1,0 +1,141 @@
+"""Per-segment heap allocator: unit + property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.shmalloc import (
+    BLOCK_HEADER,
+    HEADER_SIZE,
+    SegmentHeap,
+    SegmentHeapError,
+)
+from repro.runtime.views import Mem
+from repro.vm.address_space import PROT_RW
+
+BASE = 0x20000000
+SIZE = 64 * 1024
+
+
+@pytest.fixture
+def mem(kernel, shell):
+    shell.address_space.map(BASE, SIZE, prot=PROT_RW)
+    return Mem(kernel, shell)
+
+
+@pytest.fixture
+def heap(mem):
+    h = SegmentHeap(mem, BASE, SIZE)
+    h.initialize()
+    return h
+
+
+class TestBasics:
+    def test_initialize_and_detect(self, mem):
+        heap = SegmentHeap(mem, BASE, SIZE)
+        assert not heap.is_initialized()
+        heap.initialize()
+        assert heap.is_initialized()
+        heap.ensure_initialized()  # idempotent
+        assert heap.free_bytes() == SIZE - HEADER_SIZE
+
+    def test_too_small_rejected(self, mem):
+        with pytest.raises(SegmentHeapError):
+            SegmentHeap(mem, BASE, 8)
+
+    def test_alloc_returns_disjoint_blocks(self, heap):
+        a = heap.alloc(100)
+        b = heap.alloc(100)
+        assert abs(a - b) >= 100 + BLOCK_HEADER
+
+    def test_alloc_aligned(self, heap):
+        for size in (1, 7, 8, 13, 100):
+            assert heap.alloc(size) % 8 == 0
+
+    def test_payload_usable(self, heap, mem):
+        block = heap.alloc(64)
+        mem.store_bytes(block, b"z" * 64)
+        heap.check()
+
+    def test_free_and_reuse(self, heap):
+        a = heap.alloc(128)
+        heap.free(a)
+        b = heap.alloc(128)
+        assert b == a  # first-fit reuses the freed block
+
+    def test_coalescing(self, heap):
+        blocks = [heap.alloc(100) for _ in range(4)]
+        before = heap.free_bytes()
+        for block in blocks:
+            heap.free(block)
+        assert heap.free_bytes() == SIZE - HEADER_SIZE
+        assert len(list(heap.free_blocks())) == 1
+        assert heap.free_bytes() > before
+
+    def test_double_free_detected(self, heap):
+        block = heap.alloc(32)
+        heap.free(block)
+        with pytest.raises(SegmentHeapError):
+            heap.free(block)
+
+    def test_exhaustion(self, heap):
+        with pytest.raises(SegmentHeapError):
+            heap.alloc(SIZE)
+
+    def test_no_heap_detected(self, mem):
+        heap = SegmentHeap(mem, BASE, SIZE)
+        with pytest.raises(SegmentHeapError):
+            heap.alloc(8)
+
+    def test_heap_state_is_in_memory_not_python(self, kernel, shell,
+                                                mem, heap):
+        """A second SegmentHeap object sees the first one's state —
+        that is what makes it work across processes."""
+        block = heap.alloc(100)
+        other = SegmentHeap(mem, BASE, SIZE)
+        other.free(block)
+        assert other.free_bytes() == SIZE - HEADER_SIZE
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"),
+                      st.integers(min_value=1, max_value=2000)),
+            st.tuples(st.just("free"),
+                      st.integers(min_value=0, max_value=30)),
+        ),
+        max_size=60,
+    ))
+    def test_alloc_free_invariants(self, operations):
+        # Fixtures don't mix with @given; build a fresh context inline.
+        from repro import boot
+        from repro.bench.workloads import make_shell
+
+        kernel = boot().kernel
+        shell = make_shell(kernel)
+        shell.address_space.map(BASE, SIZE, prot=PROT_RW)
+        mem = Mem(kernel, shell)
+        heap = SegmentHeap(mem, BASE, SIZE)
+        heap.initialize()
+        live = []
+        for op, arg in operations:
+            if op == "alloc":
+                try:
+                    block = heap.alloc(arg)
+                except SegmentHeapError:
+                    continue
+                # Blocks never overlap.
+                for other, other_size in live:
+                    assert block + arg <= other \
+                        or other + other_size <= block
+                live.append((block, arg))
+            elif live:
+                index = arg % len(live)
+                block, _size = live.pop(index)
+                heap.free(block)
+            heap.check()
+        for block, _size in live:
+            heap.free(block)
+        heap.check()
+        assert heap.free_bytes() == SIZE - HEADER_SIZE

@@ -1,0 +1,203 @@
+"""The 64-bit shared file system (§3's stated future work)."""
+
+import pytest
+
+from repro import boot
+from repro.bench.workloads import make_shell
+from repro.errors import FileLimitError, FilesystemError
+from repro.runtime.libshared import runtime_for
+from repro.runtime.views import Mem
+from repro.sfs.sfs64 import (
+    DEFAULT_RESERVATION,
+    SFS64_REGION,
+    SharedFilesystem64,
+)
+from repro.sfs.sharedfs import MAX_FILE_SIZE, MAX_INODES
+from repro.vm.pages import PhysicalMemory
+
+
+@pytest.fixture
+def system64():
+    return boot(wide_addresses=True)
+
+
+@pytest.fixture
+def kernel64(system64):
+    return system64.kernel
+
+
+@pytest.fixture
+def shell64(kernel64):
+    return make_shell(kernel64)
+
+
+class TestAllocation:
+    def test_region_is_vast_and_public(self):
+        assert SFS64_REGION.public
+        assert SFS64_REGION.start == 1 << 32
+        assert SFS64_REGION.size > (1 << 46)
+
+    def test_addresses_unique_and_in_region(self, kernel64):
+        sfs = kernel64.sfs
+        bases = set()
+        for index in range(50):
+            inode = sfs.create_file(sfs.root, f"f{index}", uid=0)
+            base = sfs.address_of_inode(inode.number)
+            assert SFS64_REGION.contains(base)
+            assert base not in bases
+            bases.add(base)
+
+    def test_no_1024_inode_limit(self, kernel64):
+        """The 32-bit prototype's inode ceiling is gone."""
+        sfs = kernel64.sfs
+        for index in range(MAX_INODES + 50):
+            sfs.create_file(sfs.root, f"f{index}", uid=0)
+        assert sfs.inode_count() > MAX_INODES
+
+    def test_files_larger_than_one_megabyte(self, kernel64, shell64):
+        runtime = runtime_for(kernel64, shell64)
+        base = runtime.create_segment("/shared/big", 4 << 20)
+        mem = Mem(kernel64, shell64)
+        mem.store_u32(base + (3 << 20), 99)   # far past the old 1 MiB cap
+        assert mem.load_u32(base + (3 << 20)) == 99
+        assert kernel64.vfs.stat("/shared/big").st_size == 4 << 20
+
+    def test_reservation_enforced(self, kernel64, shell64):
+        runtime = runtime_for(kernel64, shell64)
+        runtime.create_segment("/shared/seg", 4096, reservation=8192)
+        handle = kernel64.vfs.open("/shared/seg", 0x2)  # O_RDWR
+        handle.pwrite(8191, b"x")   # still inside the reservation
+        with pytest.raises(FileLimitError):
+            handle.pwrite(8192, b"x")
+
+    def test_default_reservation(self, kernel64):
+        sfs = kernel64.sfs
+        inode = sfs.create_file(sfs.root, "f", uid=0)
+        assert inode.segment_span == DEFAULT_RESERVATION
+
+    def test_address_range_reuse_after_destroy(self, kernel64):
+        sfs = kernel64.sfs
+        first = sfs.create_file(sfs.root, "a", uid=0)
+        base = sfs.address_of_inode(first.number)
+        sfs.unlink(sfs.root, "a")
+        second = sfs.create_file(sfs.root, "b", uid=0)
+        assert sfs.address_of_inode(second.number) == base
+
+    def test_larger_reservation_skips_small_hole(self, kernel64):
+        sfs = kernel64.sfs
+        small = sfs.create_file_with_reservation(sfs.root, "small", 0,
+                                                 1 << 20)
+        small_base = sfs.address_of_inode(small.number)
+        sfs.create_file(sfs.root, "keeper", uid=0)
+        sfs.unlink(sfs.root, "small")
+        big = sfs.create_file_with_reservation(sfs.root, "big", 0,
+                                               32 << 20)
+        assert sfs.address_of_inode(big.number) != small_base
+
+    def test_hard_links_still_prohibited(self, kernel64):
+        sfs = kernel64.sfs
+        inode = sfs.create_file(sfs.root, "f", uid=0)
+        with pytest.raises(FilesystemError):
+            sfs.link(sfs.root, "g", inode)
+
+
+class TestTranslation:
+    def test_address_roundtrip(self, kernel64, shell64):
+        runtime = runtime_for(kernel64, shell64)
+        kernel64.vfs.makedirs("/shared/data")
+        base = runtime.create_segment("/shared/data/seg", 4096)
+        sys = kernel64.syscalls
+        path, offset = sys.addr_to_path(shell64, base + 100)
+        assert path == "/shared/data/seg"
+        assert offset == 100
+        assert sys.path_to_addr(shell64, path) == base
+
+    def test_32bit_addresses_not_public(self, kernel64, shell64):
+        from repro.errors import SyscallError
+
+        with pytest.raises(SyscallError):
+            kernel64.syscalls.addr_to_path(shell64, 0x3000_0000)
+
+    def test_boot_rebuild_from_inode_fields(self, kernel64, shell64):
+        """The B-tree is rebuilt from per-inode address fields — the
+        design that 'allows it to survive across re-boots'."""
+        runtime = runtime_for(kernel64, shell64)
+        bases = [runtime.create_segment(f"/shared/s{i}", 4096)
+                 for i in range(10)]
+        kernel64.sfs.addrmap.rebuild([])     # "crash"
+        count = kernel64.sfs.rebuild_address_map()
+        assert count == 10
+        for base in bases:
+            assert kernel64.sfs.inode_of_address(base) is not None
+
+
+class TestPointerChasing64:
+    def test_fault_maps_64bit_segment(self, kernel64, shell64):
+        """The SIGSEGV handler chases pointers into the wide region."""
+        runtime = runtime_for(kernel64, shell64)
+        base = runtime.create_segment("/shared/wide", 64 * 1024)
+        mem = Mem(kernel64, shell64)
+        assert not shell64.address_space.is_mapped(base)
+        mem.store_u32(base + 4096, 0xABCD)
+        assert shell64.address_space.is_mapped(base)
+        assert mem.load_u32(base + 4096) == 0xABCD
+
+    def test_cross_segment_pointers_above_4g(self, kernel64):
+        a = make_shell(kernel64, "writer")
+        b = make_shell(kernel64, "reader")
+        runtime_a = runtime_for(kernel64, a)
+        runtime_for(kernel64, b)
+        base1 = runtime_a.create_segment("/shared/one", 4096)
+        base2 = runtime_a.create_segment("/shared/two", 4096)
+        mem_a = Mem(kernel64, a)
+        # 64-bit pointers need two words; store low/high halves.
+        mem_a.store_u32(base2, 31337)
+        mem_a.store_u32(base1, base2 & 0xFFFFFFFF)
+        mem_a.store_u32(base1 + 4, base2 >> 32)
+        mem_b = Mem(kernel64, b)
+        pointer = mem_b.load_u32(base1) | (mem_b.load_u32(base1 + 4) << 32)
+        assert mem_b.load_u32(pointer) == 31337
+
+    def test_mixed_sizes_coexist(self, kernel64, shell64):
+        runtime = runtime_for(kernel64, shell64)
+        small = runtime.create_segment("/shared/small", 4096)
+        large = runtime.create_segment("/shared/large", 2 << 20,
+                                       reservation=4 << 20)
+        mem = Mem(kernel64, shell64)
+        mem.store_u32(small, 1)
+        mem.store_u32(large + (2 << 20) - 4, 2)
+        assert mem.load_u32(small) == 1
+        assert mem.load_u32(large + (2 << 20) - 4) == 2
+
+
+class TestStandalone:
+    def test_works_without_kernel(self):
+        pm = PhysicalMemory()
+        sfs = SharedFilesystem64(pm)
+        inode = sfs.create_file(sfs.root, "f", uid=0)
+        base = sfs.address_of_inode(inode.number)
+        hit = sfs.inode_of_address(base + 8)
+        assert hit == (inode, 8)
+        assert sfs.path_of_address(base) == ("/f", 0)
+
+    def test_exhaustion_detected(self):
+        pm = PhysicalMemory()
+        from repro.vm.layout import AddressRegion
+
+        tiny = AddressRegion("tiny", 1 << 32, (1 << 32) + (1 << 20),
+                             public=True)
+        sfs = SharedFilesystem64(pm, region=tiny,
+                                 default_reservation=1 << 20)
+        sfs.create_file(sfs.root, "a", uid=0)
+        with pytest.raises(FileLimitError):
+            sfs.create_file(sfs.root, "b", uid=0)
+
+    def test_old_limits_still_hold_in_32bit_mode(self):
+        """Regression guard: the 32-bit prototype keeps its limits."""
+        system = boot(wide_addresses=False)
+        shell = make_shell(system.kernel)
+        runtime = runtime_for(system.kernel, shell)
+        from repro.errors import SyscallError
+
+        with pytest.raises(SyscallError):
+            runtime.create_segment("/shared/too_big", MAX_FILE_SIZE + 1)

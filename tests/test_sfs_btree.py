@@ -1,0 +1,129 @@
+"""B-tree unit and property tests (the 64-bit future-work structure)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sfs.btree import BTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BTree()
+        assert tree.size == 0
+        assert tree.get(5) is None
+        assert not tree.contains(5)
+        assert tree.floor_entry(100) is None
+
+    def test_insert_get(self):
+        tree = BTree(t=2)
+        for key in [50, 20, 80, 10, 60]:
+            tree.insert(key, key * 10)
+        assert tree.size == 5
+        for key in [50, 20, 80, 10, 60]:
+            assert tree.get(key) == key * 10
+        assert tree.get(55) is None
+
+    def test_replace(self):
+        tree = BTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.size == 1
+        assert tree.get(1) == "b"
+
+    def test_items_sorted(self):
+        tree = BTree(t=2)
+        keys = [9, 3, 7, 1, 5, 8, 2, 6, 4, 0]
+        for key in keys:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_floor_entry(self):
+        tree = BTree(t=2)
+        for key in [10, 20, 30]:
+            tree.insert(key, key)
+        assert tree.floor_entry(25) == (20, 20)
+        assert tree.floor_entry(30) == (30, 30)
+        assert tree.floor_entry(9) is None
+        assert tree.floor_entry(1000) == (30, 30)
+
+    def test_delete_leaf_and_missing(self):
+        tree = BTree(t=2)
+        for key in range(10):
+            tree.insert(key, key)
+        assert tree.delete(3)
+        assert not tree.delete(3)
+        assert tree.size == 9
+        assert tree.get(3) is None
+        tree.check_invariants()
+
+    def test_delete_everything(self):
+        tree = BTree(t=2)
+        keys = list(range(100))
+        for key in keys:
+            tree.insert(key, key)
+        for key in keys:
+            assert tree.delete(key)
+            tree.check_invariants()
+        assert tree.size == 0
+
+    def test_minimum_degree_validation(self):
+        with pytest.raises(ValueError):
+            BTree(t=1)
+
+    def test_splits_occur(self):
+        tree = BTree(t=2)
+        for key in range(50):
+            tree.insert(key, key)
+        assert not tree.root.leaf  # must have split at least once
+        tree.check_invariants()
+
+
+class TestProperties:
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    max_size=300),
+           st.sampled_from([2, 3, 8]))
+    def test_matches_dict_after_inserts(self, keys, t):
+        tree = BTree(t=t)
+        reference = {}
+        for key in keys:
+            tree.insert(key, key * 3)
+            reference[key] = key * 3
+        tree.check_invariants()
+        assert tree.size == len(reference)
+        assert list(tree.items()) == sorted(reference.items())
+
+    @settings(max_examples=60)
+    @given(st.lists(
+        st.tuples(st.booleans(),
+                  st.integers(min_value=0, max_value=200)),
+        max_size=300,
+    ), st.sampled_from([2, 4]))
+    def test_matches_dict_with_deletes(self, operations, t):
+        tree = BTree(t=t)
+        reference = {}
+        for is_delete, key in operations:
+            if is_delete:
+                assert tree.delete(key) == (key in reference)
+                reference.pop(key, None)
+            else:
+                tree.insert(key, key)
+                reference[key] = key
+        tree.check_invariants()
+        assert list(tree.items()) == sorted(reference.items())
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=120, unique=True),
+           st.integers(min_value=0, max_value=1100))
+    def test_floor_matches_reference(self, keys, probe):
+        tree = BTree(t=3)
+        for key in keys:
+            tree.insert(key, key)
+        candidates = [k for k in keys if k <= probe]
+        expected = max(candidates) if candidates else None
+        hit = tree.floor_entry(probe)
+        if expected is None:
+            assert hit is None
+        else:
+            assert hit == (expected, expected)

@@ -1,0 +1,161 @@
+"""Stress and interleaving torture tests."""
+
+import pytest
+
+from repro import boot
+from repro.apps.presto import PrestoApp
+from repro.bench.workloads import make_shell
+from repro.errors import RelocationError
+from repro.hw.asm import assemble
+from repro.linker.baseline_ld import link_static
+from repro.linker.module import ModuleImage
+
+
+class TestSchedulingTorture:
+    @pytest.mark.parametrize("quantum", [3, 17, 101])
+    def test_semaphore_mutual_exclusion_under_tiny_quanta(self, quantum):
+        """A shared public counter incremented under a semaphore by four
+        processes stays exact no matter how hostile the preemption."""
+        from repro.linker.classes import SharingClass
+        from repro.linker.lds import LinkRequest, store_object
+        from repro.linker.segments import read_segment_meta
+        from repro.toyc import compile_source
+        from repro.apps.libsys import build_libsys
+        from repro.runtime.views import Mem
+        from repro.runtime.libshared import runtime_for
+
+        system = boot()
+        kernel = system.kernel
+        kernel.quantum = quantum
+        shell = make_shell(kernel)
+        kernel.vfs.makedirs("/shared/lib")
+        store_object(kernel, shell, "/shared/lib/shared.o",
+                     compile_source("int total = 0;", "shared.o"))
+        store_object(kernel, shell, "/main.o", compile_source("""
+            extern int total;
+            extern int sem_get(int key, int value);
+            extern int sem_p(int key);
+            extern int sem_v(int key);
+            int main() {
+                int i;
+                sem_get(3, 1);
+                for (i = 0; i < 50; i = i + 1) {
+                    sem_p(3);
+                    total = total + 1;
+                    sem_v(3);
+                }
+                return 0;
+            }
+        """, "main.o"))
+        exe = system.lds.link(
+            shell,
+            [LinkRequest("/main.o"),
+             LinkRequest("shared.o", SharingClass.DYNAMIC_PUBLIC)],
+            output="/bin", search_dirs=["/shared/lib"],
+            archives=[build_libsys()],
+        ).executable
+        workers = [kernel.create_machine_process(f"w{i}", exe)
+                   for i in range(4)]
+        kernel.schedule()
+        for worker in workers:
+            assert worker.death_reason is None
+
+        meta, base, _len = read_segment_meta(kernel, shell,
+                                             "/shared/lib/shared")
+        runtime_for(kernel, shell)
+        total = Mem(kernel, shell).load_i32(
+            meta.symbols["total"].value
+        )
+        assert total == 4 * 50
+
+    def test_presto_torture(self, kernel, shell):
+        kernel.quantum = 13
+        app = PrestoApp(kernel, shell, nitems=64)
+        result = app.run_instance(nworkers=6)
+        assert result.total == app.expected_total()
+        assert sum(result.per_worker_items) == 64
+
+    def test_many_processes(self, kernel):
+        image = link_static([assemble("""
+            .text
+            .globl main
+        main:
+            li t0, 30
+            move t1, zero
+        loop:
+            add t1, t1, t0
+            addi t0, t0, -1
+            bgtz t0, loop
+            move v0, t1
+            jr ra
+        """, "m.o")])
+        procs = [kernel.create_machine_process(f"p{i}", image)
+                 for i in range(25)]
+        kernel.schedule()
+        assert all(p.exit_code == 465 for p in procs)
+        assert kernel.physmem.allocated == 0  # all reclaimed
+
+
+class TestScaleTorture:
+    def test_wide_fanout(self):
+        """A 24-module reachability graph, half used."""
+        from repro.bench.workloads import (
+            build_module_fanout,
+            fanout_expected_exit,
+        )
+
+        system = boot(lazy=True)
+        kernel = system.kernel
+        shell = make_shell(kernel)
+        graph = build_module_fanout(kernel, shell, width=24, used=12,
+                                    module_dir="/shared/wide")
+        proc = kernel.create_machine_process("p", graph.executable)
+        assert kernel.run_until_exit(proc) == fanout_expected_exit(12)
+        assert proc.runtime.ldl.stats.modules_linked == 12
+
+    def test_deep_chain(self):
+        from repro.bench.workloads import (
+            build_module_chain,
+            chain_expected_exit,
+        )
+
+        system = boot(lazy=True)
+        kernel = system.kernel
+        shell = make_shell(kernel)
+        graph = build_module_chain(kernel, shell, depth=20,
+                                   module_dir="/shared/deep")
+        proc = kernel.create_machine_process("p", graph.executable)
+        assert kernel.run_until_exit(proc) == chain_expected_exit(20)
+        assert proc.runtime.ldl.stats.modules_created == 20
+
+    def test_many_segments_many_processes(self, kernel):
+        from repro.runtime.libshared import runtime_for
+        from repro.runtime.views import Mem
+
+        writers = [make_shell(kernel, f"w{i}") for i in range(8)]
+        for index, writer in enumerate(writers):
+            runtime = runtime_for(kernel, writer)
+            base = runtime.create_segment(f"/shared/s{index}", 4096)
+            Mem(kernel, writer).store_u32(base, index * 11)
+        reader = make_shell(kernel, "reader")
+        runtime_for(kernel, reader)
+        mem = Mem(kernel, reader)
+        for index in range(8):
+            base = kernel.syscalls.path_to_addr(reader,
+                                                f"/shared/s{index}")
+            assert mem.load_u32(base) == index * 11
+
+
+class TestSixtyFourBitGuard:
+    def test_code_module_rejected_above_4g(self):
+        obj = assemble(".text\n.globl f\nf: jr ra", "m.o")
+        image = ModuleImage(obj)
+        with pytest.raises(RelocationError):
+            image.layout_contiguous(0x1_0000_0000)
+
+    def test_data_only_module_fine_above_4g(self):
+        obj = assemble(".data\n.globl d\nd: .word 5", "m.o")
+        image = ModuleImage(obj)
+        image.layout_contiguous(0x1_0000_0000)
+        # No text, so data starts right at the base.
+        assert image.symbol_address("d") == 0x1_0000_0000

@@ -1,0 +1,188 @@
+"""The toolchain command-line front ends (the lds wrapper surface)."""
+
+import pytest
+
+from repro.tools.cli import (
+    UsageError,
+    ar_main,
+    asm_main,
+    lds_main,
+    nm_main,
+    objdump_main,
+    toycc_main,
+)
+
+
+@pytest.fixture
+def workspace(kernel, shell, dirs):
+    """Sources on the simulated FS, ready for the toolchain."""
+    kernel.vfs.write_whole("/src/main.c", b"""
+extern int shared_fn();
+int main() { return shared_fn(); }
+""")
+    kernel.vfs.write_whole("/shared/lib/shared1.c", b"""
+int shared_fn() { return 6; }
+""")
+    kernel.vfs.write_whole("/src/util.s", b"""
+        .text
+        .globl util_fn
+util_fn:
+        li v0, 3
+        jr ra
+""")
+    return dirs
+
+
+class TestCompilers:
+    def test_toycc(self, kernel, shell, workspace):
+        out = toycc_main(kernel, shell, ["-o", "/src/main.o",
+                                         "/src/main.c"])
+        assert out == "/src/main.o"
+        assert kernel.vfs.exists("/src/main.o")
+
+    def test_toycc_default_output(self, kernel, shell, workspace):
+        out = toycc_main(kernel, shell, ["/src/main.c"])
+        assert out == "/src/main.o"
+
+    def test_as(self, kernel, shell, workspace):
+        out = asm_main(kernel, shell, ["-o", "/src/util.o",
+                                       "/src/util.s"])
+        assert kernel.vfs.exists(out)
+
+    def test_bad_option(self, kernel, shell, workspace):
+        with pytest.raises(UsageError):
+            toycc_main(kernel, shell, ["--frob", "/src/main.c"])
+
+    def test_exactly_one_input(self, kernel, shell, workspace):
+        with pytest.raises(UsageError):
+            toycc_main(kernel, shell, ["/src/main.c", "/src/other.c"])
+
+
+class TestLds:
+    def _build(self, kernel, shell):
+        toycc_main(kernel, shell, ["/src/main.c"])
+        toycc_main(kernel, shell, ["-o", "/shared/lib/shared1.o",
+                                   "/shared/lib/shared1.c"])
+
+    def test_full_link_and_run(self, kernel, shell, workspace):
+        self._build(kernel, shell)
+        result = lds_main(kernel, shell, [
+            "-o", "/bin/prog",
+            "-L", "/shared/lib",
+            "/src/main.o",
+            "--dynamic-public", "shared1.o",
+        ])
+        proc = kernel.create_machine_process("p", result.executable)
+        assert kernel.run_until_exit(proc) == 6
+
+    def test_class_short_flags(self, kernel, shell, workspace):
+        self._build(kernel, shell)
+        result = lds_main(kernel, shell, [
+            "-o", "/bin/prog", "-L", "/shared/lib",
+            "/src/main.o", "-sp", "shared1.o",
+        ])
+        # static public: created at link time, refs resolved.
+        assert kernel.vfs.exists("/shared/lib/shared1")
+        assert result.retained_relocations == 0
+
+    def test_entry_option(self, kernel, shell, workspace):
+        self._build(kernel, shell)
+        result = lds_main(kernel, shell, [
+            "-o", "/bin/prog", "-L", "/shared/lib", "--no-crt0",
+            "/src/main.o", "-dp", "shared1.o", "-e", "main",
+        ])
+        assert result.executable.entry_symbol == "main"
+
+    def test_strict_flag(self, kernel, shell, workspace):
+        self._build(kernel, shell)
+        from repro.errors import ModuleNotFoundLinkError
+
+        with pytest.raises(ModuleNotFoundLinkError):
+            lds_main(kernel, shell, [
+                "-o", "/bin/prog", "/src/main.o",
+                "--strict", "-dp", "ghost.o",
+            ])
+
+    def test_archives(self, kernel, shell, workspace):
+        asm_main(kernel, shell, ["/src/util.s"])
+        ar_main(kernel, shell, ["/src/libutil.a", "/src/util.o"])
+        kernel.vfs.write_whole("/src/uses_util.c", b"""
+extern int util_fn();
+int main() { return util_fn(); }
+""")
+        toycc_main(kernel, shell, ["/src/uses_util.c"])
+        result = lds_main(kernel, shell, [
+            "-o", "/bin/prog", "/src/uses_util.o",
+            "-l", "/src/libutil.a",
+        ])
+        proc = kernel.create_machine_process("p", result.executable)
+        assert kernel.run_until_exit(proc) == 3
+
+    def test_no_inputs(self, kernel, shell, workspace):
+        with pytest.raises(UsageError):
+            lds_main(kernel, shell, ["-o", "/bin/prog"])
+
+    def test_missing_value(self, kernel, shell, workspace):
+        with pytest.raises(UsageError):
+            lds_main(kernel, shell, ["/src/x.o", "-o"])
+
+    def test_unknown_option(self, kernel, shell, workspace):
+        with pytest.raises(UsageError):
+            lds_main(kernel, shell, ["--wat", "/src/x.o"])
+
+
+class TestInspectors:
+    def test_nm(self, kernel, shell, workspace):
+        toycc_main(kernel, shell, ["/src/main.c"])
+        text = nm_main(kernel, shell, ["/src/main.o"])
+        assert "T main" in text
+        assert "U shared_fn" in text
+
+    def test_objdump_disassembly(self, kernel, shell, workspace):
+        asm_main(kernel, shell, ["/src/util.s"])
+        text = objdump_main(kernel, shell, ["-d", "/src/util.o"])
+        assert "jr ra" in text
+
+    def test_nm_rejects_non_object(self, kernel, shell, workspace):
+        from repro.errors import LinkError
+
+        with pytest.raises(LinkError):
+            nm_main(kernel, shell, ["/src/main.c"])
+
+    def test_nm_usage(self, kernel, shell, workspace):
+        with pytest.raises(UsageError):
+            nm_main(kernel, shell, [])
+
+
+class TestSegls:
+    def test_lists_segments_with_addresses(self, kernel, shell, dirs):
+        from repro.runtime.libshared import runtime_for
+        from repro.tools.cli import segls_main
+
+        runtime = runtime_for(kernel, shell)
+        base = runtime.create_segment("/shared/lib/data1", 4096)
+        runtime.create_segment("/shared/lib/data2", 8192)
+        listing = segls_main(kernel, shell)
+        assert "/shared/lib/data1" in listing
+        assert "/shared/lib/data2" in listing
+        assert f"0x{base:012x}" in listing
+
+    def test_long_form_tags_modules(self, kernel, shell, workspace):
+        from repro.tools.cli import segls_main
+
+        toycc_main(kernel, shell, ["-o", "/shared/lib/shared1.o",
+                                   "/shared/lib/shared1.c"])
+        toycc_main(kernel, shell, ["/src/main.c"])
+        lds_main(kernel, shell, [
+            "-o", "/bin/prog", "-L", "/shared/lib",
+            "/src/main.o", "-sp", "shared1.o",
+        ])
+        from repro.runtime.libshared import runtime_for
+
+        runtime_for(kernel, shell).create_segment("/shared/plain", 4096)
+        listing = segls_main(kernel, shell, ["-l"])
+        module_lines = [l for l in listing.splitlines()
+                        if "/shared1" in l and ".o" not in l]
+        assert any("[module]" in l for l in module_lines)
+        assert any("[data]" in l for l in listing.splitlines()
+                   if "/plain" in l)

@@ -1,0 +1,342 @@
+"""Toy C compiler tests: lexing, parsing, and execution semantics.
+
+Execution tests compile a program, link it with the baseline linker,
+and run it on the simulated machine — the compiler is correct iff the
+machine computes the right answers.
+"""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.hw.asm import assemble
+from repro.kernel.kernel import Kernel
+from repro.linker.baseline_ld import link_static
+from repro.toyc import compile_source, compile_to_assembly
+from repro.toyc.lexer import tokenize
+from repro.toyc.parser import parse
+
+
+def run_main(source: str, extra_objects=()):
+    """Compile + link + run; returns (exit code, process)."""
+    kernel = Kernel()
+    objects = [compile_source(source, "prog.o")] + list(extra_objects)
+    image = link_static(objects)
+    proc = kernel.create_machine_process("p", image)
+    code = kernel.run_until_exit(proc)
+    assert proc.death_reason is None, proc.death_reason
+    return code, proc
+
+
+class TestLexer:
+    def test_tokens(self):
+        kinds = [(t.kind, t.text) for t in tokenize("int x = 42;")]
+        assert kinds[:4] == [("keyword", "int"), ("ident", "x"),
+                             ("op", "="), ("number", "42")]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line\n /* block\nmore */ b")
+        assert [t.text for t in tokens if t.kind == "ident"] == ["a", "b"]
+
+    def test_string_escapes(self):
+        token = tokenize(r'"a\nb\t\"q\""')[0]
+        assert token.text == 'a\nb\t"q"'
+
+    def test_char_literal(self):
+        assert tokenize("'x'")[0].text == "x"
+        assert tokenize(r"'\n'")[0].text == "\n"
+
+    def test_hex_numbers(self):
+        assert tokenize("0xFF")[0].text == "0xFF"
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize("a<=b==c<<d&&e")]
+        assert "<=" in texts and "==" in texts and "<<" in texts \
+            and "&&" in texts
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"abc')
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_globals_and_functions(self):
+        unit = parse("""
+            int x = 5;
+            int arr[10];
+            char msg[] = "hi";
+            extern int shared;
+            int f(int a) { return a; }
+        """)
+        assert [g.name for g in unit.globals] == \
+            ["x", "arr", "msg", "shared"]
+        assert unit.globals[2].ctype.array_length == 3  # "hi" + NUL
+        assert unit.globals[3].extern
+        assert unit.functions[0].name == "f"
+
+    def test_multi_declarator(self):
+        unit = parse("int a, b, c;")
+        assert [g.name for g in unit.globals] == ["a", "b", "c"]
+
+    def test_brace_initializer(self):
+        unit = parse("int t[] = {1, 2, 3};")
+        assert unit.globals[0].initializer == [1, 2, 3]
+        assert unit.globals[0].ctype.array_length == 3
+
+    def test_prototype(self):
+        unit = parse("int f(int a);")
+        assert unit.functions[0].extern
+
+    def test_extern_with_initializer_rejected(self):
+        with pytest.raises(CompileError):
+            parse("extern int x = 5;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("int x = 5")
+
+    def test_precedence_shape(self):
+        from repro.toyc import ast as A
+
+        unit = parse("int f() { return 1 + 2 * 3; }")
+        ret = unit.functions[0].body.statements[0]
+        assert isinstance(ret.value, A.Binary)
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_assignment_target_validation(self):
+        with pytest.raises(CompileError):
+            parse("int f() { 1 = 2; }")
+
+
+class TestExecution:
+    def test_return_constant(self):
+        assert run_main("int main() { return 42; }")[0] == 42
+
+    def test_arithmetic(self):
+        assert run_main(
+            "int main() { return (2 + 3) * 4 - 10 / 2 + 9 % 4; }"
+        )[0] == 16
+
+    def test_negative_and_unary(self):
+        assert run_main(
+            "int main() { int x; x = -5; return -x + !0 + !7 + (~0 & 1);}"
+        )[0] == 7  # 5 + 1 + 0 + 1
+
+    def test_comparisons(self):
+        assert run_main("""
+            int main() {
+                return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3)
+                     + (4 == 4) + (4 != 4);
+            }
+        """)[0] == 4
+
+    def test_logical_short_circuit(self):
+        code, _ = run_main("""
+            int hits = 0;
+            int bump() { hits = hits + 1; return 1; }
+            int main() {
+                int a;
+                a = 0 && bump();
+                a = 1 || bump();
+                return hits;
+            }
+        """)
+        assert code == 0  # neither side effect ran
+
+    def test_while_loop(self):
+        assert run_main("""
+            int main() {
+                int i = 0; int sum = 0;
+                while (i < 10) { sum = sum + i; i = i + 1; }
+                return sum;
+            }
+        """)[0] == 45
+
+    def test_for_loop_with_break_continue(self):
+        assert run_main("""
+            int main() {
+                int i; int sum = 0;
+                for (i = 0; i < 100; i = i + 1) {
+                    if (i == 5) { continue; }
+                    if (i == 10) { break; }
+                    sum = sum + i;
+                }
+                return sum;
+            }
+        """)[0] == 40  # 0..9 minus 5
+
+    def test_if_else_chain(self):
+        assert run_main("""
+            int classify(int x) {
+                if (x < 0) { return 0; }
+                else if (x == 0) { return 1; }
+                else { return 2; }
+            }
+            int main() {
+                return classify(-4) * 100 + classify(0) * 10
+                     + classify(9);
+            }
+        """)[0] == 12
+
+    def test_recursion(self):
+        assert run_main("""
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { return fib(10); }
+        """)[0] == 55
+
+    def test_globals_and_arrays(self):
+        assert run_main("""
+            int table[10];
+            int total = 100;
+            int main() {
+                int i;
+                for (i = 0; i < 10; i = i + 1) { table[i] = i * i; }
+                return total + table[9];
+            }
+        """)[0] == 181
+
+    def test_local_arrays(self):
+        assert run_main("""
+            int main() {
+                int scratch[4];
+                scratch[0] = 3;
+                scratch[3] = 7;
+                return scratch[0] + scratch[3];
+            }
+        """)[0] == 10
+
+    def test_pointers_and_address_of(self):
+        assert run_main("""
+            int value = 5;
+            int main() {
+                int *p;
+                p = &value;
+                *p = *p + 2;
+                return value;
+            }
+        """)[0] == 7
+
+    def test_pointer_arithmetic_scales(self):
+        assert run_main("""
+            int table[4] = {10, 20, 30, 40};
+            int main() {
+                int *p;
+                p = table;
+                p = p + 2;
+                return *p + p[1];
+            }
+        """)[0] == 70
+
+    def test_pointer_difference(self):
+        assert run_main("""
+            int table[8];
+            int main() {
+                int *a; int *b;
+                a = table;
+                b = &table[6];
+                return b - a;
+            }
+        """)[0] == 6
+
+    def test_char_and_strings(self):
+        assert run_main("""
+            char msg[] = "AB";
+            int main() {
+                char *p;
+                p = msg;
+                return p[0] + p[1] + (p[2] == 0);
+            }
+        """)[0] == 65 + 66 + 1
+
+    def test_sizeof(self):
+        assert run_main(
+            "int main() { return sizeof(int) + sizeof(char) "
+            "+ sizeof(int*); }"
+        )[0] == 9
+
+    def test_function_args_and_returns(self):
+        assert run_main("""
+            int combine(int a, int b, int c, int d) {
+                return a * 1000 + b * 100 + c * 10 + d;
+            }
+            int main() { return combine(1, 2, 3, 4); }
+        """)[0] == 1234
+
+    def test_call_in_expression_operands(self):
+        assert run_main("""
+            int two() { return 2; }
+            int three() { return 3; }
+            int main() { return two() * 10 + three(); }
+        """)[0] == 23
+
+    def test_shift_by_constant(self):
+        assert run_main(
+            "int main() { return (1 << 5) + (256 >> 4); }"
+        )[0] == 48
+
+    def test_shift_by_variable(self):
+        assert run_main("""
+            int main() {
+                int n = 3;
+                int m = 2;
+                return (1 << n) + (32 >> m);
+            }
+        """)[0] == 16
+
+    def test_extern_resolved_by_other_object(self):
+        helper = assemble("""
+            .data
+            .globl magic
+        magic: .word 77
+        """, "helper.o")
+        assert run_main("""
+            extern int magic;
+            int main() { return magic; }
+        """, extra_objects=[helper])[0] == 77
+
+    def test_falling_off_end_returns_zero(self):
+        assert run_main("int main() { int x = 5; }")[0] == 0
+
+    def test_global_string_pointer(self):
+        assert run_main("""
+            char *greeting = "Hello";
+            int main() { return greeting[1]; }
+        """)[0] == ord("e")
+
+
+class TestCompileErrors:
+    def test_too_many_params(self):
+        with pytest.raises(CompileError):
+            compile_source("int f(int a, int b, int c, int d, int e) "
+                           "{ return 0; }")
+
+    def test_shift_amount_constant_out_of_range(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { return 1 << 40; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { break; }")
+
+    def test_redefined_local(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { int a; int a; return 0; }")
+
+    def test_deref_of_int_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { int a; return *a; }")
+
+    def test_assembly_is_gp_free(self):
+        """§3: modules are compiled without the global-pointer register."""
+        asm = compile_to_assembly("""
+            int counter = 0;
+            int main() { counter = counter + 1; return counter; }
+        """)
+        assert " gp" not in asm

@@ -1,0 +1,313 @@
+"""Toy C struct support: the C-side face of pointer-rich shared data."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.kernel.kernel import Kernel
+from repro.linker.baseline_ld import link_static
+from repro.toyc import compile_source
+from repro.toyc.parser import parse
+
+
+def run_main(source: str):
+    kernel = Kernel()
+    image = link_static([compile_source(source, "prog.o")])
+    proc = kernel.create_machine_process("p", image)
+    code = kernel.run_until_exit(proc)
+    assert proc.death_reason is None, proc.death_reason
+    return code
+
+
+class TestLayout:
+    def test_offsets_and_size(self):
+        unit = parse("""
+            struct mixed { char c; int i; char tail[3]; int last; };
+        """)
+        decl = unit.structs["mixed"]
+        assert decl.field("c").offset == 0
+        assert decl.field("i").offset == 4      # aligned past the char
+        assert decl.field("tail").offset == 8
+        assert decl.field("last").offset == 12  # aligned past tail
+        assert decl.size == 16
+
+    def test_nested_struct_field(self):
+        unit = parse("""
+            struct point { int x; int y; };
+            struct rect { struct point a; struct point b; };
+        """)
+        assert unit.structs["rect"].size == 16
+        assert unit.structs["rect"].field("b").offset == 8
+
+    def test_sizeof(self):
+        assert run_main("""
+            struct point { int x; int y; };
+            int main() {
+                return sizeof(struct point) + sizeof(struct point *);
+            }
+        """) == 12
+
+    def test_self_reference_via_pointer(self):
+        unit = parse("struct node { struct node *next; int v; };")
+        assert unit.structs["node"].size == 8
+
+    def test_self_containment_rejected(self):
+        with pytest.raises(CompileError):
+            parse("struct bad { struct bad inner; };")
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(CompileError):
+            parse("struct a { int x; };\nstruct a { int y; };")
+
+    def test_unknown_struct_rejected(self):
+        with pytest.raises(CompileError):
+            parse("struct ghost instance;")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(CompileError):
+            parse("struct a { int x; int x; };")
+
+
+class TestAccess:
+    def test_global_struct_members(self):
+        assert run_main("""
+            struct point { int x; int y; };
+            struct point origin;
+            int main() {
+                origin.x = 3;
+                origin.y = 4;
+                return origin.x * 10 + origin.y;
+            }
+        """) == 34
+
+    def test_local_struct_members(self):
+        assert run_main("""
+            struct pair { int a; int b; };
+            int main() {
+                struct pair p;
+                p.a = 6;
+                p.b = p.a + 1;
+                return p.a * p.b;
+            }
+        """) == 42
+
+    def test_arrow_through_pointer(self):
+        assert run_main("""
+            struct cell { int value; };
+            struct cell shared_cell;
+            int main() {
+                struct cell *p;
+                p = &shared_cell;
+                p->value = 9;
+                return shared_cell.value;
+            }
+        """) == 9
+
+    def test_array_of_structs(self):
+        assert run_main("""
+            struct item { int weight; int cost; };
+            struct item items[3];
+            int main() {
+                int i;
+                int total = 0;
+                for (i = 0; i < 3; i = i + 1) {
+                    items[i].weight = i + 1;
+                    items[i].cost = (i + 1) * 5;
+                }
+                for (i = 0; i < 3; i = i + 1) {
+                    total = total + items[i].weight * items[i].cost;
+                }
+                return total;
+            }
+        """) == 1 * 5 + 2 * 10 + 3 * 15
+
+    def test_nested_member_chains(self):
+        assert run_main("""
+            struct point { int x; int y; };
+            struct circle { struct point center; int radius; };
+            struct circle c;
+            int main() {
+                c.center.x = 5;
+                c.center.y = 6;
+                c.radius = 7;
+                return c.center.x + c.center.y + c.radius;
+            }
+        """) == 18
+
+    def test_array_member_inside_struct(self):
+        assert run_main("""
+            struct buf { int count; int data[4]; };
+            struct buf b;
+            int main() {
+                b.count = 2;
+                b.data[0] = 10;
+                b.data[b.count - 1] = 20;
+                return b.data[0] + b.data[1] + b.count;
+            }
+        """) == 32
+
+    def test_char_members(self):
+        assert run_main("""
+            struct rec { char tag; int v; };
+            struct rec r;
+            int main() {
+                r.tag = 'Q';
+                r.v = 1;
+                return r.tag + r.v;
+            }
+        """) == ord("Q") + 1
+
+
+class TestLinkedStructures:
+    def test_linked_list_traversal(self):
+        assert run_main("""
+            struct node { struct node *next; int value; };
+            struct node pool[5];
+            int main() {
+                int i;
+                int total = 0;
+                struct node *head;
+                for (i = 0; i < 5; i = i + 1) {
+                    pool[i].value = i + 1;
+                    if (i < 4) { pool[i].next = &pool[i + 1]; }
+                    else { pool[i].next = 0; }
+                }
+                head = &pool[0];
+                while (head) {
+                    total = total + head->value;
+                    head = head->next;
+                }
+                return total;
+            }
+        """) == 15
+
+    def test_struct_pointer_parameters(self):
+        assert run_main("""
+            struct point { int x; int y; };
+            int manhattan(struct point *a, struct point *b) {
+                int dx = a->x - b->x;
+                int dy = a->y - b->y;
+                if (dx < 0) { dx = -dx; }
+                if (dy < 0) { dy = -dy; }
+                return dx + dy;
+            }
+            int main() {
+                struct point p;
+                struct point q;
+                p.x = 1; p.y = 2;
+                q.x = 4; q.y = 6;
+                return manhattan(&p, &q);
+            }
+        """) == 7
+
+    def test_pointer_arithmetic_scales_by_struct_size(self):
+        assert run_main("""
+            struct wide { int a; int b; int c; };
+            struct wide table[4];
+            int main() {
+                struct wide *p;
+                struct wide *q;
+                p = table;
+                q = p + 3;
+                return q - p;
+            }
+        """) == 3
+
+
+class TestRestrictions:
+    def test_struct_by_value_param_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                struct p { int x; };
+                int f(struct p arg) { return 0; }
+            """)
+
+    def test_struct_return_by_value_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                struct p { int x; };
+                struct p f() { }
+            """)
+
+    def test_struct_assignment_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                struct p { int x; };
+                struct p a; struct p b;
+                int main() { a = b; return 0; }
+            """)
+
+    def test_dot_on_non_struct_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { int x; return x.y; }")
+
+    def test_arrow_on_non_pointer_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                struct p { int x; };
+                struct p v;
+                int main() { return v->x; }
+            """)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+                struct p { int x; };
+                struct p v;
+                int main() { return v.z; }
+            """)
+
+
+class TestSharedStructs:
+    def test_struct_in_shared_module(self, system, shell):
+        """The xfig story in actual C: a linked structure in a shared
+        module, built by one program, walked by another."""
+        from repro.linker.classes import SharingClass
+        from repro.linker.lds import LinkRequest, store_object
+
+        kernel = system.kernel
+        kernel.vfs.makedirs("/shared/lib")
+        store_object(kernel, shell, "/shared/lib/list.o", compile_source("""
+            struct node { struct node *next; int value; };
+            struct node pool[8];
+            struct node *head;
+            int used = 0;
+            int push(int value) {
+                pool[used].value = value;
+                pool[used].next = head;
+                head = &pool[used];
+                used = used + 1;
+                return used;
+            }
+        """, "list.o"))
+        store_object(kernel, shell, "/writer.o", compile_source("""
+            extern int push(int value);
+            int main() { push(5); push(6); return 0; }
+        """, "writer.o"))
+        store_object(kernel, shell, "/reader.o", compile_source("""
+            struct node { struct node *next; int value; };
+            extern struct node *head;
+            int main() {
+                int total = 0;
+                struct node *cursor = head;
+                while (cursor) {
+                    total = total + cursor->value;
+                    cursor = cursor->next;
+                }
+                return total;
+            }
+        """, "reader.o"))
+
+        def link(obj, out):
+            return system.lds.link(
+                shell,
+                [LinkRequest(obj),
+                 LinkRequest("list.o", SharingClass.DYNAMIC_PUBLIC)],
+                output=out, search_dirs=["/shared/lib"],
+            ).executable
+
+        writer = kernel.create_machine_process("w", link("/writer.o",
+                                                         "/binw"))
+        assert kernel.run_until_exit(writer) == 0
+        reader = kernel.create_machine_process("r", link("/reader.o",
+                                                         "/binr"))
+        assert kernel.run_until_exit(reader) == 11

@@ -1,0 +1,105 @@
+"""Unit and property tests for bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import (
+    align_down,
+    align_up,
+    compose_hi_lo,
+    fits_signed,
+    fits_unsigned,
+    hi16,
+    is_aligned,
+    lo16,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+
+
+class TestTruncation:
+    def test_to_unsigned32_wraps(self):
+        assert to_unsigned32(0x1_0000_0005) == 5
+        assert to_unsigned32(-1) == 0xFFFFFFFF
+
+    def test_to_signed32_negative(self):
+        assert to_signed32(0xFFFFFFFF) == -1
+        assert to_signed32(0x80000000) == -(1 << 31)
+
+    def test_to_signed32_positive(self):
+        assert to_signed32(0x7FFFFFFF) == 0x7FFFFFFF
+        assert to_signed32(5) == 5
+
+    @given(st.integers())
+    def test_roundtrip(self, value):
+        assert to_unsigned32(to_signed32(value)) == to_unsigned32(value)
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7FFF, 16) == 0x7FFF
+
+    def test_negative(self):
+        assert sign_extend(0x8000, 16) == -0x8000
+        assert sign_extend(0xFFFF, 16) == -1
+
+    def test_byte(self):
+        assert sign_extend(0xFF, 8) == -1
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+    @given(st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
+    def test_identity_in_range(self, value):
+        assert sign_extend(value & 0xFFFF, 16) == value
+
+
+class TestFits:
+    def test_signed_bounds(self):
+        assert fits_signed(32767, 16)
+        assert not fits_signed(32768, 16)
+        assert fits_signed(-32768, 16)
+        assert not fits_signed(-32769, 16)
+
+    def test_unsigned_bounds(self):
+        assert fits_unsigned(0xFFFF, 16)
+        assert not fits_unsigned(0x10000, 16)
+        assert not fits_unsigned(-1, 16)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(0x1234, 0x1000) == 0x1000
+        assert align_down(0x1000, 0x1000) == 0x1000
+
+    def test_align_up(self):
+        assert align_up(0x1001, 0x1000) == 0x2000
+        assert align_up(0x1000, 0x1000) == 0x1000
+        assert align_up(0, 0x1000) == 0
+
+    def test_is_aligned(self):
+        assert is_aligned(0x4000, 0x1000)
+        assert not is_aligned(0x4004, 0x1000)
+
+    @given(st.integers(min_value=0, max_value=1 << 40),
+           st.sampled_from([2, 4, 8, 16, 4096]))
+    def test_align_properties(self, value, alignment):
+        down, up = align_down(value, alignment), align_up(value, alignment)
+        assert down <= value <= up
+        assert is_aligned(down, alignment)
+        assert is_aligned(up, alignment)
+        assert up - down in (0, alignment)
+
+
+class TestHiLo:
+    def test_simple_split(self):
+        assert hi16(0x30400000) == 0x3040
+        assert lo16(0x30400000) == 0
+        assert lo16(0x30401234) == 0x1234
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_compose_roundtrip(self, address):
+        assert compose_hi_lo(hi16(address), lo16(address)) == address

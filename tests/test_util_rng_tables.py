@@ -1,0 +1,96 @@
+"""Tests for the deterministic RNG and the table formatter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import DeterministicRng
+from repro.util.tables import format_table
+
+
+class TestRng:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.next_u64() for _ in range(20)] == \
+            [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.next_u64() for _ in range(4)] != \
+            [b.next_u64() for _ in range(4)]
+
+    def test_zero_seed_does_not_stick(self):
+        rng = DeterministicRng(0)
+        values = {rng.next_u64() for _ in range(10)}
+        assert 0 not in values or len(values) > 1
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=-100, max_value=100),
+           st.integers(min_value=0, max_value=200))
+    def test_randint_in_range(self, seed, lo, span):
+        rng = DeterministicRng(seed)
+        hi = lo + span
+        for _ in range(20):
+            assert lo <= rng.randint(lo, hi) <= hi
+
+    def test_randint_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).randint(5, 4)
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRng(7)
+        for _ in range(100):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(9)
+        items = list(range(50))
+        assert rng.choice(items) in items
+        sample = rng.sample(items, 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+        assert set(sample) <= set(items)
+
+    def test_sample_too_large(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).sample([1, 2], 3)
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(3)
+        items = list(range(30))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(("name", "count"),
+                           [("alpha", 3), ("beta", 12)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        assert "beta" in lines[3]
+
+    def test_title(self):
+        out = format_table(("a",), [(1,)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_numeric_right_alignment(self):
+        out = format_table(("n",), [(5,), (500,)])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("5")
+        assert rows[1].endswith("500")
+
+    def test_float_formatting(self):
+        out = format_table(("x",), [(1.23456,)])
+        assert "1.235" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])

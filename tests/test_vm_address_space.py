@@ -1,0 +1,257 @@
+"""Address-space semantics: mapping, protection, sharing, COW, fork."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.vm.address_space import (
+    AddressSpace,
+    MAP_PRIVATE,
+    MAP_SHARED,
+    PROT_NONE,
+    PROT_READ,
+    PROT_RW,
+    PROT_RWX,
+    prot_str,
+)
+from repro.vm.faults import AccessKind, PageFaultError
+from repro.vm.layout import PAGE_SIZE, SFS_REGION
+from repro.vm.pages import MemoryObject, PhysicalMemory
+
+
+@pytest.fixture
+def pm():
+    return PhysicalMemory()
+
+
+@pytest.fixture
+def space(pm):
+    return AddressSpace(pm, "test")
+
+
+class TestMapping:
+    def test_map_and_access(self, space):
+        space.map(0x10000, PAGE_SIZE, prot=PROT_RW)
+        space.store_word(0x10000, 0xDEADBEEF)
+        assert space.load_word(0x10000) == 0xDEADBEEF
+
+    def test_unmapped_access_faults(self, space):
+        with pytest.raises(PageFaultError) as info:
+            space.load_word(0x10000)
+        assert info.value.present is False
+        assert info.value.access is AccessKind.READ
+
+    def test_protection_fault(self, space):
+        space.map(0x10000, PAGE_SIZE, prot=PROT_READ)
+        assert space.load_word(0x10000) == 0
+        with pytest.raises(PageFaultError) as info:
+            space.store_word(0x10000, 1)
+        assert info.value.present is True
+        assert info.value.access is AccessKind.WRITE
+
+    def test_exec_requires_exec(self, space):
+        space.map(0x10000, PAGE_SIZE, prot=PROT_RW)
+        with pytest.raises(PageFaultError) as info:
+            space.fetch_word(0x10000)
+        assert info.value.access is AccessKind.EXEC
+
+    def test_prot_none_blocks_everything(self, space):
+        space.map(0x10000, PAGE_SIZE, prot=PROT_NONE)
+        for op in (lambda: space.load_word(0x10000),
+                   lambda: space.store_word(0x10000, 1),
+                   lambda: space.fetch_word(0x10000)):
+            with pytest.raises(PageFaultError):
+                op()
+
+    def test_force_bypasses_protection_but_not_mapping(self, space):
+        space.map(0x10000, PAGE_SIZE, prot=PROT_NONE)
+        space.store_word(0x10000, 7, force=True)
+        assert space.load_word(0x10000, force=True) == 7
+        with pytest.raises(PageFaultError):
+            space.load_word(0x20000, force=True)
+
+    def test_overlap_rejected(self, space):
+        space.map(0x10000, 2 * PAGE_SIZE)
+        with pytest.raises(MappingError):
+            space.map(0x11000, PAGE_SIZE)
+
+    def test_unaligned_address_rejected(self, space):
+        with pytest.raises(MappingError):
+            space.map(0x10004, PAGE_SIZE)
+
+    def test_bad_length_rejected(self, space):
+        with pytest.raises(MappingError):
+            space.map(0x10000, 0)
+
+    def test_anonymous_shared_rejected(self, space):
+        with pytest.raises(MappingError):
+            space.map(0x10000, PAGE_SIZE, flags=MAP_SHARED)
+
+    def test_find_free_respects_region(self, space):
+        mapping = space.map(None, PAGE_SIZE, search_region=SFS_REGION)
+        assert SFS_REGION.contains(mapping.start)
+        second = space.map(None, PAGE_SIZE, search_region=SFS_REGION)
+        assert second.start != mapping.start
+
+    def test_unmap_then_remap(self, space):
+        space.map(0x10000, PAGE_SIZE)
+        space.unmap(0x10000, PAGE_SIZE)
+        space.map(0x10000, PAGE_SIZE)  # no overlap error
+
+    def test_partial_unmap_rejected(self, space):
+        space.map(0x10000, 2 * PAGE_SIZE)
+        with pytest.raises(MappingError):
+            space.unmap(0x10000, PAGE_SIZE)
+
+    def test_unmap_releases_frames(self, space, pm):
+        space.map(0x10000, 4 * PAGE_SIZE)
+        space.write_bytes(0x10000, b"x" * (4 * PAGE_SIZE))
+        assert pm.allocated == 4
+        space.unmap(0x10000, 4 * PAGE_SIZE)
+        assert pm.allocated == 0
+
+    def test_mapping_at(self, space):
+        mapping = space.map(0x10000, PAGE_SIZE, name="seg")
+        assert space.mapping_at(0x10800) is mapping
+        assert space.mapping_at(0x20000) is None
+
+    def test_describe_lists_mappings(self, space):
+        space.map(0x10000, PAGE_SIZE, prot=PROT_RW, name="data")
+        text = space.describe()
+        assert "data" in text
+        assert "rw-" in text
+
+    def test_prot_str(self):
+        assert prot_str(PROT_RWX) == "rwx"
+        assert prot_str(PROT_NONE) == "---"
+
+
+class TestMprotect:
+    def test_mprotect_changes_access(self, space):
+        space.map(0x10000, PAGE_SIZE, prot=PROT_NONE)
+        space.mprotect(0x10000, PAGE_SIZE, PROT_RW)
+        space.store_word(0x10000, 5)
+        assert space.load_word(0x10000) == 5
+
+    def test_mprotect_unmapped_rejected(self, space):
+        with pytest.raises(MappingError):
+            space.mprotect(0x10000, PAGE_SIZE, PROT_RW)
+
+    def test_mprotect_partial_page_range(self, space):
+        space.map(0x10000, 4 * PAGE_SIZE, prot=PROT_RW)
+        space.mprotect(0x11000, PAGE_SIZE, PROT_NONE)
+        space.store_word(0x10000, 1)          # still writable
+        with pytest.raises(PageFaultError):
+            space.store_word(0x11000, 1)      # protected page
+
+
+class TestSharedMappings:
+    def test_shared_mapping_writes_through(self, pm):
+        mo = MemoryObject(pm, size=PAGE_SIZE, name="seg")
+        a = AddressSpace(pm, "a")
+        b = AddressSpace(pm, "b")
+        a.map(0x40000000, PAGE_SIZE, memobj=mo, prot=PROT_RW,
+              flags=MAP_SHARED)
+        b.map(0x40000000, PAGE_SIZE, memobj=mo, prot=PROT_RW,
+              flags=MAP_SHARED)
+        a.store_word(0x40000000, 1234)
+        assert b.load_word(0x40000000) == 1234
+        assert mo.read(0, 4) == (1234).to_bytes(4, "little")
+
+    def test_file_writes_visible_through_mapping(self, pm):
+        mo = MemoryObject(pm, size=PAGE_SIZE)
+        space = AddressSpace(pm)
+        space.map(0x40000000, PAGE_SIZE, memobj=mo, prot=PROT_RW,
+                  flags=MAP_SHARED)
+        mo.write(8, b"\x2a\x00\x00\x00")
+        assert space.load_word(0x40000008) == 42
+
+    def test_mapping_offset(self, pm):
+        mo = MemoryObject(pm, size=3 * PAGE_SIZE)
+        mo.write(PAGE_SIZE, b"hello")
+        space = AddressSpace(pm)
+        space.map(0x40000000, PAGE_SIZE, memobj=mo, offset=PAGE_SIZE,
+                  prot=PROT_RW, flags=MAP_SHARED)
+        assert space.read_bytes(0x40000000, 5) == b"hello"
+
+    def test_unaligned_offset_rejected(self, pm):
+        mo = MemoryObject(pm, size=PAGE_SIZE)
+        with pytest.raises(MappingError):
+            AddressSpace(pm).map(0x40000000, PAGE_SIZE, memobj=mo,
+                                 offset=100, flags=MAP_SHARED)
+
+
+class TestPrivateAndCow:
+    def test_private_file_mapping_does_not_write_back(self, pm):
+        mo = MemoryObject(pm, size=PAGE_SIZE)
+        mo.write(0, b"orig")
+        space = AddressSpace(pm)
+        space.map(0x10000, PAGE_SIZE, memobj=mo, prot=PROT_RW,
+                  flags=MAP_PRIVATE)
+        assert space.read_bytes(0x10000, 4) == b"orig"
+        space.write_bytes(0x10000, b"mine")
+        assert space.read_bytes(0x10000, 4) == b"mine"
+        assert mo.read(0, 4) == b"orig"
+
+    def test_fork_cow_isolation(self, pm):
+        parent = AddressSpace(pm, "parent")
+        parent.map(0x10000, PAGE_SIZE, prot=PROT_RW)
+        parent.store_word(0x10000, 111)
+        child = parent.fork("child")
+        assert child.load_word(0x10000) == 111
+        child.store_word(0x10000, 222)
+        assert parent.load_word(0x10000) == 111
+        parent.store_word(0x10004, 333)
+        assert child.load_word(0x10004) == 0
+
+    def test_fork_shares_public_mappings(self, pm):
+        mo = MemoryObject(pm, size=PAGE_SIZE)
+        parent = AddressSpace(pm)
+        parent.map(0x40000000, PAGE_SIZE, memobj=mo, prot=PROT_RW,
+                   flags=MAP_SHARED)
+        child = parent.fork()
+        child.store_word(0x40000000, 77)
+        assert parent.load_word(0x40000000) == 77
+
+    def test_fork_frame_economy(self, pm):
+        """COW must not copy frames until a write happens."""
+        parent = AddressSpace(pm)
+        parent.map(0x10000, 8 * PAGE_SIZE, prot=PROT_RW)
+        parent.write_bytes(0x10000, b"z" * (8 * PAGE_SIZE))
+        before = pm.allocated
+        child = parent.fork()
+        assert pm.allocated == before  # no copies yet
+        child.store_word(0x10000, 1)
+        assert pm.allocated == before + 1  # exactly one page copied
+
+    def test_destroy_releases_everything(self, pm):
+        space = AddressSpace(pm)
+        space.map(0x10000, 4 * PAGE_SIZE, prot=PROT_RW)
+        space.write_bytes(0x10000, b"q" * (4 * PAGE_SIZE))
+        child = space.fork()
+        child.store_word(0x10000, 5)
+        space.destroy()
+        child.destroy()
+        assert pm.allocated == 0
+
+
+class TestStringsAndWords:
+    def test_cstring_roundtrip(self, space):
+        space.map(0x10000, PAGE_SIZE, prot=PROT_RW)
+        space.write_cstring(0x10000, "hello world")
+        assert space.read_cstring(0x10000) == "hello world"
+
+    def test_cstring_respects_max(self, space):
+        space.map(0x10000, PAGE_SIZE, prot=PROT_RW)
+        space.write_bytes(0x10000, b"abcdef")
+        assert space.read_cstring(0x10000, max_length=3) == "abc"
+
+    def test_halfword_and_byte_loads(self, space):
+        space.map(0x10000, PAGE_SIZE, prot=PROT_RW)
+        space.write_bytes(0x10000, (0x12345678).to_bytes(4, "little"))
+        assert space.load_half(0x10000) == 0x5678
+        assert space.load_byte(0x10003) == 0x12
+
+    def test_cross_page_word(self, space):
+        space.map(0x10000, 2 * PAGE_SIZE, prot=PROT_RW)
+        space.store_word(0x10000 + PAGE_SIZE - 2, 0xAABBCCDD)
+        assert space.load_word(0x10000 + PAGE_SIZE - 2) == 0xAABBCCDD

@@ -1,0 +1,73 @@
+"""Figure 3 layout invariants."""
+
+import pytest
+
+from repro.vm.layout import (
+    ALL_REGIONS,
+    HEAP_REGION,
+    KERNEL_REGION,
+    PAGE_SIZE,
+    SFS_REGION,
+    STACK_REGION,
+    TEXT_REGION,
+    describe_layout,
+    is_public_address,
+    region_of,
+)
+
+
+class TestRegions:
+    def test_paper_constants(self):
+        """The exact addresses of Figure 3."""
+        assert TEXT_REGION.start == 0x0000_0000
+        assert TEXT_REGION.end == 0x1000_0000
+        assert HEAP_REGION.start == 0x1000_0000
+        assert HEAP_REGION.end == 0x3000_0000
+        assert SFS_REGION.start == 0x3000_0000
+        assert SFS_REGION.end == 0x7000_0000
+        assert STACK_REGION.start == 0x7000_0000
+        assert STACK_REGION.end == 0x7FFF_0000
+        assert KERNEL_REGION.start == 0x8000_0000
+
+    def test_sfs_region_is_one_gigabyte(self):
+        assert SFS_REGION.size == 1 << 30
+
+    def test_only_sfs_is_public(self):
+        publics = [r for r in ALL_REGIONS if r.public]
+        assert publics == [SFS_REGION]
+
+    def test_regions_do_not_overlap(self):
+        ordered = sorted(ALL_REGIONS, key=lambda r: r.start)
+        for left, right in zip(ordered, ordered[1:]):
+            assert left.end <= right.start
+
+    def test_quarter_of_address_space_public(self):
+        """'only one quarter of the address space is public' (§5)."""
+        assert SFS_REGION.size == (1 << 32) // 4
+
+    def test_page_size(self):
+        assert PAGE_SIZE == 4096
+
+
+class TestLookups:
+    def test_is_public_address(self):
+        assert is_public_address(0x3000_0000)
+        assert is_public_address(0x6FFF_FFFF)
+        assert not is_public_address(0x2FFF_FFFF)
+        assert not is_public_address(0x7000_0000)
+
+    def test_region_of(self):
+        assert region_of(0x0040_0000) is TEXT_REGION
+        assert region_of(0x1000_0000) is HEAP_REGION
+        assert region_of(0x4000_0000) is SFS_REGION
+        assert region_of(0x7100_0000) is STACK_REGION
+        assert region_of(0x9000_0000) is KERNEL_REGION
+
+    def test_region_of_gap_raises(self):
+        with pytest.raises(ValueError):
+            region_of(0x7FFF_8000)  # gap between stack top and kernel
+
+    def test_describe_layout_mentions_all(self):
+        text = describe_layout()
+        for region in ALL_REGIONS:
+            assert region.name in text
