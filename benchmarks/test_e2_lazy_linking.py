@@ -27,9 +27,9 @@ def run_fanout(width: int, used: int, lazy: bool):
                                 module_dir="/shared/fan")
     start = kernel.clock.snapshot()
     proc = kernel.create_machine_process("p", graph.executable)
-    startup = kernel.clock.snapshot() - start
+    startup = kernel.clock.delta(start)
     code = kernel.run_until_exit(proc)
-    total = kernel.clock.snapshot() - start
+    total = kernel.clock.delta(start)
     assert code == fanout_expected_exit(used)
     stats = proc.runtime.ldl.stats
     return startup, total, stats

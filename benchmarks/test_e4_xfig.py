@@ -24,10 +24,10 @@ def run_xfig(nobjects: int):
     # Baseline: save (translate out) and load (translate in).
     start = kernel.clock.snapshot()
     save_figure_ascii(kernel, editor, figure, "/fig.txt")
-    ascii_save = kernel.clock.snapshot() - start
+    ascii_save = kernel.clock.delta(start)
     start = kernel.clock.snapshot()
     loaded = load_figure_ascii(kernel, editor, "/fig.txt")
-    ascii_load = kernel.clock.snapshot() - start
+    ascii_load = kernel.clock.delta(start)
     assert len(loaded.objects) == nobjects
 
     # Hemlock: the working representation is the persistent one.
@@ -35,7 +35,7 @@ def run_xfig(nobjects: int):
     shared = SharedFigure(kernel, editor, "/shared/fig",
                           size=512 * 1024, create=True)
     shared.build_from(figure)
-    shared_build = kernel.clock.snapshot() - start
+    shared_build = kernel.clock.delta(start)
 
     # "Saving" after edits: free. "Loading" in another process: mapping
     # plus walking the whole pointer structure (a full materialization,
@@ -44,14 +44,14 @@ def run_xfig(nobjects: int):
     start = kernel.clock.snapshot()
     reopened = SharedFigure(kernel, viewer, "/shared/fig")
     walked = reopened.to_figure()
-    shared_open = kernel.clock.snapshot() - start
+    shared_open = kernel.clock.delta(start)
     assert len(walked.objects) == nobjects
 
     # Duplication through the reused routines.
     target = shared.object_addresses()[0]
     start = kernel.clock.snapshot()
     shared.copy_object(target)
-    copy_cycles = kernel.clock.snapshot() - start
+    copy_cycles = kernel.clock.delta(start)
     return ascii_save, ascii_load, shared_build, shared_open, copy_cycles
 
 

@@ -15,6 +15,8 @@ from typing import Deque, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import SyscallError
 from repro.kernel.sync import WouldBlock
+from repro.trace import tracer as _trace
+from repro.trace.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.process import Process
@@ -42,6 +44,10 @@ class MessageQueue:
             raise WouldBlock()
         self.messages.append(bytes(data))
         self.bytes_queued += len(data)
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.IPC, name="msgsnd", pid=process.pid,
+                        addr=self.key, value=len(data))
         return True
 
     def receive(self, process: "Process",
@@ -53,6 +59,10 @@ class MessageQueue:
             raise WouldBlock()
         data = self.messages.popleft()
         self.bytes_queued -= len(data)
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.IPC, name="msgrcv", pid=process.pid,
+                        addr=self.key, value=len(data))
         return data
 
 
@@ -97,6 +107,10 @@ class Pipe:
             raise WouldBlock()
         chunk = data[:space]
         self.buffer.extend(chunk)
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.IPC, name="pipe-write",
+                        pid=process.pid, value=len(chunk))
         return len(chunk)
 
     def read(self, process: "Process", length: int,
@@ -110,4 +124,8 @@ class Pipe:
             raise WouldBlock()
         chunk = bytes(self.buffer[:length])
         del self.buffer[:length]
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.IPC, name="pipe-read",
+                        pid=process.pid, value=len(chunk))
         return chunk

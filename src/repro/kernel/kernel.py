@@ -42,6 +42,8 @@ from repro.kernel.timing import Clock, CostModel
 from repro.objfile.format import ObjectFile
 from repro.sfs.addrmap import AddressMap
 from repro.sfs.sharedfs import SharedFilesystem
+from repro.trace import tracer as _trace
+from repro.trace.events import EventKind
 from repro.vm.address_space import AddressSpace
 from repro.vm.faults import PageFaultError
 from repro.vm.pages import PhysicalMemory
@@ -87,6 +89,9 @@ class Kernel:
         # Hooks the runtime package registers at import/attach time so
         # exec can wire crt0/ldl without a kernel->runtime dependency.
         self.on_exec: Optional[Callable[[Process, ObjectFile], None]] = None
+        # An armed ambient tracer (reprotrace, REPRO_TRACE=1) binds to
+        # this kernel's clock; otherwise this is a no-op.
+        _trace.attach_kernel(self)
 
     def is_public_address(self, address: int) -> bool:
         """Does *address* fall in this machine's public region?
@@ -229,14 +234,24 @@ class Kernel:
         """Run the SIGSEGV handler chain; True if some handler resolved
         the fault (the faulting access should be retried)."""
         self.clock.page_fault()
+        tracer = _trace.TRACER
         info = SigInfo(Signal.SIGSEGV, address=fault.address,
                        access=fault.access,
                        pc=proc.cpu.pc if proc.cpu else 0,
                        present=fault.present)
         for handler in list(proc.signal_handlers.get(Signal.SIGSEGV, [])):
             self.clock.signal()
+            if tracer.enabled:
+                tracer.emit(EventKind.SIGNAL, name="SIGSEGV",
+                            pid=proc.pid, addr=fault.address)
             if handler(proc, info):
+                if tracer.enabled:
+                    tracer.emit(EventKind.FAULT, name="resolved",
+                                pid=proc.pid, addr=fault.address)
                 return True
+        if tracer.enabled:
+            tracer.emit(EventKind.FAULT, name="unresolved",
+                        pid=proc.pid, addr=fault.address)
         return False
 
     def run_with_faults(self, proc: Process, operation: Callable[[], object],
@@ -323,6 +338,15 @@ class Kernel:
         """Run one scheduling quantum of *proc*."""
         if proc.state is not ProcessState.READY:
             return
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            with tracer.span(EventKind.SWITCH, name=proc.name,
+                             pid=proc.pid):
+                self._dispatch_slice(proc)
+        else:
+            self._dispatch_slice(proc)
+
+    def _dispatch_slice(self, proc: Process) -> None:
         if proc.cpu is not None:
             self._run_machine_slice(proc)
         else:

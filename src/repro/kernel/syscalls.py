@@ -28,6 +28,8 @@ from repro.fs.vfs import (
 from repro.hw import isa
 from repro.kernel.process import Process
 from repro.kernel.sync import WouldBlock
+from repro.trace import tracer as _trace
+from repro.trace.events import EventKind
 from repro.vm.address_space import MAP_SHARED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -83,37 +85,48 @@ class Syscalls:
         self.kernel = kernel
         self._warm_inodes: set = set()
 
+    def _syscall(self, proc: Process, name: str) -> None:
+        """Charge the trap cost and trace the call (entry/exit in one)."""
+        self.kernel.clock.syscall()
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.SYSCALL, name=name, pid=proc.pid)
+
     # ------------------------------------------------------------------
     # files
     # ------------------------------------------------------------------
 
     def open(self, proc: Process, path: str, flags: int = O_RDONLY,
              mode: int = 0o644) -> int:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "open")
         handle = self.kernel.vfs.open(path, flags, proc.uid, mode,
                                       cwd=proc.cwd)
-        self._charge_cold(handle)
+        self._charge_cold(proc, handle)
         return proc.install_fd(handle)
 
-    def _charge_cold(self, handle: OpenFile) -> None:
+    def _charge_cold(self, proc: Process, handle: OpenFile) -> None:
         """First touch of a file pays a disk seek; later opens hit cache."""
         key = (id(handle.fs), handle.inode.number)
         if key not in self._warm_inodes:
             self._warm_inodes.add(key)
             self.kernel.clock.disk_seek()
+            tracer = _trace.TRACER
+            if tracer.enabled:
+                tracer.emit(EventKind.DISK, name=handle.path,
+                            pid=proc.pid, value=handle.inode.number)
 
     def close(self, proc: Process, fd: int) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "close")
         proc.close_fd(fd)
 
     def read(self, proc: Process, fd: int, length: int) -> bytes:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "read")
         data = proc.fd(fd).read(length)
         self.kernel.clock.file_io(len(data))
         return data
 
     def write(self, proc: Process, fd: int, data: bytes) -> int:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "write")
         if fd == 1:  # console
             proc.stdout.extend(data)
             return len(data)
@@ -123,66 +136,66 @@ class Syscalls:
 
     def pread(self, proc: Process, fd: int, offset: int,
               length: int) -> bytes:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "pread")
         data = proc.fd(fd).pread(offset, length)
         self.kernel.clock.file_io(len(data))
         return data
 
     def pwrite(self, proc: Process, fd: int, offset: int,
                data: bytes) -> int:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "pwrite")
         written = proc.fd(fd).pwrite(offset, data)
         self.kernel.clock.file_io(written)
         return written
 
     def lseek(self, proc: Process, fd: int, offset: int,
               whence: int = 0) -> int:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "lseek")
         return proc.fd(fd).lseek(offset, whence)
 
     def ftruncate(self, proc: Process, fd: int, size: int) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "ftruncate")
         proc.fd(fd).truncate(size)
 
     def stat(self, proc: Process, path: str, follow: bool = True):
-        self.kernel.clock.syscall()
+        self._syscall(proc, "stat")
         return self.kernel.vfs.stat(path, proc.uid, follow=follow,
                                     cwd=proc.cwd)
 
     def fstat(self, proc: Process, fd: int):
-        self.kernel.clock.syscall()
+        self._syscall(proc, "fstat")
         return proc.fd(fd).inode.stat()
 
     def unlink(self, proc: Process, path: str) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "unlink")
         self.kernel.vfs.unlink(path, proc.uid, cwd=proc.cwd)
 
     def mkdir(self, proc: Process, path: str, mode: int = 0o755) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "mkdir")
         self.kernel.vfs.mkdir(path, proc.uid, mode, cwd=proc.cwd)
 
     def rmdir(self, proc: Process, path: str) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "rmdir")
         self.kernel.vfs.rmdir(path, proc.uid, cwd=proc.cwd)
 
     def symlink(self, proc: Process, target: str, linkpath: str) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "symlink")
         self.kernel.vfs.symlink(target, linkpath, proc.uid, cwd=proc.cwd)
 
     def readlink(self, proc: Process, path: str) -> str:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "readlink")
         return self.kernel.vfs.readlink(path, proc.uid, cwd=proc.cwd)
 
     def rename(self, proc: Process, old: str, new: str) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "rename")
         self.kernel.vfs.rename(old, new, proc.uid, cwd=proc.cwd)
 
     def listdir(self, proc: Process, path: str):
-        self.kernel.clock.syscall()
+        self._syscall(proc, "listdir")
         return self.kernel.vfs.listdir(path, proc.uid, cwd=proc.cwd)
 
     def chdir(self, proc: Process, path: str) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "chdir")
         fs, inode = self.kernel.vfs.resolve(path, proc.uid, cwd=proc.cwd)
         if not inode.is_dir:
             raise SyscallError("ENOTDIR", f"{path!r} is not a directory")
@@ -197,7 +210,7 @@ class Syscalls:
     def mmap(self, proc: Process, addr: Optional[int], length: int,
              prot: int, flags: int, fd: Optional[int] = None,
              offset: int = 0, name: str = "") -> int:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "mmap")
         self.kernel.clock.map_segment()
         memobj = None
         if fd is not None:
@@ -214,16 +227,16 @@ class Syscalls:
         return mapping.start
 
     def munmap(self, proc: Process, addr: int, length: int) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "munmap")
         proc.address_space.unmap(addr, length)
 
     def mprotect(self, proc: Process, addr: int, length: int,
                  prot: int) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "mprotect")
         proc.address_space.mprotect(addr, length, prot)
 
     def sbrk(self, proc: Process, delta: int) -> int:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "sbrk")
         old = proc.brk
         new = old + delta
         if delta < 0:
@@ -242,7 +255,7 @@ class Syscalls:
                      address: int) -> Tuple[str, int]:
         """Translate a public address to (absolute path, offset) — the
         "new kernel call" that the SIGSEGV handler and ldl rely on."""
-        self.kernel.clock.syscall()
+        self._syscall(proc, "addr_to_path")
         if not self.kernel.is_public_address(address):
             raise SyscallError(
                 "EFAULT", f"0x{address:08x} is not a public address"
@@ -283,11 +296,11 @@ class Syscalls:
         return proc.ppid
 
     def exit(self, proc: Process, code: int) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "exit")
         self.kernel.terminate(proc, code)
 
     def fork(self, proc: Process) -> Process:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "fork")
         return self.kernel.fork(proc)
 
     def wait(self, proc: Process) -> Tuple[int, int]:
@@ -296,7 +309,7 @@ class Syscalls:
         Raises :class:`WouldBlock` when children exist but none has
         exited yet; ECHILD when the process has no children at all.
         """
-        self.kernel.clock.syscall()
+        self._syscall(proc, "wait")
         children = [p for p in self.kernel.processes.values()
                     if p.ppid == proc.pid and not p.reaped]
         if not children:
@@ -319,7 +332,7 @@ class Syscalls:
     # ------------------------------------------------------------------
 
     def flock(self, proc: Process, fd: int, op: int) -> bool:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "flock")
         inode = proc.fd(fd).inode
         if op == FLOCK_EX:
             return self.kernel.locks.acquire(proc, inode, blocking=True)
@@ -333,32 +346,32 @@ class Syscalls:
         raise SyscallError("EINVAL", f"bad flock op {op}")
 
     def semget(self, proc: Process, key: int, value: int = 1) -> int:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "semget")
         self.kernel.semaphores.get(key, value)
         return key
 
     def sem_p(self, proc: Process, key: int) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "sem_p")
         self.kernel.semaphores.get(key).p(proc)
 
     def sem_try_p(self, proc: Process, key: int) -> bool:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "sem_try_p")
         return self.kernel.semaphores.get(key).try_p(proc)
 
     def sem_v(self, proc: Process, key: int) -> None:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "sem_v")
         woken = self.kernel.semaphores.get(key).v()
         if woken is not None:
             self.kernel.wake(woken)
 
     def msgget(self, proc: Process, key: int) -> int:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "msgget")
         self.kernel.queues.get(key)
         return key
 
     def msgsnd(self, proc: Process, key: int, data: bytes,
                blocking: bool = True) -> bool:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "msgsnd")
         self.kernel.clock.message()
         self.kernel.clock.copy(len(data))  # user -> kernel copy
         queue = self.kernel.queues.get(key)
@@ -369,7 +382,7 @@ class Syscalls:
 
     def msgrcv(self, proc: Process, key: int,
                blocking: bool = True) -> Optional[bytes]:
-        self.kernel.clock.syscall()
+        self._syscall(proc, "msgrcv")
         queue = self.kernel.queues.get(key)
         data = queue.receive(proc, blocking)
         if data is not None:
@@ -398,7 +411,7 @@ class Syscalls:
         if number == SYS_PLT_RESOLVE:
             # Jump-table lazy linking: patch the PLT entry containing
             # the trapping PC and restart execution at its base.
-            self.kernel.clock.syscall()
+            self._syscall(proc, "plt_resolve")
             runtime = proc.runtime
             assert runtime is not None, "PLT trap without a runtime"
             cpu.pc = runtime.plt_resolve(cpu.pc)  # type: ignore[attr-defined]

@@ -82,6 +82,17 @@ class Clock:
         """Current cycle count (for interval measurements)."""
         return self.cycles
 
+    def delta(self, snapshot: int) -> int:
+        """Cycles elapsed since *snapshot* (a prior :meth:`snapshot`).
+
+        The benchmark idiom::
+
+            start = clock.snapshot()
+            ...               # the measured phase
+            phase = clock.delta(start)
+        """
+        return self.cycles - snapshot
+
     def report(self) -> str:
         lines = [f"total cycles: {self.cycles}"]
         for category in sorted(self.by_category):

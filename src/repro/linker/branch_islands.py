@@ -33,6 +33,8 @@ from repro.objfile.format import (
     Symbol,
     SymBinding,
 )
+from repro.trace import tracer as _trace
+from repro.trace.events import EventKind
 
 ISLAND_SIZE = 12  # three instructions
 
@@ -59,6 +61,10 @@ def insert_branch_islands(obj: ObjectFile,
         obj.text.extend(_island_code())
         obj.symbols[label] = Symbol(label, SEC_TEXT, island_offset,
                                     SymBinding.LOCAL)
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.ISLAND, name=reloc.symbol,
+                        value=ISLAND_SIZE)
         # Call site now jumps (in-region) to the island.
         new_relocs.append(Relocation(SEC_TEXT, reloc.offset,
                                      RelocType.JUMP26, label, 0))

@@ -28,6 +28,8 @@ from repro.objfile.format import (
     Symbol,
     SymBinding,
 )
+from repro.trace import tracer as _trace
+from repro.trace.events import EventKind
 
 SYS_PLT_RESOLVE = 40
 PLT_ENTRY_SIZE = 16
@@ -56,6 +58,11 @@ def insert_jump_table(obj: ObjectFile,
             obj.text.extend(_plt_entry_code())
             obj.symbols[label] = Symbol(label, SEC_TEXT, offset,
                                         SymBinding.LOCAL)
+            tracer = _trace.TRACER
+            if tracer.enabled:
+                tracer.emit(EventKind.ISLAND,
+                            name=f"plt:{reloc.symbol}",
+                            value=PLT_ENTRY_SIZE)
         new_relocs.append(Relocation(SEC_TEXT, reloc.offset,
                                      RelocType.JUMP26, label,
                                      0))

@@ -45,6 +45,8 @@ from repro.linker.segments import (
     update_segment_meta,
 )
 from repro.objfile.format import ObjectFile
+from repro.trace import tracer as _trace
+from repro.trace.events import EventKind
 from repro.util.bits import align_up
 from repro.vm.address_space import MAP_PRIVATE, MAP_SHARED, PROT_NONE, \
     PROT_RWX
@@ -343,6 +345,11 @@ class Ldl:
         self._by_path[key] = module
         self._modules.append(module)
         self.stats.modules_mapped += 1
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.MAP, name=f"module:{module.name}",
+                        pid=self.proc.pid, addr=module.base,
+                        value=module.image_len)
 
     def _load_template(self, path: str) -> ObjectFile:
         from repro.linker.lds import load_template
@@ -368,7 +375,14 @@ class Ldl:
             if not module.accessible:
                 self._make_accessible(module)
             return
-        self._resolve_retained(module)
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            with tracer.span(EventKind.LINK_RESOLVE,
+                             name=f"link:{module.name}",
+                             pid=self.proc.pid, addr=module.base):
+                self._resolve_retained(module)
+        else:
+            self._resolve_retained(module)
         module.linked = True
         if not module.accessible:
             self._make_accessible(module)
@@ -380,11 +394,15 @@ class Ldl:
 
     def _resolve_retained(self, module: LoadedModule) -> None:
         remaining = []
+        tracer = _trace.TRACER
         for reloc in module.meta.relocations:
             address = self.scoped_resolve(module, reloc.symbol)
             if address is None:
                 remaining.append(reloc)
                 continue
+            if tracer.enabled:
+                tracer.emit(EventKind.LINK_RESOLVE, name=reloc.symbol,
+                            pid=self.proc.pid, addr=address)
             section = module.meta.layout[reloc.section]
             patch_reloc_in_memory(self.proc.address_space, section.base,
                                   reloc, address + reloc.addend,

@@ -35,6 +35,8 @@ from repro.linker.segments import read_segment_meta
 from repro.objfile.format import ObjectFile
 from repro.runtime.views import Mem
 from repro.sfs.sharedfs import MAX_FILE_SIZE
+from repro.trace import tracer as _trace
+from repro.trace.events import EventKind
 from repro.util.bits import align_up
 from repro.vm.address_space import MAP_SHARED, PROT_RWX, PROT_RX
 from repro.vm.faults import AccessKind
@@ -346,6 +348,10 @@ class HemlockRuntime:
             raise SimulationError(
                 f"PLT: symbol {symbol!r} is undefined at the root"
             )
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.LINK_RESOLVE, name=symbol,
+                        pid=self.proc.pid, addr=target)
         self.proc.address_space.write_bytes(base, patched_plt_entry(target),
                                             force=True)
         return base

@@ -20,6 +20,8 @@ from repro.errors import FileLimitError, FileNotFoundSimError
 from repro.fs.filesystem import Filesystem
 from repro.fs.inode import Inode
 from repro.sfs.addrmap import AddressMap, LinearAddressMap
+from repro.trace import tracer as _trace
+from repro.trace.events import EventKind
 from repro.vm.layout import SFS_REGION
 from repro.vm.pages import PhysicalMemory
 
@@ -66,12 +68,21 @@ class SharedFilesystem(Filesystem):
 
     def _on_create(self, inode: Inode) -> None:
         if inode.is_file:
-            self.addrmap.register(self.address_of_inode(inode.number),
-                                  SEGMENT_SPAN, inode.number)
+            base = self.address_of_inode(inode.number)
+            self.addrmap.register(base, SEGMENT_SPAN, inode.number)
+            tracer = _trace.TRACER
+            if tracer.enabled:
+                tracer.emit(EventKind.MAP, name="segment-create",
+                            addr=base, value=inode.number)
 
     def _on_destroy(self, inode: Inode) -> None:
         if inode.is_file:
             self.addrmap.unregister(inode.number)
+            tracer = _trace.TRACER
+            if tracer.enabled:
+                tracer.emit(EventKind.MAP, name="segment-destroy",
+                            addr=self.address_of_inode(inode.number),
+                            value=inode.number)
         self._free_inos.append(inode.number)
 
     # ------------------------------------------------------------------
@@ -92,6 +103,10 @@ class SharedFilesystem(Filesystem):
         cost reflects the configured map implementation.
         """
         hit = self.addrmap.lookup_address(address)
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.MAP, name="addr-lookup", addr=address,
+                        value=0 if hit is None else 1)
         if hit is None:
             return None
         ino, offset = hit

@@ -17,11 +17,22 @@ system):
 * :func:`asm_main` — ``as -o out.o source.s``
 * :func:`nm_main` / :func:`objdump_main` — inspection, returning text;
 * :func:`ar_main` — ``ar archive.a member.o...``.
+
+One tool runs on the *host* instead of inside the simulation:
+
+* :func:`reprotrace_main` — ``reprotrace [-o dir] [--kinds K,K]
+  [--capacity N] [--top N] script.py [args...]`` runs any example (or
+  other host script) with kernel-wide tracing armed, then writes a
+  JSONL event log and a ``chrome://tracing`` file and prints the top-N
+  hot-spot report. Also installed as the ``reprotrace`` console script.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import os
+import runpy
+import sys
+from typing import List, Optional, Sequence, TextIO
 
 from repro.errors import LinkError, SimulationError
 from repro.hw.asm import assemble
@@ -190,6 +201,116 @@ def segls_main(kernel: Kernel, proc: Process,
     return "\n".join(sorted(lines))
 
 
+def reprotrace_main(argv: Sequence[str],
+                    stdout: Optional[TextIO] = None) -> int:
+    """Run a host script under kernel-wide tracing; export and report.
+
+    ``reprotrace [-o DIR] [--kinds FAULT,LINK_RESOLVE,...]
+    [--capacity N] [--top N] script.py [script args...]``
+
+    Tracing is armed before the script runs, so every kernel the script
+    boots binds the tracer to its clock (multiple boots are
+    distinguished by the events' ``boot`` field). Afterwards the event
+    stream is written to ``DIR/<script>.trace.jsonl`` and
+    ``DIR/<script>.chrome.json`` (load the latter in chrome://tracing
+    or https://ui.perfetto.dev), and a top-N report is printed.
+    Exports are deterministic: identical runs produce identical bytes.
+    """
+    from repro.trace import tracer as trace_state
+    from repro.trace.events import EventKind
+    from repro.trace.tracer import cancel_tracing, request_tracing
+
+    out = stdout if stdout is not None else sys.stdout
+    outdir = "."
+    kinds: Optional[List[str]] = None
+    capacity = 1 << 16
+    top = 10
+    script: Optional[str] = None
+    script_args: List[str] = []
+
+    args = list(argv)
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "-o":
+            outdir = _value(args, index, "-o")
+            index += 2
+        elif arg == "--kinds":
+            names = _value(args, index, "--kinds")
+            kinds = [name for name in names.split(",") if name.strip()]
+            try:
+                for name in kinds:
+                    EventKind[name.strip().upper()]
+            except KeyError:
+                known = ", ".join(k.name for k in EventKind)
+                raise UsageError(
+                    f"reprotrace: unknown event kind {name!r} "
+                    f"(known: {known})"
+                )
+            index += 2
+        elif arg == "--capacity":
+            capacity = int(_value(args, index, "--capacity"))
+            index += 2
+        elif arg == "--top":
+            top = int(_value(args, index, "--top"))
+            index += 2
+        elif arg.startswith("-") and script is None:
+            raise UsageError(f"reprotrace: unknown option {arg!r}")
+        else:
+            script = arg
+            script_args = args[index + 1:]
+            break
+    if script is None:
+        raise UsageError(
+            "reprotrace: usage: reprotrace [-o dir] [--kinds K,K] "
+            "[--capacity N] [--top N] script.py [args...]"
+        )
+    if not os.path.isfile(script):
+        raise UsageError(f"reprotrace: no such script: {script}")
+
+    request_tracing(kinds=kinds, capacity=capacity)
+    saved_argv = sys.argv
+    sys.argv = [script] + list(script_args)
+    try:
+        runpy.run_path(script, run_name="__main__")
+        tracer = trace_state.TRACER
+        if not tracer.enabled:
+            print(f"reprotrace: {script} never booted a kernel; "
+                  f"no events recorded", file=out)
+            return 1
+        from repro.trace.export import (
+            top_report,
+            write_chrome,
+            write_jsonl,
+        )
+
+        os.makedirs(outdir, exist_ok=True)
+        stem = os.path.splitext(os.path.basename(script))[0]
+        jsonl_path = os.path.join(outdir, f"{stem}.trace.jsonl")
+        chrome_path = os.path.join(outdir, f"{stem}.chrome.json")
+        events = tracer.events()
+        write_jsonl(events, jsonl_path)
+        write_chrome(events, chrome_path)
+        print(file=out)
+        print(top_report(tracer, top=top), file=out)
+        print(f"\nwrote {len(events)} events to {jsonl_path}", file=out)
+        print(f"wrote chrome trace to {chrome_path} "
+              f"(open in chrome://tracing)", file=out)
+        return 0
+    finally:
+        sys.argv = saved_argv
+        cancel_tracing()
+
+
+def reprotrace_entry() -> int:
+    """Console-script entry point (``reprotrace ...``)."""
+    try:
+        return reprotrace_main(sys.argv[1:])
+    except UsageError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+
 def load_archive(kernel: Kernel, proc: Process, path: str) -> Archive:
     data = kernel.vfs.read_whole(path, proc.uid, cwd=proc.cwd)
     return Archive.from_bytes(data)
@@ -231,3 +352,13 @@ def _one_output_one_input(argv: Sequence[str], tool: str,
             else source
         output = base + ".o"
     return output, inputs[0]
+
+
+if __name__ == "__main__":  # pragma: no cover - console convenience
+    # ``python -m repro.tools.cli [reprotrace] ...`` — reprotrace is the
+    # only host-side tool; the rest run inside the simulation.
+    _args = sys.argv[1:]
+    if _args and _args[0] == "reprotrace":
+        _args = _args[1:]
+    sys.argv = [sys.argv[0]] + _args
+    sys.exit(reprotrace_entry())

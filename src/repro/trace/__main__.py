@@ -1,0 +1,8 @@
+"""``python -m repro.trace [-o DIR] script.py [args...]`` — the
+reprotrace CLI (same as the ``reprotrace`` console script)."""
+
+import sys
+
+from repro.tools.cli import reprotrace_entry
+
+sys.exit(reprotrace_entry())

@@ -1,0 +1,156 @@
+"""Trace exporters: JSONL, Chrome trace-event JSON, and a text report.
+
+All three are deterministic functions of the event stream: fixed key
+order, sorted aggregate tables, no wall-clock timestamps. Two identical
+simulated runs therefore export byte-identical files — which is itself
+a property the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.trace.events import Event, EventKind
+from repro.trace.tracer import Tracer
+from repro.vm.layout import PAGE_SIZE
+
+_JSON_SEPARATORS = (",", ":")
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+def jsonl_lines(events: Iterable[Event]) -> List[str]:
+    """One compact JSON object per event, in buffer order."""
+    return [
+        json.dumps(event.to_dict(), separators=_JSON_SEPARATORS)
+        for event in events
+    ]
+
+
+def write_jsonl(events: Iterable[Event], path: str) -> int:
+    """Write events to *path* (host filesystem); returns the line count."""
+    lines = jsonl_lines(events)
+    with open(path, "w", encoding="utf-8") as stream:
+        for line in lines:
+            stream.write(line)
+            stream.write("\n")
+    return len(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format (chrome://tracing, Perfetto)
+# ----------------------------------------------------------------------
+
+def chrome_trace(events: Iterable[Event]) -> Dict[str, object]:
+    """The trace-event JSON object for *events*.
+
+    Span events (``dur > 0``) become complete events (``ph: "X"``);
+    instantaneous events become instant events (``ph: "i"``). The
+    simulated cycle counter is reported as the microsecond timestamp —
+    absolute units are meaningless in simulation, only the shape is.
+    Each simulated boot renders as a Chrome "process"; each simulated
+    pid as a "thread" within it.
+    """
+    trace_events: List[Dict[str, object]] = []
+    for event in events:
+        name = event.name or event.kind.name.lower()
+        record: Dict[str, object] = {
+            "name": f"{event.kind.name}:{name}",
+            "cat": event.kind.name,
+            "ts": event.cycle,
+            "pid": event.boot,
+            "tid": event.pid,
+            "args": {"addr": f"0x{event.addr:08x}", "value": event.value},
+        }
+        if event.dur:
+            record["ph"] = "X"
+            record["dur"] = event.dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(events: Iterable[Event], path: str) -> int:
+    """Write a chrome://tracing file; returns the event count."""
+    document = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, separators=_JSON_SEPARATORS,
+                  sort_keys=True)
+    return len(document["traceEvents"])  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# plain-text top-N report
+# ----------------------------------------------------------------------
+
+def _top(counter: Dict, top: int) -> List[Tuple[object, int]]:
+    """Deterministic top-N: by count descending, then key ascending."""
+    return sorted(counter.items(), key=lambda kv: (-kv[1], str(kv[0])))[:top]
+
+
+def _named_counts(tracer: Tracer, kind: EventKind) -> Dict[str, int]:
+    return {
+        name: count
+        for (k, name), count in tracer.counts_by_name.items()
+        if k is kind
+    }
+
+
+def top_report(tracer: Tracer, top: int = 10) -> str:
+    """The hot spots: syscalls, fault pages, resolved symbols, spans."""
+    lines: List[str] = ["== trace report =="]
+    lines.append(
+        f"events: {tracer.emitted} recorded, {tracer.dropped} dropped "
+        f"(ring capacity {tracer.capacity})"
+    )
+
+    lines.append("\nevent counts by kind:")
+    for kind in EventKind:
+        count = tracer.counts_by_kind.get(kind, 0)
+        if count:
+            lines.append(f"  {kind.name:13s} {count:9d}")
+
+    syscalls = _named_counts(tracer, EventKind.SYSCALL)
+    if syscalls:
+        lines.append(f"\nhottest syscalls (top {top}):")
+        for name, count in _top(syscalls, top):
+            lines.append(f"  {name:16s} {count:9d} calls")
+
+    fault_pages: Dict[int, int] = {}
+    for event in tracer.events():
+        if event.kind is EventKind.FAULT \
+                and event.name in ("read", "write", "exec"):
+            page = event.addr & ~(PAGE_SIZE - 1)
+            fault_pages[page] = fault_pages.get(page, 0) + 1
+    if fault_pages:
+        lines.append(f"\nfaultiest pages (top {top}, retained events):")
+        for page, count in _top(fault_pages, top):
+            lines.append(f"  0x{page:08x}     {count:9d} faults")
+
+    resolves = {
+        name: count
+        for name, count in _named_counts(tracer,
+                                         EventKind.LINK_RESOLVE).items()
+        if not name.startswith("link:")
+    }
+    if resolves:
+        lines.append(f"\nmost-resolved symbols (top {top}):")
+        for name, count in _top(resolves, top):
+            lines.append(f"  {name:24s} {count:6d} resolutions")
+
+    spans = {
+        (kind, name): cycles
+        for (kind, name), cycles in tracer.cycles_by_name.items()
+    }
+    if spans:
+        lines.append(f"\ncostliest timed regions (top {top}):")
+        for (kind, name), cycles in _top(spans, top):
+            label = f"{kind.name}:{name}"
+            lines.append(f"  {label:32s} {cycles:>12,} cycles")
+
+    return "\n".join(lines)

@@ -1,0 +1,319 @@
+"""The tracer: a bounded ring buffer of events plus running counters.
+
+Design constraints, in order:
+
+1. **Zero perturbation.** The tracer only *reads* the deterministic
+   clock; it never charges it. Cycle totals with tracing enabled are
+   byte-for-byte identical to totals with tracing disabled.
+2. **Cheap when off.** The module-level :data:`TRACER` defaults to a
+   shared :class:`NullTracer` whose ``enabled`` attribute is False, so
+   every instrumentation site costs one attribute check when tracing is
+   disabled::
+
+       t = tracer.TRACER
+       if t.enabled:
+           t.emit(...)
+
+3. **Bounded.** Events live in a fixed-capacity ring buffer; overflow
+   drops the oldest events but the per-kind/per-name counters keep
+   counting, so top-N reports stay exact even for long runs.
+
+Enable tracing either explicitly::
+
+    t = Tracer(kernel.clock)
+    set_tracer(t)
+    ...            # run the workload
+    set_tracer(None)
+
+or ambiently for everything booted after the request (what the
+``reprotrace`` CLI and the ``REPRO_TRACE=1`` environment variable do)::
+
+    request_tracing(kinds=["FAULT", "LINK_RESOLVE"])
+    system = boot()        # Kernel.__init__ binds the tracer's clock
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.trace.events import (
+    ALL_MASK,
+    Event,
+    EventKind,
+    kinds_mask,
+)
+
+DEFAULT_CAPACITY = 1 << 16
+
+
+class _NullSpan:
+    """Context manager that does nothing (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+
+    def emit(self, kind: EventKind, name: str = "", pid: int = 0,
+             addr: int = 0, value: int = 0, dur: int = 0) -> None:
+        return None
+
+    def span(self, kind: EventKind, name: str = "", pid: int = 0,
+             addr: int = 0, value: int = 0) -> _NullSpan:
+        return _NULL_SPAN
+
+    def events(self) -> List[Event]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """A timed region: emits one event (with ``dur``) on exit.
+
+    The event's ``cycle`` is the region's *entry* stamp, so nested
+    spans render correctly as Chrome complete events.
+    """
+
+    __slots__ = ("_tracer", "kind", "name", "pid", "addr", "value",
+                 "_start")
+
+    def __init__(self, tracer: "Tracer", kind: EventKind, name: str,
+                 pid: int, addr: int, value: int) -> None:
+        self._tracer = tracer
+        self.kind = kind
+        self.name = name
+        self.pid = pid
+        self.addr = addr
+        self.value = value
+        self._start = 0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer.now()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        tracer = self._tracer
+        tracer._record(Event(self.kind, self._start, self.pid, self.addr,
+                             self.name, self.value,
+                             tracer.now() - self._start,
+                             tracer.boot_index))
+
+
+class Tracer:
+    """Bounded event recorder with per-kind enable masks and counters."""
+
+    enabled = True
+
+    def __init__(self, clock=None, capacity: int = DEFAULT_CAPACITY,
+                 kinds: Optional[Iterable[Union[EventKind, str]]] = None,
+                 autobind: bool = False) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self._clock = clock                  # anything with .cycles
+        self.capacity = capacity
+        self.mask = ALL_MASK if kinds is None else kinds_mask(kinds)
+        self.autobind = autobind
+        self.boot_index = 0
+        self._ring: List[Event] = []
+        self._head = 0                       # next write slot once full
+        self.emitted = 0                     # total accepted events
+        # Exact aggregates, unaffected by ring overflow.
+        self.counts_by_kind: Dict[EventKind, int] = {}
+        self.counts_by_name: Dict[Tuple[EventKind, str], int] = {}
+        self.counts_by_pid: Dict[Tuple[EventKind, int], int] = {}
+        self.cycles_by_name: Dict[Tuple[EventKind, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # clock binding
+    # ------------------------------------------------------------------
+
+    def bind_clock(self, clock) -> None:
+        """Stamp subsequent events from *clock* (a new booted kernel)."""
+        self._clock = clock
+        self.boot_index += 1
+
+    def now(self) -> int:
+        clock = self._clock
+        return clock.cycles if clock is not None else 0
+
+    # ------------------------------------------------------------------
+    # masks
+    # ------------------------------------------------------------------
+
+    def wants(self, kind: EventKind) -> bool:
+        return bool(self.mask & (1 << kind))
+
+    def enable_kind(self, kind: EventKind) -> None:
+        self.mask |= 1 << kind
+
+    def disable_kind(self, kind: EventKind) -> None:
+        self.mask &= ~(1 << kind)
+
+    def set_kinds(self,
+                  kinds: Iterable[Union[EventKind, str]]) -> None:
+        self.mask = kinds_mask(kinds)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def emit(self, kind: EventKind, name: str = "", pid: int = 0,
+             addr: int = 0, value: int = 0, dur: int = 0) -> None:
+        """Record one event (if *kind* passes the enable mask)."""
+        if not self.mask & (1 << kind):
+            return
+        self._record(Event(kind, self.now(), pid, addr, name, value,
+                           dur, self.boot_index))
+
+    def span(self, kind: EventKind, name: str = "", pid: int = 0,
+             addr: int = 0, value: int = 0) -> "_Span | _NullSpan":
+        """A context manager timing a region; nests freely."""
+        if not self.mask & (1 << kind):
+            return _NULL_SPAN
+        return _Span(self, kind, name, pid, addr, value)
+
+    def _record(self, event: Event) -> None:
+        if len(self._ring) < self.capacity:
+            self._ring.append(event)
+        else:
+            self._ring[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+        self.emitted += 1
+        kind, name, pid = event.kind, event.name, event.pid
+        self.counts_by_kind[kind] = self.counts_by_kind.get(kind, 0) + 1
+        self.counts_by_name[(kind, name)] = \
+            self.counts_by_name.get((kind, name), 0) + 1
+        self.counts_by_pid[(kind, pid)] = \
+            self.counts_by_pid.get((kind, pid), 0) + 1
+        if event.dur:
+            self.cycles_by_name[(kind, name)] = \
+                self.cycles_by_name.get((kind, name), 0) + event.dur
+
+    # ------------------------------------------------------------------
+    # reading back
+    # ------------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring-buffer overflow."""
+        return self.emitted - len(self._ring)
+
+    def events(self) -> List[Event]:
+        """Retained events, oldest first (wraparound unfolded)."""
+        return self._ring[self._head:] + self._ring[:self._head]
+
+    def clear(self) -> None:
+        self._ring = []
+        self._head = 0
+        self.emitted = 0
+        self.counts_by_kind.clear()
+        self.counts_by_name.clear()
+        self.counts_by_pid.clear()
+        self.cycles_by_name.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+# ----------------------------------------------------------------------
+# the global tracer
+# ----------------------------------------------------------------------
+
+#: What every instrumentation site consults. Reassigned, never mutated
+#: in place, so sites must read ``tracer.TRACER`` (the module attribute)
+#: rather than import the object.
+TRACER: Union[Tracer, NullTracer] = NULL_TRACER
+
+# Configuration captured by request_tracing() / REPRO_TRACE, consumed by
+# the first Kernel boot after the request.
+_PENDING: Optional[dict] = None
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    return TRACER
+
+
+def set_tracer(tracer: Optional[Union[Tracer, NullTracer]]) -> None:
+    """Install *tracer* globally (None restores the no-op tracer)."""
+    global TRACER
+    TRACER = tracer if tracer is not None else NULL_TRACER
+
+
+def request_tracing(kinds: Optional[Iterable[Union[EventKind, str]]] = None,
+                    capacity: int = DEFAULT_CAPACITY) -> None:
+    """Arm tracing for the next booted kernel (and rebind on later
+    boots), without needing the kernel to exist yet."""
+    global _PENDING
+    _PENDING = {"kinds": kinds, "capacity": capacity}
+
+
+def cancel_tracing() -> None:
+    """Disarm :func:`request_tracing` and restore the no-op tracer."""
+    global _PENDING
+    _PENDING = None
+    set_tracer(None)
+
+
+def attach_kernel(kernel) -> None:
+    """Called from ``Kernel.__init__``: honour a pending tracing
+    request, or rebind an auto-bound tracer to the new kernel's clock."""
+    global TRACER, _PENDING
+    if _PENDING is not None:
+        config = _PENDING
+        _PENDING = None
+        TRACER = Tracer(clock=None, capacity=config["capacity"],
+                        kinds=config["kinds"], autobind=True)
+    if TRACER.enabled and getattr(TRACER, "autobind", False):
+        TRACER.bind_clock(kernel.clock)
+
+
+class tracing:
+    """``with tracing(kernel) as t:`` — scoped tracing of one kernel."""
+
+    def __init__(self, kernel=None,
+                 kinds: Optional[Iterable[Union[EventKind, str]]] = None,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        clock = kernel.clock if kernel is not None else None
+        self.tracer = Tracer(clock=clock, capacity=capacity, kinds=kinds)
+        self._previous: Union[Tracer, NullTracer] = NULL_TRACER
+
+    def __enter__(self) -> Tracer:
+        global TRACER
+        self._previous = TRACER
+        TRACER = self.tracer
+        return self.tracer
+
+    def __exit__(self, *exc) -> None:
+        global TRACER
+        TRACER = self._previous
+
+
+def _arm_from_environment() -> None:
+    """REPRO_TRACE=1 arms ambient tracing for any python entry point;
+    REPRO_TRACE_KINDS=FAULT,LINK_RESOLVE and REPRO_TRACE_CAPACITY=N
+    narrow it."""
+    if not os.environ.get("REPRO_TRACE"):
+        return
+    kinds_env = os.environ.get("REPRO_TRACE_KINDS", "")
+    kinds = [k for k in kinds_env.split(",") if k.strip()] or None
+    capacity = int(os.environ.get("REPRO_TRACE_CAPACITY",
+                                  str(DEFAULT_CAPACITY)))
+    request_tracing(kinds=kinds, capacity=capacity)
+
+
+_arm_from_environment()

@@ -22,6 +22,8 @@ import struct
 from typing import Dict, List, Optional
 
 from repro.errors import MappingError
+from repro.trace import tracer as _trace
+from repro.trace.events import EventKind
 from repro.vm.faults import AccessKind, PageFaultError
 from repro.vm.layout import PAGE_SIZE, PAGE_SHIFT, AddressRegion
 from repro.vm.pages import Frame, MemoryObject, PhysicalMemory
@@ -154,6 +156,10 @@ class AddressSpace:
         for vpn in range(first_vpn, first_vpn + npages):
             self._pages[vpn] = _Pte(mapping, prot)
         self._insert_mapping(mapping)
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.MAP, name=f"map:{mapping.name}",
+                        addr=address, value=npages * PAGE_SIZE)
         return mapping
 
     def unmap(self, address: int, length: int) -> None:
@@ -185,6 +191,11 @@ class AddressSpace:
             if pte is not None and pte.frame is not None:
                 self._physmem.release(pte.frame)
         self._mappings.remove(mapping)
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.MAP, name=f"unmap:{mapping.name}",
+                        addr=mapping.start,
+                        value=mapping.npages * PAGE_SIZE)
 
     def mprotect(self, address: int, length: int, prot: int) -> None:
         """Change protections on all pages in the (page-aligned) range."""
@@ -204,6 +215,10 @@ class AddressSpace:
         for pte in ptes:
             pte.prot = prot
             touched.add(id(pte.mapping))
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.MAP, name=f"mprotect:{prot_str(prot)}",
+                        addr=address, value=npages * PAGE_SIZE)
         # Keep the nominal mapping protection in sync when a whole mapping
         # is covered; per-page divergence is fine otherwise.
         for mapping in self._mappings:

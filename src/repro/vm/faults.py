@@ -12,6 +12,8 @@ from __future__ import annotations
 import enum
 
 from repro.errors import VMError
+from repro.trace import tracer as _trace
+from repro.trace.events import EventKind
 
 
 class AccessKind(enum.Enum):
@@ -40,3 +42,15 @@ class PageFaultError(VMError):
         self.address = address
         self.access = access
         self.present = present
+        # The raise site is the one place every fault passes through
+        # (CPU fetch, typed views, kernel force-paths all end up here);
+        # the kernel's delivery emits the resolution outcome separately.
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.FAULT, name=access.value,
+                        addr=address, value=int(present))
+
+    @property
+    def page(self) -> int:
+        """Base address of the faulting page (4 KiB granularity)."""
+        return self.address & ~0xFFF
