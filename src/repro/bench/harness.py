@@ -9,6 +9,8 @@ the table the paper's row would show.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -66,6 +68,36 @@ class Experiment:
     def print_report(self) -> None:
         print()
         print(self.report())
+
+
+def write_bench_json(experiment: "Experiment",
+                     wall_seconds: Optional[Dict[str, float]] = None,
+                     directory: str = ".") -> str:
+    """Persist *experiment* as ``BENCH_<id>.json`` in *directory*.
+
+    Simulated measurements are deterministic; *wall_seconds* carries the
+    host-timing numbers (baseline vs. optimized) that give successive
+    runs of the same benchmark a wall-clock trajectory to compare.
+    Returns the path written.
+    """
+    path = os.path.join(directory,
+                        f"BENCH_{experiment.experiment_id}.json")
+    document = {
+        "experiment": experiment.experiment_id,
+        "title": experiment.title,
+        "paper_claim": experiment.paper_claim,
+        "measurements": [
+            {"label": m.label, "value": m.value, "unit": m.unit,
+             "detail": m.detail}
+            for m in experiment.measurements
+        ],
+        "wall_clock_seconds": dict(wall_seconds or {}),
+        "notes": list(experiment.notes),
+    }
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return path
 
 
 def ratio(numerator: float, denominator: float) -> float:

@@ -126,6 +126,11 @@ class FileLimitError(FilesystemError):
     """An SFS limit was exceeded (inode count or max file size)."""
 
 
+class AddressMapError(FilesystemError):
+    """An address-map registration overlapped or duplicated a live
+    segment (the translation tables must stay injective both ways)."""
+
+
 # ---------------------------------------------------------------------------
 # Object-file and linker level
 # ---------------------------------------------------------------------------

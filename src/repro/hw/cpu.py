@@ -13,6 +13,7 @@ kernel services them and advances the PC itself.
 
 from __future__ import annotations
 
+import struct
 from typing import List, Optional
 
 from repro.errors import (
@@ -21,8 +22,12 @@ from repro.errors import (
     InvalidInstructionError,
 )
 from repro.util.bits import sign_extend, to_signed32
-from repro.vm.address_space import AddressSpace
+from repro.vm.address_space import PROT_EXEC, AddressSpace
+from repro.vm.layout import PAGE_SHIFT, PAGE_SIZE
 from repro.hw import isa
+
+_WORD = struct.Struct("<I")
+_PAGE_MASK = PAGE_SIZE - 1
 
 
 class Trap(Exception):
@@ -61,6 +66,10 @@ class Cpu:
         self.pc = 0
         self.address_space = address_space
         self.instructions_executed = 0
+        # Decoded-instruction cache traffic (the caches themselves live
+        # on the frames; see repro.vm.pages.Frame.decode).
+        self.decode_hits = 0
+        self.decode_misses = 0
 
     # ------------------------------------------------------------------
     # register helpers
@@ -96,13 +105,30 @@ class Cpu:
         pc = self.pc
         if pc & 3:
             raise AlignmentError(pc, 4)
-        word = space.fetch_word(pc)
-
-        op = (word >> 26) & 0x3F
-        rs = (word >> 21) & 31
-        rt = (word >> 16) & 31
+        entry = space.tlb.get(pc >> PAGE_SHIFT)
+        if entry is not None and entry[1] & PROT_EXEC:
+            # TLB hit on an executable page: fetch straight from the
+            # frame and reuse (or fill) its decoded-instruction cache.
+            space.tlb_hits += 1
+            decode = entry[2].decode
+            offset = pc & _PAGE_MASK
+            decoded = decode.get(offset)
+            if decoded is None:
+                word = _WORD.unpack_from(entry[0], offset)[0]
+                decoded = (word, (word >> 26) & 0x3F, (word >> 21) & 31,
+                           (word >> 16) & 31)
+                decode[offset] = decoded
+                self.decode_misses += 1
+            else:
+                self.decode_hits += 1
+            word, op, rs, rt = decoded
+        else:
+            word = space.fetch_word(pc)
+            op = (word >> 26) & 0x3F
+            rs = (word >> 21) & 31
+            rt = (word >> 16) & 31
         regs = self.regs
-        next_pc = pc + 4
+        next_pc = (pc + 4) & _MASK32
 
         if op == isa.OP_SPECIAL:
             rd = (word >> 11) & 31
@@ -181,7 +207,7 @@ class Cpu:
             offset = sign_extend(word & 0xFFFF, 16) << 2
             value = to_signed32(regs[rs])
             taken = value < 0 if rt == isa.RT_BLTZ else value >= 0
-            self.pc = next_pc + offset if taken else next_pc
+            self.pc = (next_pc + offset) & _MASK32 if taken else next_pc
             self.instructions_executed += 1
             return
 
@@ -198,13 +224,13 @@ class Cpu:
 
         if op == isa.OP_BEQ or op == isa.OP_BNE:
             taken = (regs[rs] == regs[rt]) == (op == isa.OP_BEQ)
-            self.pc = next_pc + (simm << 2) if taken else next_pc
+            self.pc = (next_pc + (simm << 2)) & _MASK32 if taken else next_pc
             self.instructions_executed += 1
             return
         if op == isa.OP_BLEZ or op == isa.OP_BGTZ:
             value = to_signed32(regs[rs])
             taken = value <= 0 if op == isa.OP_BLEZ else value > 0
-            self.pc = next_pc + (simm << 2) if taken else next_pc
+            self.pc = (next_pc + (simm << 2)) & _MASK32 if taken else next_pc
             self.instructions_executed += 1
             return
 

@@ -22,7 +22,7 @@ assembler temporary ``at`` is clobbered, which is its ABI-sanctioned job.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.hw import isa
 from repro.objfile.format import (
@@ -46,35 +46,41 @@ def insert_branch_islands(obj: ObjectFile,
     *needs_island(symbol)* should return True when the symbol may end up
     outside the caller's 256 MiB region — lds uses "not defined in this
     link unit", since every cross-module target may land in the shared
-    region. Returns the number of islands added.
+    region. Islands are shared: N call sites to the same (symbol,
+    addend) all jump through one island, so text grows by at most one
+    island per distinct far target. Returns the number of islands added.
     """
     new_relocs: List[Relocation] = []
+    by_target: Dict[Tuple[str, int], str] = {}
     islands = 0
     for reloc in obj.relocations:
         if reloc.type is not RelocType.JUMP26 \
                 or not needs_island(reloc.symbol):
             new_relocs.append(reloc)
             continue
-        label = f"__island_{islands}__{reloc.symbol}"
-        islands += 1
-        island_offset = len(obj.text)
-        obj.text.extend(_island_code())
-        obj.symbols[label] = Symbol(label, SEC_TEXT, island_offset,
-                                    SymBinding.LOCAL)
-        tracer = _trace.TRACER
-        if tracer.enabled:
-            tracer.emit(EventKind.ISLAND, name=reloc.symbol,
-                        value=ISLAND_SIZE)
-        # Call site now jumps (in-region) to the island.
+        label = by_target.get((reloc.symbol, reloc.addend))
+        if label is None:
+            label = f"__island_{islands}__{reloc.symbol}"
+            by_target[(reloc.symbol, reloc.addend)] = label
+            islands += 1
+            island_offset = len(obj.text)
+            obj.text.extend(_island_code())
+            obj.symbols[label] = Symbol(label, SEC_TEXT, island_offset,
+                                        SymBinding.LOCAL)
+            tracer = _trace.TRACER
+            if tracer.enabled:
+                tracer.emit(EventKind.ISLAND, name=reloc.symbol,
+                            value=ISLAND_SIZE)
+            # The island carries the absolute target.
+            new_relocs.append(Relocation(SEC_TEXT, island_offset,
+                                         RelocType.HI16, reloc.symbol,
+                                         reloc.addend))
+            new_relocs.append(Relocation(SEC_TEXT, island_offset + 4,
+                                         RelocType.LO16, reloc.symbol,
+                                         reloc.addend))
+        # Call site now jumps (in-region) to the shared island.
         new_relocs.append(Relocation(SEC_TEXT, reloc.offset,
                                      RelocType.JUMP26, label, 0))
-        # The island carries the absolute target.
-        new_relocs.append(Relocation(SEC_TEXT, island_offset,
-                                     RelocType.HI16, reloc.symbol,
-                                     reloc.addend))
-        new_relocs.append(Relocation(SEC_TEXT, island_offset + 4,
-                                     RelocType.LO16, reloc.symbol,
-                                     reloc.addend))
     obj.relocations = new_relocs
     return islands
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
+from repro.errors import AddressMapError
 from repro.sfs.btree import BTree
 
 
@@ -25,6 +26,11 @@ class AddressMap:
     """Interface: register/unregister segments; translate addresses."""
 
     def register(self, base: int, span: int, ino: int) -> None:
+        """Add a segment. Raises :class:`AddressMapError` when *ino* is
+        already registered or ``[base, base+span)`` overlaps a live
+        segment — silently replacing either would leave the two lookup
+        directions (address→ino, ino→base) disagreeing, so a later
+        ``unregister`` of the dead row could delete the live one."""
         raise NotImplementedError
 
     def unregister(self, ino: int) -> None:
@@ -59,6 +65,18 @@ class LinearAddressMap(AddressMap):
         self._comparisons = 0
 
     def register(self, base: int, span: int, ino: int) -> None:
+        # Registration-time checks don't count toward `comparisons`,
+        # which measures translation cost only (the A2 ablation).
+        for old_base, old_span, old_ino in self._table:
+            if old_ino == ino:
+                raise AddressMapError(
+                    f"inode {ino} already registered at 0x{old_base:08x}"
+                )
+            if old_base < base + span and base < old_base + old_span:
+                raise AddressMapError(
+                    f"segment 0x{base:08x}+0x{span:x} overlaps inode "
+                    f"{old_ino} at 0x{old_base:08x}+0x{old_span:x}"
+                )
         self._table.append((base, span, ino))
 
     def unregister(self, ino: int) -> None:
@@ -82,7 +100,12 @@ class LinearAddressMap(AddressMap):
         return sorted(self._table)
 
     def rebuild(self, triples: Iterable[Tuple[int, int, int]]) -> None:
+        # A boot-time rescan starts a fresh cost baseline, matching
+        # BTreeAddressMap.rebuild (whose fresh tree zeroes its counter);
+        # otherwise the A2 ablation's comparison counts skew across
+        # boot cycles.
         self._table = list(triples)
+        self._comparisons = 0
 
     @property
     def comparisons(self) -> int:
@@ -97,6 +120,25 @@ class BTreeAddressMap(AddressMap):
         self._by_ino: dict = {}
 
     def register(self, base: int, span: int, ino: int) -> None:
+        if ino in self._by_ino:
+            raise AddressMapError(
+                f"inode {ino} already registered at "
+                f"0x{self._by_ino[ino]:08x}"
+            )
+        # Any live segment overlapping [base, base+span) has the
+        # greatest start <= base+span-1, so one floor probe suffices.
+        # Registration checks must not skew the translation-cost
+        # counter, so the probe's comparisons are refunded.
+        before = self._tree.comparisons
+        entry = self._tree.floor_entry(base + span - 1)
+        self._tree.comparisons = before
+        if entry is not None:
+            old_base, (old_span, old_ino) = entry
+            if old_base + old_span > base:
+                raise AddressMapError(
+                    f"segment 0x{base:08x}+0x{span:x} overlaps inode "
+                    f"{old_ino} at 0x{old_base:08x}+0x{old_span:x}"
+                )
         self._tree.insert(base, (span, ino))
         self._by_ino[ino] = base
 
@@ -126,6 +168,9 @@ class BTreeAddressMap(AddressMap):
         self._by_ino.clear()
         for base, span, ino in triples:
             self.register(base, span, ino)
+        # Fresh cost baseline: the boot scan's own insert comparisons
+        # are not translation cost (mirrors LinearAddressMap.rebuild).
+        self._tree.comparisons = 0
 
     @property
     def comparisons(self) -> int:

@@ -27,6 +27,7 @@ class EventKind(enum.IntEnum):
     ISLAND = 6         # a branch island or PLT stub emitted
     IPC = 7            # message-queue / pipe traffic
     DISK = 8           # a cold-file disk seek
+    TLB = 9            # software-TLB traffic (value = entry/hit count)
 
     @property
     def bit(self) -> int:

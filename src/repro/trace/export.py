@@ -143,6 +143,17 @@ def top_report(tracer: Tracer, top: int = 10) -> str:
         for name, count in _top(resolves, top):
             lines.append(f"  {name:24s} {count:6d} resolutions")
 
+    tlb: Dict[str, int] = {}
+    for event in tracer.events():
+        if event.kind is EventKind.TLB:
+            name = event.name or "tlb"
+            tlb[name] = tlb.get(name, 0) + event.value
+    if tlb:
+        lines.append(f"\nsoftware-TLB traffic (top {top}, "
+                     f"retained events):")
+        for name, value in _top(tlb, top):
+            lines.append(f"  {name:24s} {value:12,d}")
+
     spans = {
         (kind, name): cycles
         for (kind, name), cycles in tracer.cycles_by_name.items()

@@ -18,8 +18,9 @@ The design mirrors a simple Unix VM system:
 
 from __future__ import annotations
 
+import os
 import struct
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import MappingError
 from repro.trace import tracer as _trace
@@ -47,6 +48,31 @@ _ACCESS_PROT = {
 
 _WORD = struct.Struct("<I")
 _HALF = struct.Struct("<H")
+
+_PAGE_MASK = PAGE_SIZE - 1
+
+#: A TLB entry: (frame bytearray, effective protection, frame). The
+#: protection is the PTE's at fill time, with PROT_WRITE stripped while
+#: the page is COW so a cached translation can never bypass the
+#: copy-on-write break.
+TlbEntry = Tuple[bytearray, int, Frame]
+
+# The software TLB is a pure host-speed optimization; simulated cycle
+# and instruction totals are identical with it on, off, or absent (the
+# regression tests pin this). The switch exists so benchmarks can
+# measure the win and so a miscompare can be bisected quickly.
+_TLB_DEFAULT_ENABLED = os.environ.get("REPRO_TLB", "1") != "0"
+
+
+def default_tlb_enabled() -> bool:
+    """Whether newly created address spaces get a software TLB."""
+    return _TLB_DEFAULT_ENABLED
+
+
+def set_default_tlb_enabled(enabled: bool) -> None:
+    """Flip the process-wide default for new address spaces."""
+    global _TLB_DEFAULT_ENABLED
+    _TLB_DEFAULT_ENABLED = bool(enabled)
 
 
 def prot_str(prot: int) -> str:
@@ -109,11 +135,21 @@ class _Pte:
 class AddressSpace:
     """One protection domain's view of memory."""
 
-    def __init__(self, physmem: PhysicalMemory, name: str = "<as>") -> None:
+    def __init__(self, physmem: PhysicalMemory, name: str = "<as>",
+                 tlb_enabled: Optional[bool] = None) -> None:
         self._physmem = physmem
         self._pages: Dict[int, _Pte] = {}
         self._mappings: List[Mapping] = []  # kept sorted by start
         self.name = name
+        # vpn -> (frame data, effective prot, frame); see TlbEntry.
+        self.tlb: Dict[int, TlbEntry] = {}
+        self._tlb_enabled = (_TLB_DEFAULT_ENABLED if tlb_enabled is None
+                             else bool(tlb_enabled))
+        self.tlb_hits = 0
+        self.tlb_misses = 0
+        self.tlb_fills = 0
+        self.tlb_invalidations = 0
+        self.tlb_flushes = 0
 
     # ------------------------------------------------------------------
     # mapping management
@@ -155,6 +191,9 @@ class AddressSpace:
                           prot, flags, name)
         for vpn in range(first_vpn, first_vpn + npages):
             self._pages[vpn] = _Pte(mapping, prot)
+        self._tlb_drop_range(first_vpn, npages)
+        if memobj is not None:
+            memobj.watch(self)
         self._insert_mapping(mapping)
         tracer = _trace.TRACER
         if tracer.enabled:
@@ -190,6 +229,7 @@ class AddressSpace:
             pte = self._pages.pop(vpn, None)
             if pte is not None and pte.frame is not None:
                 self._physmem.release(pte.frame)
+        self._tlb_drop_range(first_vpn, mapping.npages)
         self._mappings.remove(mapping)
         tracer = _trace.TRACER
         if tracer.enabled:
@@ -215,6 +255,7 @@ class AddressSpace:
         for pte in ptes:
             pte.prot = prot
             touched.add(id(pte.mapping))
+        self._tlb_drop_range(first_vpn, npages)
         tracer = _trace.TRACER
         if tracer.enabled:
             tracer.emit(EventKind.MAP, name=f"mprotect:{prot_str(prot)}",
@@ -267,6 +308,102 @@ class AddressSpace:
         return candidate
 
     # ------------------------------------------------------------------
+    # software TLB
+    # ------------------------------------------------------------------
+    #
+    # Invalidation protocol (every path that can change what a cached
+    # (vpn -> frame, prot) translation means):
+    #
+    #   * map/unmap        -> drop the covered vpns
+    #   * mprotect         -> drop the covered vpns (refill reads new prot)
+    #   * COW break        -> drop the vpn (the frame changed identity)
+    #   * fork             -> flush the parent (private pages became COW)
+    #   * MemoryObject truncate/replace_page/free -> flush every watcher
+    #   * stores           -> clear the target frame's decode cache (the
+    #                         frame bytearray itself is aliased, so data
+    #                         entries stay coherent automatically)
+    #
+    # The decoded-instruction cache lives on the Frame (see
+    # repro.vm.pages.Frame.decode), so COW twins and shared mappings
+    # invalidate each other for free: whoever mutates the bytes clears
+    # the one cache every executor of that frame consults.
+
+    @property
+    def tlb_enabled(self) -> bool:
+        return self._tlb_enabled
+
+    def set_tlb_enabled(self, enabled: bool) -> None:
+        """Turn the TLB on or off for this address space (flushes)."""
+        self._tlb_enabled = bool(enabled)
+        self.tlb_flush("toggle")
+
+    def _tlb_fill(self, vpn: int, pte: _Pte) -> None:
+        """Cache *pte*'s translation after a successful slow access."""
+        frame = pte.frame
+        if frame is None:
+            return
+        prot = pte.prot
+        if pte.cow:
+            prot &= ~PROT_WRITE
+        self.tlb[vpn] = (frame.data, prot, frame)
+        self.tlb_fills += 1
+
+    def _tlb_drop(self, vpn: int) -> None:
+        if self.tlb.pop(vpn, None) is not None:
+            self.tlb_invalidations += 1
+
+    def _tlb_drop_range(self, first_vpn: int, npages: int) -> None:
+        tlb = self.tlb
+        if not tlb:
+            return
+        for vpn in range(first_vpn, first_vpn + npages):
+            if tlb.pop(vpn, None) is not None:
+                self.tlb_invalidations += 1
+
+    def tlb_flush(self, reason: str = "") -> int:
+        """Drop every cached translation; returns the entry count."""
+        dropped = len(self.tlb)
+        if dropped:
+            self.tlb.clear()
+            self.tlb_invalidations += dropped
+        self.tlb_flushes += 1
+        tracer = _trace.TRACER
+        if tracer.enabled and dropped:
+            tracer.emit(EventKind.TLB, name=f"flush:{reason or 'explicit'}",
+                        value=dropped)
+        return dropped
+
+    def tlb_object_invalidated(self, memobj: MemoryObject) -> None:
+        """A watched memory object changed page identity (truncate,
+        replace_page, free): drop everything. Rare enough that a full
+        flush beats tracking per-object vpn sets."""
+        self.tlb_flush(f"object:{memobj.name}")
+
+    def tlb_stats(self) -> Dict[str, int]:
+        """Counter snapshot for benchmarks and the trace layer."""
+        return {
+            "hits": self.tlb_hits,
+            "misses": self.tlb_misses,
+            "fills": self.tlb_fills,
+            "invalidations": self.tlb_invalidations,
+            "flushes": self.tlb_flushes,
+            "entries": len(self.tlb),
+        }
+
+    def emit_tlb_stats(self) -> None:
+        """Publish the counters as TLB trace events (one per counter),
+        so ``reprotrace`` reports see hit/miss totals without paying a
+        per-access emit in the hot loop."""
+        tracer = _trace.TRACER
+        if not tracer.enabled:
+            return
+        for key in ("hits", "misses", "fills", "invalidations",
+                    "flushes"):
+            value = getattr(self, f"tlb_{key}")
+            if value:
+                tracer.emit(EventKind.TLB, name=f"tlb:{key}", value=value)
+
+    # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
 
@@ -294,7 +431,7 @@ class AddressSpace:
                 pte.cow = True
         return pte.frame
 
-    def _break_cow(self, pte: _Pte) -> Frame:
+    def _break_cow(self, pte: _Pte, vpn: int) -> Frame:
         frame = pte.frame
         assert frame is not None
         if frame.refcount > 1:
@@ -302,6 +439,8 @@ class AddressSpace:
             self._physmem.release(frame)
             pte.frame = new_frame
         pte.cow = False
+        # The translation (and its no-write marking) is stale either way.
+        self._tlb_drop(vpn)
         return pte.frame
 
     def read_bytes(self, address: int, length: int, *,
@@ -322,6 +461,8 @@ class AddressSpace:
             pte = self._pte_for_access(addr, access, force)
             frame = self._materialize(pte, vpn)
             out[pos: pos + chunk] = frame.data[page_off: page_off + chunk]
+            if self._tlb_enabled and vpn not in self.tlb:
+                self._tlb_fill(vpn, pte)
             pos += chunk
         return bytes(out)
 
@@ -338,23 +479,51 @@ class AddressSpace:
             pte = self._pte_for_access(addr, AccessKind.WRITE, force)
             self._materialize(pte, vpn)
             if pte.cow:
-                self._break_cow(pte)
+                self._break_cow(pte, vpn)
             frame = pte.frame
             assert frame is not None
+            if frame.decode:
+                frame.decode.clear()
             frame.data[page_off: page_off + chunk] = data[pos: pos + chunk]
+            if self._tlb_enabled and vpn not in self.tlb:
+                self._tlb_fill(vpn, pte)
             pos += chunk
 
     def load_word(self, address: int, *,
                   access: AccessKind = AccessKind.READ,
                   force: bool = False) -> int:
-        """Load a little-endian 32-bit word."""
+        """Load a little-endian 32-bit word (TLB fast path when aligned)."""
+        if not address & 3 and not force and access is AccessKind.READ:
+            entry = self.tlb.get(address >> PAGE_SHIFT)
+            if entry is not None and entry[1] & PROT_READ:
+                self.tlb_hits += 1
+                return _WORD.unpack_from(entry[0], address & _PAGE_MASK)[0]
+            if self._tlb_enabled:
+                self.tlb_misses += 1
         return _WORD.unpack(
             self.read_bytes(address, 4, access=access, force=force)
         )[0]
 
     def store_word(self, address: int, value: int, *,
                    force: bool = False) -> None:
-        """Store a little-endian 32-bit word."""
+        """Store a little-endian 32-bit word (TLB fast path when aligned).
+
+        The fast path only fires on entries whose effective protection
+        includes PROT_WRITE — COW pages are cached write-protected, so
+        break-sharing always takes the slow path first.
+        """
+        if not address & 3 and not force:
+            entry = self.tlb.get(address >> PAGE_SHIFT)
+            if entry is not None and entry[1] & PROT_WRITE:
+                self.tlb_hits += 1
+                frame = entry[2]
+                if frame.decode:
+                    frame.decode.clear()
+                _WORD.pack_into(entry[0], address & _PAGE_MASK,
+                                value & 0xFFFFFFFF)
+                return
+            if self._tlb_enabled:
+                self.tlb_misses += 1
         self.write_bytes(address, _WORD.pack(value & 0xFFFFFFFF), force=force)
 
     def load_half(self, address: int, force: bool = False) -> int:
@@ -365,6 +534,13 @@ class AddressSpace:
 
     def fetch_word(self, address: int) -> int:
         """Instruction fetch: a 32-bit load with EXEC permission."""
+        if not address & 3:
+            entry = self.tlb.get(address >> PAGE_SHIFT)
+            if entry is not None and entry[1] & PROT_EXEC:
+                self.tlb_hits += 1
+                return _WORD.unpack_from(entry[0], address & _PAGE_MASK)[0]
+            if self._tlb_enabled:
+                self.tlb_misses += 1
         return _WORD.unpack(
             self.read_bytes(address, 4, access=AccessKind.EXEC)
         )[0]
@@ -393,7 +569,8 @@ class AddressSpace:
     def fork(self, name: str = "<child>") -> "AddressSpace":
         """Clone per Hemlock §5: private pages become COW twins; pages of
         shared mappings keep referencing the single memory-object copy."""
-        child = AddressSpace(self._physmem, name)
+        child = AddressSpace(self._physmem, name,
+                             tlb_enabled=self._tlb_enabled)
         mapping_clone: Dict[int, Mapping] = {}
         for mapping in self._mappings:
             clone = Mapping(mapping.start, mapping.npages, mapping.memobj,
@@ -401,6 +578,8 @@ class AddressSpace:
                             mapping.name)
             mapping_clone[id(mapping)] = clone
             child._insert_mapping(clone)
+            if mapping.memobj is not None:
+                mapping.memobj.watch(child)
         for vpn, pte in self._pages.items():
             new_pte = _Pte(mapping_clone[id(pte.mapping)], pte.prot)
             if pte.frame is not None:
@@ -412,6 +591,10 @@ class AddressSpace:
                     new_pte.cow = True
                     new_pte.frame = self._physmem.retain(pte.frame)
             child._pages[vpn] = new_pte
+        # Every private page just turned COW, so any cached writable
+        # translation in the parent would let a store leak into the
+        # child. Drop everything; the next touches refill.
+        self.tlb_flush("fork")
         return child
 
     def destroy(self) -> None:
@@ -421,6 +604,8 @@ class AddressSpace:
                 self._physmem.release(pte.frame)
         self._pages.clear()
         self._mappings.clear()
+        self.emit_tlb_stats()
+        self.tlb.clear()
 
     # ------------------------------------------------------------------
     # introspection

@@ -13,6 +13,7 @@ resolution copies only when the count demands it.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterator, Optional
 
 from repro.errors import OutOfMemoryError
@@ -20,9 +21,18 @@ from repro.vm.layout import PAGE_SIZE
 
 
 class Frame:
-    """One physical page frame: PAGE_SIZE bytes plus a reference count."""
+    """One physical page frame: PAGE_SIZE bytes plus a reference count.
 
-    __slots__ = ("data", "refcount")
+    ``decode`` is the per-frame decoded-instruction cache: page offset →
+    predecoded instruction tuple, filled by the CPU fast path. Any write
+    to ``data`` must clear it (all writers go through
+    :meth:`AddressSpace.write_bytes <repro.vm.address_space.AddressSpace.write_bytes>`
+    or :class:`MemoryObject`, which do), so stale decodes can never
+    execute — the property self-modifying text (PLT patching, ``ldl``
+    jump-slot fixups) depends on.
+    """
+
+    __slots__ = ("data", "refcount", "decode")
 
     def __init__(self, data: Optional[bytes] = None) -> None:
         if data is None:
@@ -33,6 +43,7 @@ class Frame:
             self.data = bytearray(PAGE_SIZE)
             self.data[: len(data)] = data
         self.refcount = 1
+        self.decode: Dict[int, tuple] = {}
 
 
 class PhysicalMemory:
@@ -93,6 +104,22 @@ class MemoryObject:
         self._pages: Dict[int, Frame] = {}
         self.size = size
         self.name = name
+        # Address spaces holding TLB entries over this object's frames.
+        # Page-identity changes (truncate, replace_page, free) notify
+        # them so cached translations never outlive the frames they
+        # name; plain data writes need no notification because TLB
+        # entries alias the frame's bytearray.
+        self._watchers: "weakref.WeakSet" = weakref.WeakSet()
+
+    # -- TLB coherence -----------------------------------------------------
+
+    def watch(self, watcher) -> None:
+        """Register *watcher* (an AddressSpace) for invalidation events."""
+        self._watchers.add(watcher)
+
+    def _notify_invalidate(self) -> None:
+        for watcher in list(self._watchers):
+            watcher.tlb_object_invalidated(self)
 
     # -- page-level interface (used by AddressSpace) -----------------------
 
@@ -154,6 +181,8 @@ class MemoryObject:
             page_index, page_off = divmod(addr, PAGE_SIZE)
             chunk = min(length - pos, PAGE_SIZE - page_off)
             frame = self.ensure_page(page_index)
+            if frame.decode:
+                frame.decode.clear()
             frame.data[page_off: page_off + chunk] = data[pos: pos + chunk]
             pos += chunk
         self.size = max(self.size, offset + length)
@@ -172,7 +201,10 @@ class MemoryObject:
                 self._physmem.release(self._pages.pop(boundary_page))
             elif boundary_page in self._pages:
                 frame = self._pages[boundary_page]
+                if frame.decode:
+                    frame.decode.clear()
                 frame.data[boundary_off:] = bytes(PAGE_SIZE - boundary_off)
+            self._notify_invalidate()
         self.size = new_size
 
     def free(self) -> None:
@@ -181,6 +213,7 @@ class MemoryObject:
             self._physmem.release(frame)
         self._pages.clear()
         self.size = 0
+        self._notify_invalidate()
 
     def replace_page(self, index: int, frame: Frame) -> None:
         """Install *frame* as page *index*, releasing any previous frame.
@@ -191,6 +224,7 @@ class MemoryObject:
         if old is not None and old is not frame:
             self._physmem.release(old)
         self._pages[index] = frame
+        self._notify_invalidate()
 
     def snapshot(self) -> bytes:
         """The full contents as a byte string (size-clamped)."""

@@ -210,6 +210,36 @@ class TestControlFlow:
         """)
         assert cpu.regs[9] == 1
 
+    def test_backward_branch_near_zero_wraps_pc(self):
+        """Regression: a taken backward branch whose target arithmetic
+        goes below zero must wrap mod 2^32, never set a negative PC."""
+        pm = PhysicalMemory()
+        space = AddressSpace(pm)
+        space.map(0, 0x1000, prot=PROT_RWX)
+        # beq zero, zero, -16  (offset -64 bytes from pc 0 -> -60)
+        word = isa.encode_i(isa.OP_BEQ, imm=(-16) & 0xFFFF)
+        space.write_bytes(0, word.to_bytes(4, "little"))
+        cpu = Cpu(space)
+        cpu.pc = 0
+        cpu.step()
+        assert cpu.pc == (4 - 64) & 0xFFFFFFFF  # 0xFFFFFFC4, not -60
+        assert cpu.pc >= 0
+
+    def test_backward_regimm_branch_near_zero_wraps_pc(self):
+        pm = PhysicalMemory()
+        space = AddressSpace(pm)
+        space.map(0, 0x1000, prot=PROT_RWX)
+        # bltz t0, -16 with t0 negative: taken, target wraps.
+        word = isa.encode_i(isa.OP_REGIMM, rs=8, rt=isa.RT_BLTZ,
+                            imm=(-16) & 0xFFFF)
+        space.write_bytes(0, word.to_bytes(4, "little"))
+        cpu = Cpu(space)
+        cpu.pc = 0
+        cpu.regs[8] = 0xFFFFFFFF  # -1
+        cpu.step()
+        assert cpu.pc == (4 - 64) & 0xFFFFFFFF
+        assert cpu.pc >= 0
+
     def test_beq_bne(self):
         cpu, _ = run_program("""
             .text

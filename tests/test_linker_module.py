@@ -227,6 +227,32 @@ class TestBranchIslands:
         hi = [r for r in obj.relocations if r.type is RelocType.HI16]
         assert hi[0].symbol == "far_fn"
 
+    def test_two_far_calls_share_one_island(self):
+        """Regression: one island used to be emitted per call site, so N
+        calls to the same far symbol cost N x 12 bytes of text. Call
+        sites to the same (symbol, addend) must share a single island."""
+        obj = assemble(".text\n.globl f\nf: jal far_fn\njal far_fn\n"
+                       "jal other_fn\njr ra", "m.o")
+        before_text = len(obj.text)
+        count = insert_branch_islands(obj, lambda s: s.endswith("_fn"))
+        assert count == 2                    # far_fn + other_fn, not 3
+        assert len(obj.text) == before_text + 2 * 12
+        jumps = [r for r in obj.relocations
+                 if r.type is RelocType.JUMP26]
+        assert len(jumps) == 3               # every call site redirected
+        far_targets = {r.symbol for r in jumps}
+        assert len(far_targets) == 2         # two share one label
+        # Exactly one HI16/LO16 pair per distinct target.
+        hi = [r for r in obj.relocations if r.type is RelocType.HI16]
+        assert sorted(r.symbol for r in hi) == ["far_fn", "other_fn"]
+
+    def test_same_symbol_different_addend_gets_own_island(self):
+        obj = assemble(".text\njal far_fn", "m.o")
+        obj.relocations.append(
+            Relocation(SEC_TEXT, 0, RelocType.JUMP26, "far_fn", 8))
+        count = insert_branch_islands(obj, lambda s: s == "far_fn")
+        assert count == 2
+
     def test_local_calls_untouched(self):
         obj = assemble(".text\n.globl f\nf: jal g\njr ra\n"
                        ".globl g\ng: jr ra", "m.o")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import FileLimitError, FilesystemError
+from repro.errors import AddressMapError, FileLimitError, FilesystemError
 from repro.fs.vfs import O_CREAT, O_WRONLY, Vfs
 from repro.fs.filesystem import Filesystem
 from repro.sfs.addrmap import BTreeAddressMap, LinearAddressMap
@@ -179,6 +179,70 @@ class TestAddressMaps:
         amap.rebuild([(0x3050_0000, SEGMENT_SPAN, 5)])
         assert amap.lookup_address(0x3000_0000) is None
         assert amap.lookup_address(0x3050_0000) == (5, 0)
+
+    @pytest.mark.parametrize("factory",
+                             [LinearAddressMap, BTreeAddressMap])
+    def test_duplicate_inode_rejected(self, factory):
+        """Regression: re-registering an inode used to silently replace
+        the tree entry while the old ino->base row went stale, so a
+        later unregister could delete a live segment."""
+        amap = factory()
+        amap.register(0x3000_0000, SEGMENT_SPAN, 7)
+        with pytest.raises(AddressMapError):
+            amap.register(0x3040_0000, SEGMENT_SPAN, 7)
+        # The original registration must be untouched.
+        assert amap.lookup_inode(7) == 0x3000_0000
+        assert amap.lookup_address(0x3040_0000) is None
+        amap.unregister(7)
+        assert amap.lookup_address(0x3000_0000) is None
+
+    @pytest.mark.parametrize("factory",
+                             [LinearAddressMap, BTreeAddressMap])
+    @pytest.mark.parametrize("base", [
+        0x3000_0000,                       # exact duplicate range
+        0x3000_0000 - SEGMENT_SPAN // 2,   # overlaps from below
+        0x3000_0000 + SEGMENT_SPAN // 2,   # overlaps from above
+    ])
+    def test_overlapping_range_rejected(self, factory, base):
+        amap = factory()
+        amap.register(0x3000_0000, SEGMENT_SPAN, 1)
+        with pytest.raises(AddressMapError):
+            amap.register(base, SEGMENT_SPAN, 2)
+        assert amap.lookup_inode(2) is None
+        assert amap.entries() == [(0x3000_0000, SEGMENT_SPAN, 1)]
+
+    @pytest.mark.parametrize("factory",
+                             [LinearAddressMap, BTreeAddressMap])
+    def test_adjacent_ranges_allowed(self, factory):
+        amap = factory()
+        amap.register(0x3000_0000, SEGMENT_SPAN, 1)
+        amap.register(0x3000_0000 + SEGMENT_SPAN, SEGMENT_SPAN, 2)
+        amap.register(0x3000_0000 - SEGMENT_SPAN, SEGMENT_SPAN, 3)
+        assert len(amap.entries()) == 3
+
+    @pytest.mark.parametrize("factory",
+                             [LinearAddressMap, BTreeAddressMap])
+    def test_rejection_does_not_count_comparisons(self, factory):
+        amap = factory()
+        for index in range(10):
+            amap.register(SFS_BASE + index * SEGMENT_SPAN, SEGMENT_SPAN,
+                          index)
+        before = amap.comparisons
+        with pytest.raises(AddressMapError):
+            amap.register(SFS_BASE, SEGMENT_SPAN, 99)
+        assert amap.comparisons == before
+
+    @pytest.mark.parametrize("factory",
+                             [LinearAddressMap, BTreeAddressMap])
+    def test_rebuild_resets_comparison_counter(self, factory):
+        """Regression: rebuild() reset the counter on the B-tree map but
+        not the linear one, skewing cross-implementation A2 numbers."""
+        amap = factory()
+        amap.register(0x3000_0000, SEGMENT_SPAN, 0)
+        amap.lookup_address(0x3000_0000)
+        amap.lookup_inode(0)
+        amap.rebuild([(0x3050_0000, SEGMENT_SPAN, 5)])
+        assert amap.comparisons == 0
 
     def test_linear_cost_grows_linearly(self):
         amap = LinearAddressMap()
