@@ -80,7 +80,8 @@ class System:
 def boot(lazy: bool = True, addrmap=None,
          costs: Optional[CostModel] = None,
          wide_addresses: bool = False,
-         scoped: bool = True) -> System:
+         scoped: bool = True,
+         verify: Optional[bool] = None) -> System:
     """Boot a fresh simulated machine.
 
     * *lazy* — whether ldl links lazily (the paper's default) or eagerly;
@@ -89,9 +90,12 @@ def boot(lazy: bool = True, addrmap=None,
     * *wide_addresses* — boot the paper's 64-bit future-work design
       (per-inode address fields, B-tree map, relaxed limits);
     * *scoped* — scoped linking (the paper's design) vs a traditional
-      flat namespace (the A6 ablation).
+      flat namespace (the A6 ablation);
+    * *verify* — arm the reprolint static-verification gate in both
+      lds and ldl (None = follow the REPRO_LINT environment variable).
+      The gate is purely in-memory and charges zero simulated cycles.
     """
     kernel = Kernel(addrmap=addrmap, costs=costs,
                     wide_addresses=wide_addresses)
-    attach_runtime(kernel, lazy=lazy, scoped=scoped)
-    return System(kernel=kernel, lds=Lds(kernel))
+    attach_runtime(kernel, lazy=lazy, scoped=scoped, verify=verify)
+    return System(kernel=kernel, lds=Lds(kernel, verify=verify))

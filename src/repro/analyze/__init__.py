@@ -1,0 +1,54 @@
+"""repro.analyze — reprolint, the linker-aware static verifier.
+
+A pipeline of five static checks over HOF objects — relocation
+validation, symbol-resolution audit, CFG/dead-code analysis, layout
+audit, and sharing-class checks — with stable diagnostic codes
+(DESIGN.md §7). Exposed three ways:
+
+* the ``reprolint`` CLI (:mod:`repro.tools.cli`);
+* the opt-in post-link verification gate in ``lds``/``ldl``
+  (``verify=True`` or ``REPRO_LINT=1``), which raises
+  :class:`repro.errors.LintError` *before* a bad image is mapped;
+* this library API: :func:`analyze_object` and friends.
+"""
+
+from repro.analyze.context import LintContext, ScopeModule
+from repro.analyze.corpus import CorpusEntry, broken_objects, run_self_test
+from repro.analyze.pipeline import (
+    CHECKS,
+    analyze_archive,
+    analyze_object,
+    context_from_kernel,
+    lint_enabled_default,
+    verify_image,
+)
+from repro.analyze.report import (
+    CATALOG,
+    Finding,
+    Report,
+    Severity,
+    finding,
+    format_reloc,
+    format_site,
+)
+
+__all__ = [
+    "CATALOG",
+    "CHECKS",
+    "CorpusEntry",
+    "Finding",
+    "LintContext",
+    "Report",
+    "ScopeModule",
+    "Severity",
+    "analyze_archive",
+    "analyze_object",
+    "broken_objects",
+    "context_from_kernel",
+    "finding",
+    "format_reloc",
+    "format_site",
+    "lint_enabled_default",
+    "run_self_test",
+    "verify_image",
+]

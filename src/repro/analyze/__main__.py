@@ -1,0 +1,121 @@
+"""Host-side reprolint driver: ``python -m repro.analyze [options]``.
+
+Two stages, both used by CI's ``lint-objects`` job:
+
+* corpus (always) — replay the seeded broken-object corpus; every
+  diagnostic code must fire exactly once. ``--strict`` also refuses
+  stray ERROR findings from other codes.
+* ``--build`` — boot a simulated machine with the verification gate
+  armed, compile toyc modules, link and run them, then sweep
+  ``reprolint --strict`` over every produced template, archive,
+  executable, and public segment. A clean tree produces zero errors.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analyze.corpus import broken_objects, run_self_test
+
+# Small but representative toyc build: a shared counter module linked
+# dynamic-public into a main program, plus an archive of both templates.
+COUNTER_MODULE = """
+int counter = 0;
+
+int bump() {
+    counter = counter + 1;
+    return counter;
+}
+"""
+
+COUNTER_MAIN = """
+extern int bump();
+
+int main() {
+    bump();
+    return bump();
+}
+"""
+
+
+def lint_corpus(strict: bool) -> int:
+    failures = run_self_test(strict=strict)
+    entries = broken_objects()
+    if failures:
+        for line in failures:
+            print(f"FAIL {line}")
+        print(f"reprolint corpus: {len(failures)} failure(s) over "
+              f"{len(entries)} seeded objects")
+        return 1
+    print(f"reprolint corpus: all {len(entries)} diagnostic codes fire "
+          f"exactly once" + (" (strict)" if strict else ""))
+    return 0
+
+
+def lint_builds(strict: bool) -> int:
+    """Compile, link (gate armed), run, and reprolint the products."""
+    from repro import boot
+    from repro.bench.workloads import make_shell
+    from repro.errors import LintError
+    from repro.linker.classes import SharingClass
+    from repro.linker.lds import LinkRequest, store_object
+    from repro.objfile.archive import Archive
+    from repro.tools.cli import reprolint_main
+    from repro.toyc import compile_source
+
+    system = boot(verify=True)
+    kernel = system.kernel
+    shell = make_shell(kernel)
+    kernel.vfs.makedirs("/shared/lib")
+    kernel.vfs.makedirs("/src")
+    kernel.vfs.makedirs("/bin")
+
+    module = compile_source(COUNTER_MODULE, "bump.o")
+    main_obj = compile_source(COUNTER_MAIN, "main.o")
+    store_object(kernel, shell, "/shared/lib/bump.o", module)
+    store_object(kernel, shell, "/src/main.o", main_obj)
+    archive = Archive("toyc.a")
+    archive.add(module.clone())
+    archive.add(main_obj.clone())
+    kernel.vfs.write_whole("/src/toyc.a", archive.to_bytes(), shell.uid)
+
+    result = system.lds.link(
+        shell,
+        [LinkRequest("/src/main.o"),
+         LinkRequest("bump.o", SharingClass.DYNAMIC_PUBLIC)],
+        output="/bin/counter",
+        search_dirs=["/shared/lib"],
+    )
+    proc = kernel.create_machine_process("counter", result.executable)
+    code = kernel.run_until_exit(proc)
+    if code != 2:
+        print(f"FAIL toyc counter program exited {code}, expected 2")
+        return 1
+
+    paths = ["/shared/lib/bump.o", "/src/main.o", "/src/toyc.a",
+             "/bin/counter", "/shared/lib/bump"]
+    argv = (["--strict"] if strict else []) + paths
+    try:
+        output = reprolint_main(kernel, shell, argv)
+    except LintError as err:
+        for line in err.findings:
+            print(f"FAIL {line}")
+        print(f"reprolint builds: {len(err.findings)} finding(s) at or "
+              f"above the failure threshold")
+        return 1
+    print(output)
+    print(f"reprolint builds: {len(paths)} toyc-built files clean"
+          + (" (strict)" if strict else ""))
+    return 0
+
+
+def main(argv: "list[str]") -> int:
+    strict = "--strict" in argv
+    status = lint_corpus(strict=strict)
+    if status == 0 and "--build" in argv:
+        status = lint_builds(strict=strict)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,134 @@
+"""Check 4 — layout audit (LAY001..LAY004).
+
+Audits a *placed* image (EXECUTABLE or SEGMENT — an object with a
+``layout``) against the Figure 3 address-space contract:
+
+* ``LAY001`` — every section must sit inside an architected region, and
+  the right one: public modules inside the SFS range
+  (0x3000_0000..0x7000_0000), private images in the text/heap ranges.
+  The caller states the expectation via ``context.expect_public``;
+  otherwise the audit only demands *some* architected region.
+* ``LAY002`` — the placement must not overlap any live segment in the
+  kernel address map (a mapping-time failure caught before map time).
+* ``LAY003`` — the image's own sections must not overlap each other.
+* ``LAY004`` — data+bss spans beyond 64 KiB strain the one-instruction
+  gp-relative addressing window; advisory, since the toolchain never
+  emits gp-relative references today.
+
+Templates (no ``layout``) are skipped — they have no addresses yet.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.objfile.format import ObjectFile, SEC_BSS, SEC_DATA
+from repro.vm.layout import SFS_REGION, region_of
+from repro.analyze.context import LintContext
+from repro.analyze.report import Report, finding
+
+GP_WINDOW = 0x10000  # one signed-16 load/store reach around gp
+
+
+def check_layout(obj: ObjectFile, context: LintContext,
+                 report: Report) -> None:
+    if not obj.layout:
+        return
+    spans = _section_spans(obj)
+    _check_regions(obj, context, spans, report)
+    _check_map_overlap(obj, context, spans, report)
+    _check_self_overlap(obj, spans, report)
+    _check_gp_window(obj, report)
+
+
+def _section_spans(obj: ObjectFile) -> List[Tuple[str, int, int]]:
+    """(section, base, end) for every non-empty placed section."""
+    return [
+        (name, sec.base, sec.base + sec.size)
+        for name, sec in sorted(obj.layout.items())
+        if sec.size > 0
+    ]
+
+
+def _check_regions(obj: ObjectFile, context: LintContext,
+                   spans: List[Tuple[str, int, int]],
+                   report: Report) -> None:
+    for name, base, end in spans:
+        try:
+            region = region_of(base)
+        except ValueError:
+            region = None
+        if region is None or end > region.end:
+            report.add(finding(
+                "LAY001", obj.name,
+                f"section {name!r} spans 0x{base:08x}..0x{end:08x}, "
+                f"which leaves every architected region",
+                section=name, address=base,
+            ))
+            continue
+        if context.expect_public is True and region is not SFS_REGION:
+            report.add(finding(
+                "LAY001", obj.name,
+                f"public module section {name!r} placed at 0x{base:08x} "
+                f"in the private {region.name!r} region; a public "
+                f"address must mean the same thing in every domain",
+                section=name, address=base,
+            ))
+        elif context.expect_public is False and region is SFS_REGION:
+            report.add(finding(
+                "LAY001", obj.name,
+                f"private image section {name!r} placed at 0x{base:08x} "
+                f"inside the shared (SFS) region",
+                section=name, address=base,
+            ))
+
+
+def _check_map_overlap(obj: ObjectFile, context: LintContext,
+                       spans: List[Tuple[str, int, int]],
+                       report: Report) -> None:
+    if not context.addrmap_entries:
+        return
+    lo = min(base for _n, base, _e in spans)
+    hi = max(end for _n, _b, end in spans)
+    for base, span, ino in context.addrmap_entries:
+        if context.self_base is not None and base == context.self_base:
+            continue
+        if lo < base + span and base < hi:
+            report.add(finding(
+                "LAY002", obj.name,
+                f"placement 0x{lo:08x}..0x{hi:08x} overlaps the live "
+                f"segment at 0x{base:08x} (+0x{span:x}, inode {ino})",
+                address=lo,
+            ))
+
+
+def _check_self_overlap(obj: ObjectFile,
+                        spans: List[Tuple[str, int, int]],
+                        report: Report) -> None:
+    ordered = sorted(spans, key=lambda item: item[1])
+    for (name_a, base_a, end_a), (name_b, base_b, _end_b) in zip(
+            ordered, ordered[1:]):
+        if base_b < end_a:
+            report.add(finding(
+                "LAY003", obj.name,
+                f"section {name_b!r} at 0x{base_b:08x} starts before "
+                f"{name_a!r} ends (0x{end_a:08x})",
+                section=name_b, address=base_b,
+            ))
+
+
+def _check_gp_window(obj: ObjectFile, report: Report) -> None:
+    data = obj.layout.get(SEC_DATA)
+    bss = obj.layout.get(SEC_BSS)
+    present = [sec for sec in (data, bss) if sec is not None and sec.size]
+    if not present:
+        return
+    lo = min(sec.base for sec in present)
+    hi = max(sec.base + sec.size for sec in present)
+    if hi - lo > GP_WINDOW:
+        report.add(finding(
+            "LAY004", obj.name,
+            f"data+bss span 0x{hi - lo:x} bytes exceeds the 64 KiB "
+            f"gp-relative addressing window",
+            section=SEC_DATA, address=lo,
+        ))

@@ -1,0 +1,210 @@
+"""Check 1 — relocation validator (REL001..REL006).
+
+Audits the relocation table of any HOF object:
+
+* HI16/LO16 pairing and ordering: the toolchain only ever emits the two
+  halves adjacently (HI16 at ``off``, LO16 at ``off+4``) against the
+  same symbol+addend, because the pair reassembles one 32-bit address.
+  A lone half would patch garbage into the image at resolve time.
+* JUMP26 reachability: on a template, a jump to a symbol the object
+  does not define may land outside the caller's 256 MiB region — the
+  R3000 limitation that forces ``lds``/``ldl`` to route the call
+  through a branch island. ``reprolint`` flags those sites (REL004,
+  advisory) with exactly the predicate
+  :func:`repro.linker.branch_islands.count_far_jumps` uses, and the
+  pipeline asserts the two agree. On a *placed* image a JUMP26 that
+  still cannot reach its resolved target — or that was retained
+  unresolved at all, when lds should have islanded it — is REL005, an
+  error that would otherwise surface as a RelocationError at first
+  touch under ldl.
+* WORD32 bounds: target + addend must stay inside the target symbol's
+  section (one-past-the-end is allowed for end pointers).
+* Every relocation site must lie within its section's bytes (REL003) —
+  bss has no bytes, so a reloc claiming to live there can never be
+  applied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.hw import isa
+from repro.objfile.format import (
+    ObjectFile,
+    Relocation,
+    RelocType,
+    SEC_ABS,
+    SEC_DATA,
+    SEC_TEXT,
+)
+from repro.analyze.context import LintContext
+from repro.analyze.report import Report, finding, format_reloc
+
+_BYTE_SECTIONS = (SEC_TEXT, SEC_DATA)
+
+
+def check_relocations(obj: ObjectFile, context: LintContext,
+                      report: Report) -> None:
+    by_site: Dict[Tuple[str, int], Relocation] = {
+        (reloc.section, reloc.offset): reloc for reloc in obj.relocations
+    }
+    for reloc in obj.relocations:
+        if not _site_ok(obj, reloc, report):
+            continue
+        if reloc.type is RelocType.HI16:
+            _check_hi16(obj, reloc, by_site, report)
+        elif reloc.type is RelocType.LO16:
+            _check_lo16(obj, reloc, by_site, report)
+        elif reloc.type is RelocType.JUMP26:
+            _check_jump26(obj, reloc, report)
+        elif reloc.type is RelocType.WORD32:
+            _check_word32(obj, reloc, report)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _site_ok(obj: ObjectFile, reloc: Relocation, report: Report) -> bool:
+    """REL003 — the site must be patchable bytes inside its section."""
+    if reloc.section not in _BYTE_SECTIONS:
+        report.add(finding(
+            "REL003", obj.name,
+            f"relocation {format_reloc(reloc)} targets section "
+            f"{reloc.section!r}, which has no bytes to patch",
+            section=reloc.section, offset=reloc.offset,
+            symbol=reloc.symbol,
+        ))
+        return False
+    size = _section_extent(obj, reloc.section)
+    if reloc.offset < 0 or reloc.offset + 4 > size:
+        report.add(finding(
+            "REL003", obj.name,
+            f"relocation {format_reloc(reloc)} at offset 0x{reloc.offset:x}"
+            f" lies outside the 0x{size:x}-byte section",
+            section=reloc.section, offset=reloc.offset,
+            symbol=reloc.symbol,
+        ))
+        return False
+    return True
+
+
+def _section_extent(obj: ObjectFile, section: str) -> int:
+    """Patchable span of *section*: segment metadata carries no bytes
+    (the image lives in the mapped file), so prefer the layout size."""
+    if obj.layout and section in obj.layout:
+        return obj.layout[section].size
+    return obj.section_size(section)
+
+
+def _check_hi16(obj: ObjectFile, reloc: Relocation,
+                by_site: Dict[Tuple[str, int], Relocation],
+                report: Report) -> None:
+    partner = by_site.get((reloc.section, reloc.offset + 4))
+    if partner is None or partner.type is not RelocType.LO16 \
+            or partner.symbol != reloc.symbol \
+            or partner.addend != reloc.addend:
+        report.add(finding(
+            "REL001", obj.name,
+            f"{format_reloc(reloc)} has no matching LO16 at "
+            f"{reloc.section}+0x{reloc.offset + 4:x}; the address pair "
+            f"cannot be reassembled",
+            section=reloc.section, offset=reloc.offset,
+            symbol=reloc.symbol,
+        ))
+
+
+def _check_lo16(obj: ObjectFile, reloc: Relocation,
+                by_site: Dict[Tuple[str, int], Relocation],
+                report: Report) -> None:
+    partner = by_site.get((reloc.section, reloc.offset - 4))
+    if partner is None or partner.type is not RelocType.HI16 \
+            or partner.symbol != reloc.symbol \
+            or partner.addend != reloc.addend:
+        report.add(finding(
+            "REL002", obj.name,
+            f"{format_reloc(reloc)} is not preceded by its HI16 half at "
+            f"{reloc.section}+0x{reloc.offset - 4:x} (orphaned or "
+            f"mis-ordered pair)",
+            section=reloc.section, offset=reloc.offset,
+            symbol=reloc.symbol,
+        ))
+
+
+def _check_jump26(obj: ObjectFile, reloc: Relocation,
+                  report: Report) -> None:
+    symbol = obj.symbols.get(reloc.symbol)
+    defined = symbol is not None and symbol.defined
+    if obj.layout:
+        # Placed image: the site has an absolute address.
+        site = obj.layout[reloc.section].base + reloc.offset
+        if defined and symbol.section == SEC_ABS:
+            target = symbol.value + reloc.addend
+            if not isa.jump_reachable(site, target):
+                report.add(finding(
+                    "REL005", obj.name,
+                    f"{format_reloc(reloc)}: jump at 0x{site:08x} cannot "
+                    f"reach 0x{target:08x} (different 256 MiB region); "
+                    f"a branch island was required but is missing",
+                    section=reloc.section, offset=reloc.offset,
+                    address=site, symbol=reloc.symbol,
+                ))
+            return
+        if not defined:
+            # lds islands every cross-module JUMP26 before layout, so a
+            # retained one is a latent first-touch RelocationError: any
+            # module ldl could bind it to (SFS or the private dynamic
+            # range) lives outside the caller's region.
+            report.add(finding(
+                "REL005", obj.name,
+                f"{format_reloc(reloc)}: JUMP26 retained unresolved in a "
+                f"placed image; run-time resolution cannot reach outside "
+                f"the 0x{site & 0xF0000000:08x} region without an island",
+                section=reloc.section, offset=reloc.offset,
+                address=site, symbol=reloc.symbol,
+            ))
+        return
+    # Template: reachability is unknowable until placement, but a jump
+    # to a symbol this object does not define may resolve to another
+    # region entirely — the call sites count_far_jumps() counts and
+    # insert_branch_islands() rewrites.
+    if not defined:
+        report.add(finding(
+            "REL004", obj.name,
+            f"{format_reloc(reloc)}: call site will need a branch island "
+            f"if {reloc.symbol!r} places outside the caller's 256 MiB "
+            f"region",
+            section=reloc.section, offset=reloc.offset,
+            symbol=reloc.symbol,
+        ))
+
+
+def _check_word32(obj: ObjectFile, reloc: Relocation,
+                  report: Report) -> None:
+    symbol = obj.symbols.get(reloc.symbol)
+    if symbol is None or not symbol.defined:
+        return  # resolution deferred; nothing to bound against
+    if symbol.section == SEC_ABS:
+        target = symbol.value + reloc.addend
+        if not 0 <= target <= 0xFFFFFFFF:
+            report.add(finding(
+                "REL006", obj.name,
+                f"{format_reloc(reloc)} resolves to 0x{target:x}, outside "
+                f"the 32-bit address space",
+                section=reloc.section, offset=reloc.offset,
+                symbol=reloc.symbol,
+            ))
+        return
+    try:
+        section_size = obj.section_size(symbol.section)
+    except Exception:
+        return
+    target = symbol.value + reloc.addend
+    if target < 0 or target > section_size:
+        report.add(finding(
+            "REL006", obj.name,
+            f"{format_reloc(reloc)} points 0x{target:x} into the "
+            f"0x{section_size:x}-byte section {symbol.section!r} "
+            f"(addend out of bounds)",
+            section=reloc.section, offset=reloc.offset,
+            symbol=reloc.symbol,
+        ))

@@ -1,0 +1,236 @@
+"""The shared report model for ``reprolint`` (repro.analyze).
+
+Every check produces :class:`Finding`s with *stable* diagnostic codes —
+``REL001`` means the same thing today and in every future release, so
+CI configs and suppression lists can match on codes rather than message
+text. The full catalogue lives in :data:`CATALOG` (and is rendered as a
+table in DESIGN.md §7).
+
+Severities:
+
+* ``INFO`` — advisory; expected in healthy objects (e.g. a template's
+  far call that *will* get a branch island at link time);
+* ``WARNING`` — suspicious; ``reprolint --strict`` refuses it;
+* ``ERROR`` — definitely broken; the ``lds``/``ldl`` verification gate
+  raises :class:`repro.errors.LintError` before the image is mapped.
+
+The formatting helpers at the bottom (:func:`format_site`,
+:func:`format_reloc`) are shared by ``nm``/``objdump`` and ``reprolint``
+so every tool renders a relocation site the same way.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import LintError
+from repro.objfile.format import Relocation
+
+
+class Severity(enum.IntEnum):
+    """Ordered so ``max()`` over findings yields the worst one."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+# code -> (default severity, one-line title). Codes are append-only.
+CATALOG: Dict[str, Tuple[Severity, str]] = {
+    # -- relocation validator ------------------------------------------
+    "REL001": (Severity.ERROR,
+               "HI16 relocation without a matching LO16 at site+4"),
+    "REL002": (Severity.ERROR,
+               "LO16 relocation without its HI16 predecessor at site-4"),
+    "REL003": (Severity.ERROR,
+               "relocation site lies outside its section's bytes"),
+    "REL004": (Severity.INFO,
+               "JUMP26 to a possibly-far symbol (branch island needed)"),
+    "REL005": (Severity.ERROR,
+               "JUMP26 cannot reach its target (island required, missing)"),
+    "REL006": (Severity.WARNING,
+               "WORD32 target+addend lies outside the symbol's section"),
+    # -- symbol-resolution audit ---------------------------------------
+    "SYM001": (Severity.ERROR,
+               "undefined symbol unresolvable anywhere on the scope chain"),
+    "SYM002": (Severity.ERROR,
+               "duplicate global definition within one scope level"),
+    "SYM003": (Severity.INFO,
+               "definition shadows a same-named symbol in an outer scope"),
+    # -- CFG / dead-code analysis --------------------------------------
+    "CFG001": (Severity.WARNING,
+               "unreachable basic block (dead code)"),
+    "CFG002": (Severity.ERROR,
+               "control flow can fall off the end of text"),
+    "CFG003": (Severity.ERROR,
+               "jump targets the middle of a branch-island thunk"),
+    "CFG004": (Severity.WARNING,
+               "orphaned branch island (never targeted)"),
+    "CFG005": (Severity.INFO,
+               "undecodable word in text (treated as inline data)"),
+    # -- layout audit --------------------------------------------------
+    "LAY001": (Severity.ERROR,
+               "section placed outside its architected address region"),
+    "LAY002": (Severity.ERROR,
+               "placement overlaps a live segment in the address map"),
+    "LAY003": (Severity.ERROR,
+               "sections of one image overlap each other"),
+    "LAY004": (Severity.WARNING,
+               "data+bss span exceeds the 64 KiB gp-relative window"),
+    # -- sharing-class checker -----------------------------------------
+    "SHR001": (Severity.ERROR,
+               "store instruction writes read-only text"),
+    "SHR002": (Severity.ERROR,
+               "public segment would be patched with a private address"),
+    "SHR003": (Severity.WARNING,
+               "module listed under two conflicting sharing classes"),
+}
+
+
+@dataclass
+class Finding:
+    """One diagnostic: a coded observation anchored to an object site."""
+
+    code: str
+    severity: Severity
+    message: str
+    obj: str = ""              # name of the object/archive member
+    section: str = ""          # "" when the finding is object-wide
+    offset: Optional[int] = None
+    address: Optional[int] = None   # absolute, when a layout is known
+    symbol: str = ""
+
+    def site(self) -> str:
+        """``text+0x14`` / ``0x00400014`` / ``-`` — wherever it lives."""
+        return format_site(self.section, self.offset, self.address)
+
+    def __str__(self) -> str:
+        parts = [f"{self.code} {self.severity}:", self.obj or "<object>"]
+        site = self.site()
+        if site != "-":
+            parts.append(site)
+        parts.append(f"{self.message}")
+        if self.symbol:
+            parts.append(f"[{self.symbol}]")
+        return " ".join(parts)
+
+
+def finding(code: str, obj: str, message: str, **where) -> Finding:
+    """Build a Finding with the catalogue's default severity for *code*."""
+    severity, _title = CATALOG[code]
+    return Finding(code, severity, message, obj, **where)
+
+
+class Report:
+    """An ordered collection of findings with stable rendering."""
+
+    def __init__(self, subject: str = "") -> None:
+        self.subject = subject
+        self.findings: List[Finding] = []
+
+    # -- accumulation --------------------------------------------------
+
+    def add(self, item: Finding) -> Finding:
+        self.findings.append(item)
+        return item
+
+    def extend(self, items: Iterable[Finding]) -> None:
+        self.findings.extend(items)
+
+    def merge(self, other: "Report") -> None:
+        self.findings.extend(other.findings)
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    def by_code(self, code: str) -> List[Finding]:
+        return [f for f in self.findings if f.code == code]
+
+    def count(self, code: str) -> int:
+        return len(self.by_code(code))
+
+    def at_least(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity >= severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings
+                if f.severity is Severity.WARNING]
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max(f.severity for f in self.findings)
+
+    def codes(self) -> List[str]:
+        return sorted({f.code for f in self.findings})
+
+    # -- enforcement ---------------------------------------------------
+
+    def raise_if(self, threshold: Severity = Severity.ERROR) -> None:
+        """Raise :class:`LintError` when any finding meets *threshold*."""
+        offenders = self.at_least(threshold)
+        if offenders:
+            raise LintError(
+                [str(f) for f in offenders],
+                subject=self.subject,
+            )
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self, min_severity: Severity = Severity.INFO) -> str:
+        """Stable text rendering: worst findings first, then by site."""
+        shown = [f for f in self.findings if f.severity >= min_severity]
+        shown.sort(key=lambda f: (-int(f.severity), f.code, f.obj,
+                                  f.section, f.offset or 0))
+        lines = [str(f) for f in shown]
+        counts = {sev: 0 for sev in Severity}
+        for item in self.findings:
+            counts[item.severity] += 1
+        tally = ", ".join(
+            f"{counts[sev]} {sev}"
+            for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        )
+        head = self.subject or "<report>"
+        lines.append(f"{head}: {len(self.findings)} finding(s) ({tally})")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# shared site/relocation formatting (used by nm/objdump/reprolint)
+# ---------------------------------------------------------------------------
+
+def format_site(section: str, offset: Optional[int],
+                address: Optional[int] = None) -> str:
+    """One canonical spelling of a location inside an object."""
+    if address is not None:
+        return f"0x{address:08x}"
+    if section and offset is not None:
+        return f"{section}+0x{offset:x}"
+    if section:
+        return section
+    return "-"
+
+
+def format_reloc(reloc: Relocation, codes: Iterable[str] = ()) -> str:
+    """``KIND symbol+addend [CODE...]`` — the inline annotation objdump
+    prints at a relocation site and reprolint echoes in findings."""
+    addend = f"+{reloc.addend:#x}" if reloc.addend else ""
+    text = f"{reloc.type.name} {reloc.symbol}{addend}"
+    tags = " ".join(sorted(codes))
+    return f"{text} [{tags}]" if tags else text

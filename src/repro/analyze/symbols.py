@@ -1,0 +1,106 @@
+"""Check 2 — symbol-resolution audit (SYM001..SYM003).
+
+Replays :mod:`repro.linker.scoped` resolution *statically* against the
+:class:`~repro.analyze.context.LintContext` scope chain:
+
+* ``SYM001`` — an undefined reference no level of the chain can supply.
+  Only raised in a *closed world* (the caller vouches the chain is
+  complete and every module on it is locatable); under lazy/open-world
+  linking an unresolved symbol is business as usual until first touch.
+* ``SYM002`` — two *different* modules at the same scope level both
+  export a symbol. Scoped resolution is deterministic (module-list
+  order wins) but the tie is almost always an accident, and ``lds``
+  would reject the same pair with a DuplicateSymbolError when linking
+  them statically.
+* ``SYM003`` — the object (or an inner level) defines a symbol an outer
+  level also exports. Legal and sometimes intentional — that is the
+  point of scoped namespaces — but worth surfacing, because the inner
+  definition silently wins for this subtree only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.objfile.format import ObjectFile, SymBinding
+from repro.analyze.context import LintContext, ScopeModule
+from repro.analyze.report import Report, finding
+
+
+def check_symbols(obj: ObjectFile, context: LintContext,
+                  report: Report) -> None:
+    _audit_duplicates(obj, context, report)
+    _audit_shadowing(obj, context, report)
+    if context.closed_world and not context.has_unknown_modules():
+        _audit_unresolved(obj, context, report)
+
+
+def _audit_unresolved(obj: ObjectFile, context: LintContext,
+                      report: Report) -> None:
+    for name in sorted(obj.undefined_symbols()):
+        if context.providers(name):
+            continue
+        report.add(finding(
+            "SYM001", obj.name,
+            f"undefined symbol {name!r} resolves nowhere on the "
+            f"{len(context.scope_levels)}-level scope chain",
+            symbol=name,
+        ))
+
+
+def _audit_duplicates(obj: ObjectFile, context: LintContext,
+                      report: Report) -> None:
+    for depth, level in enumerate(context.scope_levels):
+        first_owner: Dict[str, ScopeModule] = {}
+        for module in level:
+            if not module.known:
+                continue
+            for name in module.exports:
+                owner = first_owner.setdefault(name, module)
+                if owner is not module and owner.name != module.name:
+                    report.add(finding(
+                        "SYM002", obj.name,
+                        f"{name!r} exported by both {owner.name!r} and "
+                        f"{module.name!r} at scope level {depth}; "
+                        f"module-list order decides which wins",
+                        symbol=name,
+                    ))
+
+
+def _audit_shadowing(obj: ObjectFile, context: LintContext,
+                     report: Report) -> None:
+    # The object's own globals sit innermost of all: they shadow any
+    # provider on the chain. Then each level shadows the levels above.
+    own = {
+        symbol.name for symbol in obj.symbols.values()
+        if symbol.defined and symbol.binding is SymBinding.GLOBAL
+    }
+    for name in sorted(own):
+        hits = context.providers(name)
+        if hits:
+            depth, module = hits[0]
+            report.add(finding(
+                "SYM003", obj.name,
+                f"local definition of {name!r} shadows the export from "
+                f"{module.name!r} (scope level {depth})",
+                symbol=name,
+            ))
+    seen_at: Dict[str, int] = {}
+    seen_in: Dict[str, str] = {}
+    for depth, level in enumerate(context.scope_levels):
+        for module in level:
+            if not module.known:
+                continue
+            for name in module.exports:
+                if name in seen_at and seen_at[name] < depth \
+                        and seen_in[name] != module.name:
+                    report.add(finding(
+                        "SYM003", obj.name,
+                        f"{name!r} from {seen_in[name]!r} (level "
+                        f"{seen_at[name]}) shadows the export from "
+                        f"{module.name!r} (level {depth})",
+                        symbol=name,
+                    ))
+                elif name not in seen_at:
+                    seen_at[name] = depth
+                    seen_in[name] = module.name

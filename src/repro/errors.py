@@ -195,3 +195,25 @@ class ModuleNotFoundLinkError(LinkError):
 
 class RelocationError(LinkError):
     """A relocation could not be applied (overflow, bad type...)."""
+
+
+class LintError(LinkError):
+    """The static verifier (repro.analyze) refused an object.
+
+    Raised by the opt-in post-link gate in ``lds``/``ldl`` *before* the
+    offending image is mapped, and by ``reprolint --strict``. Carries
+    the rendered findings so callers can report individual diagnostics.
+    """
+
+    def __init__(self, findings: "list[str]", subject: str = "") -> None:
+        self.findings = list(findings)
+        self.subject = subject
+        head = f"{subject}: " if subject else ""
+        summary = "; ".join(self.findings[:3])
+        more = len(self.findings) - 3
+        if more > 0:
+            summary += f"; ... and {more} more"
+        super().__init__(
+            f"{head}static verification failed "
+            f"({len(self.findings)} finding(s)): {summary}"
+        )

@@ -121,7 +121,8 @@ class Ldl:
     """The per-process dynamic linker state."""
 
     def __init__(self, kernel: Kernel, proc: Process,
-                 lazy: bool = True, scoped: bool = True) -> None:
+                 lazy: bool = True, scoped: bool = True,
+                 verify: Optional[bool] = None) -> None:
         self.kernel = kernel
         self.proc = proc
         self.lazy = lazy
@@ -131,6 +132,17 @@ class Ldl:
         # then bind to whatever the *root* sees first, not to the
         # module's own subsystem (see benchmark A6).
         self.scoped = scoped
+        # verify arms the reprolint gate: every module is statically
+        # verified *before* it is mapped, and an ERROR finding raises
+        # LintError instead of mapping a broken image. None defers to
+        # the REPRO_LINT environment variable. The gate analyzes only
+        # metadata/images already held in memory — no syscalls, so it
+        # adds zero simulated cycles.
+        if verify is None:
+            from repro.analyze.pipeline import lint_enabled_default
+
+            verify = lint_enabled_default()
+        self.verify = verify
         self.stats = LdlStats()
         self.root: Optional[LoadedModule] = None
         self._by_path: Dict[str, LoadedModule] = {}
@@ -280,6 +292,8 @@ class Ldl:
             return existing
         meta, base, image_len = read_segment_meta(self.kernel, self.proc,
                                                   module_path)
+        if self.verify:
+            self._verify_public(meta, base, module_path)
         sys = self.kernel.syscalls
         fd = sys.open(self.proc, module_path, O_RDWR)
         try:
@@ -322,6 +336,8 @@ class Ldl:
         self._private_cursor += size + PAGE_SIZE  # guard page gap
         image.apply_relocations()
         meta = image.to_segment_meta()
+        if self.verify:
+            self._verify_private(image.obj, image.name)
 
         sys = self.kernel.syscalls
         sys.mmap(self.proc, base, size, PROT_RWX, MAP_PRIVATE,
@@ -340,6 +356,31 @@ class Ldl:
         if not self.lazy and not module.linked:
             self.link_module(module)
         return module
+
+    # ------------------------------------------------------------------
+    # the reprolint gate (REPRO_LINT=1 / verify=True)
+    # ------------------------------------------------------------------
+
+    def _verify_public(self, meta: ObjectFile, base: int,
+                       module_path: str) -> None:
+        """Gate a public segment before mapping it at its agreed base."""
+        from repro.analyze.context import LintContext
+        from repro.analyze.pipeline import verify_image
+
+        context = LintContext(
+            addrmap_entries=self.kernel.sfs.addrmap.entries(),
+            self_base=base,
+            expect_public=True,
+        )
+        verify_image(meta, context, subject=module_path)
+
+    def _verify_private(self, placed: ObjectFile, name: str) -> None:
+        """Gate a private instance before it is mapped and written."""
+        from repro.analyze.context import LintContext
+        from repro.analyze.pipeline import verify_image
+
+        context = LintContext(expect_public=False)
+        verify_image(placed, context, subject=name)
 
     def _register(self, key: str, module: LoadedModule) -> None:
         self._by_path[key] = module

@@ -14,7 +14,11 @@ At static link time lds:
   not even insist the modules exist yet (a warning, not an error);
 * saves the dynamic module names, the search strategy, and the retained
   relocations in explicit data structures in the load image, for ldl;
-* rewrites over-long 26-bit jumps through branch islands.
+* rewrites over-long 26-bit jumps through branch islands;
+* optionally (``verify=True`` or ``REPRO_LINT=1``) runs the reprolint
+  static verifier over the finished image and refuses to write it if
+  any ERROR-severity finding turns up. The gate analyzes only
+  in-memory state, so it charges zero simulated cycles.
 """
 
 from __future__ import annotations
@@ -85,10 +89,16 @@ def store_object(kernel: Kernel, proc: Process, path: str,
 
 
 class Lds:
-    """The static linker, bound to one kernel instance."""
+    """The static linker, bound to one kernel instance.
 
-    def __init__(self, kernel: Kernel) -> None:
+    *verify* arms the post-link reprolint gate for every link; None
+    defers to the ``REPRO_LINT`` environment variable at link time.
+    """
+
+    def __init__(self, kernel: Kernel,
+                 verify: Optional[bool] = None) -> None:
         self.kernel = kernel
+        self.verify = verify
 
     # ------------------------------------------------------------------
 
@@ -99,7 +109,8 @@ class Lds:
              entry: Optional[str] = None,
              with_crt0: bool = True,
              strict_dynamic: bool = False,
-             use_jumptable: bool = False) -> LinkResult:
+             use_jumptable: bool = False,
+             verify: Optional[bool] = None) -> LinkResult:
         """Perform a static link; writes the executable to *output*.
 
         *strict_dynamic* turns the missing-dynamic-module warning into an
@@ -107,6 +118,10 @@ class Lds:
         calls through SunOS-style PLT entries instead of plain branch
         islands — the lazy *function* binding baseline of §3 (data
         references are unaffected; they cannot be deferred this way).
+        *verify* overrides the linker-wide setting for this one link;
+        when armed, an image with ERROR-severity reprolint findings is
+        rejected with :class:`repro.errors.LintError` before anything is
+        written to the file system.
         """
         search = SearchPath.for_static_link(
             proc.cwd, list(search_dirs),
@@ -196,6 +211,9 @@ class Lds:
         elif not executable.entry_symbol:
             executable.entry_symbol = "_start" if with_crt0 else "main"
 
+        if self._should_verify(verify):
+            self._verify(executable, output, public_exports, dynamic_list)
+
         store_object(self.kernel, proc, output, executable)
         return LinkResult(
             executable=executable,
@@ -219,6 +237,47 @@ class Lds:
         return out
 
     # ------------------------------------------------------------------
+
+    def _should_verify(self, override: Optional[bool]) -> bool:
+        if override is not None:
+            return override
+        if self.verify is not None:
+            return self.verify
+        from repro.analyze.pipeline import lint_enabled_default
+
+        return lint_enabled_default()
+
+    def _verify(self, executable: ObjectFile, output: str,
+                public_exports: Dict[str, int],
+                dynamic_list: List[Tuple[str, str]]) -> None:
+        """The reprolint gate: refuse to write a broken image.
+
+        The context is built purely from state this link already holds
+        in memory (no syscalls), so the gate cannot perturb simulated
+        cycle counts.
+        """
+        from repro.analyze.context import LintContext, ScopeModule
+        from repro.analyze.pipeline import verify_image
+
+        level = []
+        if public_exports:
+            level.append(ScopeModule(
+                "<static-public>", sharing=SharingClass.STATIC_PUBLIC.value,
+                exports=dict(public_exports),
+            ))
+        level.extend(
+            ScopeModule(name, sharing=sclass, exports=None)
+            for name, sclass in dynamic_list
+            if sclass != SharingClass.STATIC_PUBLIC.value
+        )
+        dynamic = [s for _n, s in dynamic_list
+                   if s != SharingClass.STATIC_PUBLIC.value]
+        context = LintContext(
+            scope_levels=[level] if level else [],
+            closed_world=not dynamic,
+            expect_public=False,
+        )
+        verify_image(executable, context, subject=output)
 
     def _require(self, proc: Process, search: SearchPath,
                  name: str) -> str:

@@ -52,10 +52,12 @@ class HemlockRuntime:
     HANDLER_INSTRUCTION_BUDGET = 200_000
 
     def __init__(self, kernel: Kernel, proc: Process,
-                 lazy: bool = True, scoped: bool = True) -> None:
+                 lazy: bool = True, scoped: bool = True,
+                 verify: Optional[bool] = None) -> None:
         self.kernel = kernel
         self.proc = proc
-        self.ldl = Ldl(kernel, proc, lazy=lazy, scoped=scoped)
+        self.ldl = Ldl(kernel, proc, lazy=lazy, scoped=scoped,
+                       verify=verify)
         self.mem = Mem(kernel, proc)
         self.executable: Optional[ObjectFile] = None
         self.segments_mapped = 0
@@ -369,12 +371,16 @@ def _null_context():
 
 
 def attach_runtime(kernel: Kernel, lazy: bool = True,
-                   scoped: bool = True) -> None:
+                   scoped: bool = True,
+                   verify: Optional[bool] = None) -> None:
     """Register the runtime with *kernel* so every exec'd machine
-    program gets crt0/ldl behaviour automatically."""
+    program gets crt0/ldl behaviour automatically.
+
+    *verify* arms ldl's reprolint gate (None = the REPRO_LINT env)."""
 
     def on_exec(proc: Process, image: ObjectFile) -> None:
-        runtime = HemlockRuntime(kernel, proc, lazy=lazy, scoped=scoped)
+        runtime = HemlockRuntime(kernel, proc, lazy=lazy, scoped=scoped,
+                                 verify=verify)
         runtime.start(image)
 
     kernel.on_exec = on_exec

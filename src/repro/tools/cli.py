@@ -16,7 +16,13 @@ system):
 * :func:`toycc_main` — ``toycc -o out.o source.c``
 * :func:`asm_main` — ``as -o out.o source.s``
 * :func:`nm_main` / :func:`objdump_main` — inspection, returning text;
-* :func:`ar_main` — ``ar archive.a member.o...``.
+* :func:`ar_main` — ``ar archive.a member.o...``;
+* :func:`reprolint_main` — ``reprolint [--strict] [--only cat,cat]
+  [--quiet] path...`` runs the :mod:`repro.analyze` static verifier
+  over objects, archives, and segment files (auto-detected by magic)
+  and renders every finding with its stable diagnostic code. ERROR
+  findings raise :class:`repro.errors.LintError`; ``--strict``
+  promotes WARNINGs to failures too.
 
 One tool runs on the *host* instead of inside the simulation:
 
@@ -73,6 +79,7 @@ def lds_main(kernel: Kernel, proc: Process,
     with_crt0 = True
     strict = False
     use_jumptable = False
+    verify: Optional[bool] = None
 
     args = list(argv)
     index = 0
@@ -100,6 +107,12 @@ def lds_main(kernel: Kernel, proc: Process,
         elif arg == "--jumptable":
             use_jumptable = True
             index += 1
+        elif arg == "--verify":
+            verify = True
+            index += 1
+        elif arg == "--no-verify":
+            verify = False
+            index += 1
         elif arg in _CLASS_FLAGS:
             module = _value(args, index, arg)
             requests.append(LinkRequest(module, _CLASS_FLAGS[arg]))
@@ -116,6 +129,7 @@ def lds_main(kernel: Kernel, proc: Process,
         proc, requests, output=output, search_dirs=search_dirs,
         archives=archives, entry=entry, with_crt0=with_crt0,
         strict_dynamic=strict, use_jumptable=use_jumptable,
+        verify=verify,
     )
 
 
@@ -199,6 +213,103 @@ def segls_main(kernel: Kernel, proc: Process,
                 line += "  [data]"
         lines.append(line)
     return "\n".join(sorted(lines))
+
+
+def reprolint_main(kernel: Kernel, proc: Process,
+                   argv: Sequence[str]) -> str:
+    """reprolint [--strict] [--only cat,cat] [--quiet] <path>...
+
+    Statically verify HOF objects, ``HAR1`` archives, and ``HSEG``
+    segment files (detected by magic, like ``file(1)`` would). Returns
+    the rendered reports; raises :class:`repro.errors.LintError` when
+    any finding meets the failure threshold — ERROR by default,
+    WARNING under ``--strict``. ``--only`` restricts to a subset of
+    check categories (relocations, symbols, cfg, layout, sharing);
+    ``--quiet`` hides INFO findings from the rendering.
+    """
+    from repro.analyze.pipeline import CHECKS
+    from repro.analyze.report import Report, Severity
+
+    strict = False
+    quiet = False
+    only: Optional[List[str]] = None
+    paths: List[str] = []
+    args = list(argv)
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--strict":
+            strict = True
+            index += 1
+        elif arg == "--quiet":
+            quiet = True
+            index += 1
+        elif arg == "--only":
+            names = _value(args, index, "--only")
+            only = [name.strip() for name in names.split(",")
+                    if name.strip()]
+            known = {name for name, _check in CHECKS}
+            unknown = [name for name in only if name not in known]
+            if unknown:
+                raise UsageError(
+                    f"reprolint: unknown categories {unknown} "
+                    f"(known: {', '.join(sorted(known))})"
+                )
+            index += 2
+        elif arg.startswith("-"):
+            raise UsageError(f"reprolint: unknown option {arg!r}")
+        else:
+            paths.append(arg)
+            index += 1
+    if not paths:
+        raise UsageError("reprolint: no input files")
+
+    combined = Report(subject=", ".join(paths))
+    pieces: List[str] = []
+    for path in paths:
+        report = _lint_path(kernel, proc, path, only)
+        combined.merge(report)
+        pieces.append(report.render(
+            Severity.WARNING if quiet else Severity.INFO
+        ))
+    text = "\n".join(pieces)
+    threshold = Severity.WARNING if strict else Severity.ERROR
+    combined.raise_if(threshold)
+    return text
+
+
+def _lint_path(kernel: Kernel, proc: Process, path: str,
+               only: Optional[List[str]]):
+    """Analyze one path, dispatching on file magic."""
+    from repro.analyze.context import LintContext
+    from repro.analyze.pipeline import analyze_object, \
+        context_from_kernel
+    from repro.analyze.report import Report
+    from repro.linker.segments import TRAILER, TRAILER_MAGIC, \
+        read_segment_meta
+    from repro.objfile.archive import ARCHIVE_MAGIC
+    from repro.objfile.format import MAGIC as HOF_MAGIC
+
+    data = kernel.vfs.read_whole(path, proc.uid, cwd=proc.cwd)
+    if data[:4] == ARCHIVE_MAGIC:
+        archive = Archive.from_bytes(data)
+        merged = Report(subject=path)
+        for member in archive.members:
+            context = context_from_kernel(kernel, proc, member)
+            merged.merge(analyze_object(member, context, only=only))
+        return merged
+    if data[:4] == HOF_MAGIC:
+        obj = ObjectFile.from_bytes(data)
+        context = context_from_kernel(kernel, proc, obj)
+        return analyze_object(obj, context, subject=path, only=only)
+    if len(data) >= TRAILER.size \
+            and data[-TRAILER.size:][:4] == TRAILER_MAGIC:
+        meta, base, _image_len = read_segment_meta(kernel, proc, path)
+        context = context_from_kernel(kernel, proc, meta,
+                                      expect_public=True)
+        context.self_base = base
+        return analyze_object(meta, context, subject=path, only=only)
+    raise LinkError(f"{path!r}: not a HOF object, archive, or segment")
 
 
 def reprotrace_main(argv: Sequence[str],
