@@ -197,6 +197,54 @@ class RelocationError(LinkError):
     """A relocation could not be applied (overflow, bad type...)."""
 
 
+class InjectedFaultError(SimulationError):
+    """Mixin-base of every fault raised by the :mod:`repro.inject` planes.
+
+    Concrete injected errors multiply inherit from this class *and* from
+    the natural error type of their plane (``SyscallError``,
+    ``FilesystemError``, ...), so existing containment code — errno
+    translation in the machine-syscall dispatcher, ``except
+    SyscallError`` in the runtime — handles injected faults through
+    exactly the paths a real failure would take, while tests and the
+    kernel's containment counters can still identify them.
+
+    The injector stamps instance attributes after construction:
+    ``plane``/``site``/``fault_kind`` locate the choke point, and
+    ``transient`` marks faults that a bounded retry (``ldl``'s
+    deterministic backoff) is allowed to absorb.
+    """
+
+    plane = ""
+    site = ""
+    fault_kind = ""
+    transient = False
+
+
+class InjectedSyscallError(InjectedFaultError, SyscallError):
+    """An injected failure of one system call (the syscall plane)."""
+
+
+class InjectedIOError(InjectedFaultError, FilesystemError):
+    """An injected device error on file I/O (the io plane)."""
+
+
+class InjectedDiskFullError(InjectedFaultError, FileLimitError):
+    """An injected ENOSPC (the io plane, write side)."""
+
+
+class InjectedLinkError(InjectedFaultError, LinkError):
+    """An injected failure inside the linker (the linker plane)."""
+
+
+class InjectedModuleNotFoundError(InjectedFaultError,
+                                  ModuleNotFoundLinkError):
+    """An injected module-lookup miss (the linker plane's MISSING kind).
+
+    Subclasses :class:`ModuleNotFoundLinkError` so ``ldl``'s existing
+    missing-module tolerance (warn at link, fault at use) applies.
+    """
+
+
 class LintError(LinkError):
     """The static verifier (repro.analyze) refused an object.
 

@@ -60,6 +60,9 @@ class OpenFile:
         if not self.readable:
             raise PermissionSimError(f"{self.path!r} not open for reading")
         data = self.fs.read_file(self.inode, self.offset, length)
+        injector = self.vfs.injector
+        if injector is not None:
+            data = injector.filter_read(self.path, data, site="read")
         self.offset += len(data)
         return data
 
@@ -68,19 +71,40 @@ class OpenFile:
             raise PermissionSimError(f"{self.path!r} not open for writing")
         if self.flags & O_APPEND:
             self.offset = self.inode.size
+        pending = None
+        injector = self.vfs.injector
+        if injector is not None:
+            data, pending = injector.filter_write(self.path, data,
+                                                  site="write")
         written = self.fs.write_file(self.inode, self.offset, data)
         self.offset += written
+        if pending is not None:
+            # Torn write: the shortened prefix persisted before the
+            # error surfaces, exactly like a mid-write crash.
+            raise pending
         return written
 
     def pread(self, offset: int, length: int) -> bytes:
         if not self.readable:
             raise PermissionSimError(f"{self.path!r} not open for reading")
-        return self.fs.read_file(self.inode, offset, length)
+        data = self.fs.read_file(self.inode, offset, length)
+        injector = self.vfs.injector
+        if injector is not None:
+            data = injector.filter_read(self.path, data, site="read")
+        return data
 
     def pwrite(self, offset: int, data: bytes) -> int:
         if not self.writable:
             raise PermissionSimError(f"{self.path!r} not open for writing")
-        return self.fs.write_file(self.inode, offset, data)
+        pending = None
+        injector = self.vfs.injector
+        if injector is not None:
+            data, pending = injector.filter_write(self.path, data,
+                                                  site="write")
+        written = self.fs.write_file(self.inode, offset, data)
+        if pending is not None:
+            raise pending
+        return written
 
     def lseek(self, offset: int, whence: int = 0) -> int:
         if whence == 0:
@@ -107,6 +131,7 @@ class Vfs:
 
     def __init__(self, rootfs: Filesystem) -> None:
         self._mounts: Dict[str, Filesystem] = {"/": rootfs}
+        self.injector = None  # set by repro.inject.install_injector
 
     @property
     def rootfs(self) -> Filesystem:

@@ -1,0 +1,140 @@
+"""Fault plans: *what* to inject, *where*, and *when*.
+
+A :class:`FaultPlan` is a pure, reusable specification — it carries no
+run-time state, so the same plan object can arm many booted kernels (the
+``reprochaos`` soak loop does exactly that). All mutable decision state
+(the per-plan RNG, match and trigger counters) lives in the injector
+that installs the plan.
+
+Planes name the four choke points the paper's mechanisms depend on:
+
+* ``SYSCALL`` — the trap in :meth:`repro.kernel.syscalls.Syscalls._syscall`;
+* ``VMFAULT`` — page-fault raising and delivery in the VM/kernel;
+* ``IO``      — VFS open-file reads/writes plus the SFS capacity hooks;
+* ``LINKER``  — template loads, public-module mapping/creation, and the
+  address-based segment open.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+
+class Plane(enum.Enum):
+    """A named injection choke point."""
+
+    SYSCALL = "syscall"
+    VMFAULT = "vmfault"
+    IO = "io"
+    LINKER = "linker"
+
+    @classmethod
+    def parse(cls, name: str) -> "Plane":
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            known = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown injection plane {name!r} (known: {known})"
+            )
+
+
+class FaultKind(enum.Enum):
+    """What goes wrong when a plan triggers."""
+
+    ERROR = "error"            # the operation fails with a typed error
+    SHORT_READ = "short-read"  # a read returns fewer bytes than asked
+    TORN_WRITE = "torn-write"  # a write persists a prefix, then errors
+    ENOSPC = "enospc"          # a write/create hits a full device
+    CORRUPT = "corrupt"        # transferred bytes are bit-flipped
+    MISSING = "missing"        # a module lookup reports not-found
+    DROP = "drop"              # a fault delivery is suppressed
+    SPURIOUS = "spurious"      # an access faults although the page is fine
+
+
+#: Which kinds make sense on which plane (validated at construction).
+VALID_KINDS = {
+    Plane.SYSCALL: frozenset({FaultKind.ERROR}),
+    Plane.VMFAULT: frozenset({FaultKind.DROP, FaultKind.SPURIOUS}),
+    Plane.IO: frozenset({FaultKind.ERROR, FaultKind.SHORT_READ,
+                         FaultKind.TORN_WRITE, FaultKind.ENOSPC,
+                         FaultKind.CORRUPT}),
+    Plane.LINKER: frozenset({FaultKind.ERROR, FaultKind.MISSING}),
+}
+
+#: Kind subsets each entry point accepts (a read site never sees ENOSPC).
+READ_KINDS: FrozenSet[FaultKind] = frozenset(
+    {FaultKind.ERROR, FaultKind.SHORT_READ, FaultKind.CORRUPT})
+WRITE_KINDS: FrozenSet[FaultKind] = frozenset(
+    {FaultKind.ERROR, FaultKind.TORN_WRITE, FaultKind.ENOSPC,
+     FaultKind.CORRUPT})
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One armed fault source.
+
+    Attributes:
+        plane: which choke point the plan watches.
+        kind: what happens when it triggers.
+        match: fnmatch pattern over the operation's subject — a path,
+            syscall/module name, or ``0x%08x`` address for the VM plane.
+        site: fnmatch pattern over the site label within the plane
+            (``open``, ``read``, ``write``, ``map_public``, ...).
+        pid: restrict to one process, or None for any.
+        probability: chance an eligible match triggers, drawn from the
+            plan's seeded deterministic RNG (1.0 = always).
+        max_faults: stop triggering after this many faults (None = no cap).
+        after: skip this many eligible matches before the first trigger.
+        errno: symbolic errno carried by ERROR faults on the syscall plane.
+        transient: mark faults as retry-absorbable; ``ldl``'s bounded
+            deterministic backoff (and the runtime's segment mapper) will
+            retry transient faults instead of surfacing them.
+    """
+
+    plane: Plane
+    kind: FaultKind
+    match: str = "*"
+    site: str = "*"
+    pid: Optional[int] = None
+    probability: float = 1.0
+    max_faults: Optional[int] = None
+    after: int = 0
+    errno: str = "EIO"
+    transient: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALID_KINDS[self.plane]:
+            allowed = ", ".join(sorted(
+                k.value for k in VALID_KINDS[self.plane]))
+            raise ValueError(
+                f"fault kind {self.kind.value!r} is not valid on the "
+                f"{self.plane.value!r} plane (valid: {allowed})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.after < 0:
+            raise ValueError("after must be non-negative")
+        if self.max_faults is not None and self.max_faults <= 0:
+            raise ValueError("max_faults must be positive")
+
+    def describe(self) -> str:
+        """One-line rendering for CLI output."""
+        bits = [f"{self.plane.value}:{self.kind.value}"]
+        if self.site != "*":
+            bits.append(f"site={self.site}")
+        if self.match != "*":
+            bits.append(f"match={self.match}")
+        if self.pid is not None:
+            bits.append(f"pid={self.pid}")
+        if self.probability < 1.0:
+            bits.append(f"p={self.probability:g}")
+        if self.max_faults is not None:
+            bits.append(f"max={self.max_faults}")
+        if self.after:
+            bits.append(f"after={self.after}")
+        if self.transient:
+            bits.append("transient")
+        return " ".join(bits)

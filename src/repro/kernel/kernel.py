@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.errors import (
     HardwareError,
+    InjectedFaultError,
     KernelError,
     NoSuchProcessError,
     SimulationError,
@@ -26,6 +27,7 @@ from repro.errors import (
 )
 from repro.fs.filesystem import Filesystem
 from repro.fs.vfs import Vfs
+from repro.inject import injector as _inject
 from repro.hw.cpu import ArithmeticTrap, BreakTrap, Cpu, SyscallTrap
 from repro.kernel.ipc import MessageQueueTable
 from repro.kernel.loader import load_executable
@@ -89,9 +91,15 @@ class Kernel:
         # Hooks the runtime package registers at import/attach time so
         # exec can wire crt0/ldl without a kernel->runtime dependency.
         self.on_exec: Optional[Callable[[Process, ObjectFile], None]] = None
+        # The fault injector (repro.inject). None keeps every plane
+        # silent at the cost of one attribute check per choke point.
+        self.injector = None
         # An armed ambient tracer (reprotrace, REPRO_TRACE=1) binds to
         # this kernel's clock; otherwise this is a no-op.
         _trace.attach_kernel(self)
+        # An armed injection campaign (reprochaos) attaches a fresh,
+        # identically seeded injector to every boot.
+        _inject.attach_kernel(self)
 
     def is_public_address(self, address: int) -> bool:
         """Does *address* fall in this machine's public region?
@@ -118,6 +126,7 @@ class Kernel:
         """Create a native (Python-bodied) process, runnable immediately."""
         pid = self._allocate_pid()
         space = AddressSpace(self.physmem, name=f"pid{pid}")
+        space.injector = self.injector
         proc = Process(pid, 0, uid, space, name)
         proc.native = NativeContext(body)
         proc.environ = dict(env or {})
@@ -133,6 +142,7 @@ class Kernel:
         """Create a machine process and exec *image* into it."""
         pid = self._allocate_pid()
         space = AddressSpace(self.physmem, name=f"pid{pid}")
+        space.injector = self.injector
         proc = Process(pid, 0, uid, space, name)
         proc.cpu = Cpu(space)
         proc.environ = dict(env or {})
@@ -171,6 +181,7 @@ class Kernel:
             )
         pid = self._allocate_pid()
         child_space = proc.address_space.fork(name=f"pid{pid}")
+        child_space.injector = self.injector
         child = Process(pid, proc.pid, proc.uid, child_space,
                         f"{proc.name}:child")
         child.cpu = Cpu(child_space)
@@ -235,6 +246,15 @@ class Kernel:
         the fault (the faulting access should be retried)."""
         self.clock.page_fault()
         tracer = _trace.TRACER
+        injector = self.injector
+        if injector is not None and injector.on_fault_delivery(proc, fault):
+            # DROP: resolution is suppressed; the fault stands exactly
+            # as if every handler had declined it.
+            injector.note_contained("fault-drop")
+            if tracer.enabled:
+                tracer.emit(EventKind.FAULT, name="dropped",
+                            pid=proc.pid, addr=fault.address)
+            return False
         info = SigInfo(Signal.SIGSEGV, address=fault.address,
                        access=fault.access,
                        pc=proc.cpu.pc if proc.cpu else 0,
@@ -378,10 +398,18 @@ class Kernel:
                         )
                         return
                     continue  # restart the faulting instruction
+                if getattr(fault, "injected", False):
+                    self.note_contained(fault, "spurious-fault")
+                detail = ""
+                pending = getattr(proc, "pending_fault_error", None)
+                if pending is not None:
+                    detail = f" [{type(pending).__name__}: {pending}]"
+                    proc.pending_fault_error = None
                 self.terminate(
                     proc, -1,
                     reason=f"unhandled SIGSEGV at 0x{fault.address:08x} "
-                           f"({fault.access.value}, pc=0x{cpu.pc:08x})",
+                           f"({fault.access.value}, pc=0x{cpu.pc:08x})"
+                           f"{detail}",
                 )
                 return
             except BreakTrap:
@@ -412,23 +440,47 @@ class Kernel:
                 f"operation mid-quantum; use the try_ variants and yield"
             )
         except SyscallError as error:
+            self.note_contained(error, "native-terminate")
             self.terminate(proc, -1, reason=str(error))
         except PageFaultError as fault:
             if proc.alive:
+                self.note_contained(fault, "native-terminate")
                 self.terminate(
                     proc, -1,
                     reason=f"unhandled SIGSEGV at 0x{fault.address:08x}",
                 )
         except SimulationError as error:
             if proc.alive:
+                self.note_contained(error, "native-terminate")
                 self.terminate(proc, -1, reason=f"{type(error).__name__}: "
                                                 f"{error}")
 
     # ------------------------------------------------------------------
 
+    def note_contained(self, error, where: str) -> None:
+        """Count an injected fault absorbed at a kernel boundary.
+
+        A no-op for genuine (non-injected) errors and when no injector
+        is installed; the fault-containment invariant the chaos suite
+        asserts is ``triggered`` faults never escape the kernel, and
+        these counters are its evidence.
+        """
+        injector = self.injector
+        if injector is None:
+            return
+        if isinstance(error, InjectedFaultError) \
+                or getattr(error, "injected", False):
+            injector.note_contained(where)
+
     def stats(self) -> str:
         alive = sum(1 for p in self.processes.values() if p.alive)
+        extra = ""
+        if self.injector is not None:
+            counts = self.injector.stats
+            extra = (f" injected={counts.triggered} "
+                     f"contained={counts.contained}")
         return (
             f"processes={len(self.processes)} (alive {alive}) "
             f"frames={self.physmem.allocated} cycles={self.clock.cycles}"
+            f"{extra}"
         )

@@ -71,10 +71,10 @@ FLOCK_UN = 2
 FLOCK_TRY = 3
 
 _ERRNO_CODES = {
-    "EPERM": 1, "ENOENT": 2, "EBADF": 9, "ECHILD": 10, "EACCES": 13,
-    "EFAULT": 14, "EEXIST": 17, "ENOTDIR": 20, "EISDIR": 21,
-    "EINVAL": 22, "EFBIG": 27, "ENOSPC": 28, "EPIPE": 32,
-    "ENAMETOOLONG": 36,
+    "EPERM": 1, "ENOENT": 2, "EINTR": 4, "EIO": 5, "EBADF": 9,
+    "ECHILD": 10, "EAGAIN": 11, "EACCES": 13, "EFAULT": 14,
+    "EEXIST": 17, "ENOTDIR": 20, "EISDIR": 21, "EINVAL": 22,
+    "EFBIG": 27, "ENOSPC": 28, "EPIPE": 32, "ENAMETOOLONG": 36,
 }
 
 
@@ -91,6 +91,11 @@ class Syscalls:
         tracer = _trace.TRACER
         if tracer.enabled:
             tracer.emit(EventKind.SYSCALL, name=name, pid=proc.pid)
+        injector = self.kernel.injector
+        if injector is not None:
+            # The trap already happened (and was charged); an armed
+            # syscall plane may now fail the service itself.
+            injector.on_syscall(proc, name)
 
     # ------------------------------------------------------------------
     # files
@@ -281,6 +286,12 @@ class Syscalls:
     def open_by_address(self, proc: Process, address: int,
                         flags: int = O_RDONLY) -> int:
         """Overloaded open: open a shared segment by any address in it."""
+        injector = self.kernel.injector
+        if injector is not None:
+            # The linker plane covers transient open-by-address failures;
+            # errors surface through the syscall errno path.
+            injector.on_link(proc, "open_by_addr", f"0x{address:08x}",
+                             as_syscall=True)
         path, _offset = self.addr_to_path(proc, address)
         # One logical syscall: refund the extra trap charged above.
         return self.open(proc, path, flags)
@@ -421,11 +432,13 @@ class Syscalls:
         except WouldBlock:
             raise
         except SyscallError as error:
+            self.kernel.note_contained(error, "syscall-errno")
             cpu.set_reg(isa.REG_V0, 0xFFFFFFFF)
             cpu.set_reg(isa.REG_V1, _ERRNO_CODES.get(error.errno, 22))
             cpu.pc += 4
             return
         except FilesystemError as error:
+            self.kernel.note_contained(error, "syscall-errno")
             cpu.set_reg(isa.REG_V0, 0xFFFFFFFF)
             cpu.set_reg(isa.REG_V1, _errno_of(error))
             cpu.pc += 4

@@ -32,6 +32,8 @@ class CostModel:
     disk_seek: int = 30000        # first touch of a cold file
     message_overhead: int = 1200  # send+receive queueing beyond the copies
     map_segment: int = 2500       # mmap bookkeeping incl. TLB shootdown
+    retry_backoff: int = 600      # first backoff wait after a transient
+                                  # fault; doubles with each retry
 
 
 @dataclass
@@ -77,6 +79,12 @@ class Clock:
 
     def map_segment(self) -> None:
         self.charge("mappings", self.costs.map_segment)
+
+    def backoff(self, attempt: int) -> None:
+        """One deterministic exponential-backoff wait: retry *attempt*
+        (1-based) costs ``retry_backoff << (attempt - 1)`` cycles."""
+        self.charge("backoff",
+                    self.costs.retry_backoff << max(attempt - 1, 0))
 
     def snapshot(self) -> int:
         """Current cycle count (for interval measurements)."""

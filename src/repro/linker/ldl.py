@@ -27,7 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import LinkError, ModuleNotFoundLinkError
+from repro.errors import (
+    FilesystemError,
+    InjectedFaultError,
+    LinkError,
+    ModuleNotFoundLinkError,
+    SyscallError,
+)
 from repro.fs.path import basename
 from repro.fs.vfs import O_RDONLY, O_RDWR
 from repro.kernel.kernel import Kernel
@@ -52,6 +58,11 @@ from repro.vm.address_space import MAP_PRIVATE, MAP_SHARED, PROT_NONE, \
     PROT_RWX
 from repro.vm.layout import PAGE_SIZE, PRIVATE_DYNAMIC_BASE
 
+# Bounded retry budget for *transient* faults (injected or otherwise)
+# hit while locating/mapping modules. Each retry charges a doubling
+# backoff wait to the clock, so the recovery cost is deterministic.
+LDL_MAX_RETRIES = 4
+
 
 @dataclass
 class LdlStats:
@@ -64,6 +75,7 @@ class LdlStats:
     scope_lookups: int = 0
     directory_scans: int = 0
     faults_serviced: int = 0
+    transient_retries: int = 0
 
 
 class LoadedModule:
@@ -260,10 +272,34 @@ class Ldl:
         module_path = self._create_public(template_path)
         return self._map_public_path(module_path)
 
+    def _with_retry(self, operation):
+        """Run *operation*, retrying transient faults with deterministic
+        exponential backoff (cycles charged via ``Clock.backoff``)."""
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except InjectedFaultError as error:
+                if not error.transient or attempt >= LDL_MAX_RETRIES:
+                    raise
+                attempt += 1
+                self.stats.transient_retries += 1
+                self.kernel.clock.backoff(attempt)
+                injector = self.kernel.injector
+                if injector is not None:
+                    injector.note_retry()
+
     def _create_public(self, template_path: str) -> str:
+        return self._with_retry(
+            lambda: self._create_public_once(template_path))
+
+    def _create_public_once(self, template_path: str) -> str:
         """Create a public module from its template, under a file lock
         ("Ldl uses file locking to synchronize the creation of shared
         segments")."""
+        injector = self.kernel.injector
+        if injector is not None:
+            injector.on_link(self.proc, "create_public", template_path)
         sys = self.kernel.syscalls
         module_path = module_path_for_template(template_path)
         lock_fd = sys.open(self.proc, template_path, O_RDONLY)
@@ -290,6 +326,13 @@ class Ldl:
         existing = self._by_path.get(module_path)
         if existing is not None:
             return existing
+        return self._with_retry(
+            lambda: self._map_public_once(module_path))
+
+    def _map_public_once(self, module_path: str) -> LoadedModule:
+        injector = self.kernel.injector
+        if injector is not None:
+            injector.on_link(self.proc, "map_public", module_path)
         meta, base, image_len = read_segment_meta(self.kernel, self.proc,
                                                   module_path)
         if self.verify:
@@ -395,13 +438,14 @@ class Ldl:
     def _load_template(self, path: str) -> ObjectFile:
         from repro.linker.lds import load_template
 
-        return load_template(self.kernel, self.proc, path)
+        return self._with_retry(
+            lambda: load_template(self.kernel, self.proc, path))
 
     def _on_sfs(self, path: str) -> bool:
         try:
             fs, _ = self.kernel.vfs.resolve(path, self.proc.uid,
                                             cwd=self.proc.cwd)
-        except Exception:
+        except FilesystemError:
             return False
         return fs is self.kernel.sfs
 
@@ -510,9 +554,12 @@ class Ldl:
         vfs = self.kernel.vfs
         self.stats.directory_scans += 1
         try:
-            names = self.kernel.syscalls.listdir(self.proc, directory)
-        except Exception:
-            return None
+            names = self._with_retry(
+                lambda: self.kernel.syscalls.listdir(self.proc, directory))
+        except (SyscallError, FilesystemError) as error:
+            if isinstance(error, InjectedFaultError):
+                raise  # exhausted retries: surface, don't swallow
+            return None  # absent/unreadable directory: skip this scope
         # Prefer already-instantiated segments over raw templates so we
         # join existing public modules rather than re-instantiating.
         ordered = sorted(names, key=lambda n: (n.endswith(".o"), n))
@@ -522,12 +569,15 @@ class Ldl:
                 if vfs.stat(path, self.proc.uid, follow=True,
                             cwd=self.proc.cwd).st_type.value != "file":
                     continue
-            except Exception:
+            except FilesystemError:
                 continue
             exports = peek_exports(self.kernel, self.proc, path)
             if exports is None or symbol not in exports:
                 continue
-            module = self.ensure_module_from_path(path, scope)
+            try:
+                module = self.ensure_module_from_path(path, scope)
+            except ModuleNotFoundLinkError:
+                continue  # vanished between listdir and instantiation
             address = module.exports().get(symbol)
             if address is not None:
                 return address

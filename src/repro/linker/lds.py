@@ -67,6 +67,9 @@ class LinkResult:
 
 def load_template(kernel: Kernel, proc: Process, path: str) -> ObjectFile:
     """Read a HOF relocatable from the simulated file system."""
+    injector = kernel.injector
+    if injector is not None:
+        injector.on_link(proc, "load_template", path)
     sys = kernel.syscalls
     fd = sys.open(proc, path, O_RDONLY)
     try:
@@ -80,6 +83,9 @@ def load_template(kernel: Kernel, proc: Process, path: str) -> ObjectFile:
 def store_object(kernel: Kernel, proc: Process, path: str,
                  obj: ObjectFile) -> None:
     """Write a HOF object to the simulated file system."""
+    injector = kernel.injector
+    if injector is not None:
+        injector.on_link(proc, "store_object", path)
     sys = kernel.syscalls
     fd = sys.open(proc, path, O_WRONLY | O_CREAT | O_TRUNC)
     try:

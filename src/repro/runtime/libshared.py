@@ -20,7 +20,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import SimulationError, SyscallError
+from repro.errors import (
+    FilesystemError,
+    InjectedFaultError,
+    SimulationError,
+    SyscallError,
+)
 from repro.fs.vfs import O_CREAT, O_EXCL, O_RDONLY, O_RDWR, O_WRONLY
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process, SignalHandler
@@ -30,7 +35,7 @@ from repro.linker.jumptable import (
     plt_entry_base,
     plt_symbol_at,
 )
-from repro.linker.ldl import Ldl
+from repro.linker.ldl import LDL_MAX_RETRIES, Ldl
 from repro.linker.segments import read_segment_meta
 from repro.objfile.format import ObjectFile
 from repro.runtime.views import Mem
@@ -101,8 +106,15 @@ class HemlockRuntime:
 
     def _segv_handler(self, proc: Process, info: SigInfo) -> bool:
         # A module set up for lazy linking? (private or public portion)
-        if self.ldl.handle_fault(info.address):
-            return True
+        try:
+            if self.ldl.handle_fault(info.address):
+                return True
+        except InjectedFaultError as error:
+            # The fault stops at the handler boundary: the victim's
+            # fault stays unresolved (and kills the victim), but the
+            # kernel and every other process are untouched.
+            self._contain(error, "segv-handler")
+            return False
         # A pointer into a shared segment not yet part of this address
         # space? Translate address -> path and map, rights permitting.
         if self.kernel.is_public_address(info.address) \
@@ -110,32 +122,53 @@ class HemlockRuntime:
             return self._map_segment_at(info.address, info)
         return False
 
+    def _contain(self, error: InjectedFaultError, where: str) -> None:
+        self.kernel.note_contained(error, where)
+        # Remembered so the victim's terminate reason names the real
+        # cause instead of a bare "unresolved fault".
+        self.proc.pending_fault_error = error
+
     def _map_segment_at(self, address: int, info: SigInfo) -> bool:
+        attempt = 0
+        while True:
+            try:
+                return self._map_segment_once(address, info)
+            except InjectedFaultError as error:
+                if error.transient and attempt < LDL_MAX_RETRIES:
+                    attempt += 1
+                    self.ldl.stats.transient_retries += 1
+                    self.kernel.clock.backoff(attempt)
+                    injector = self.kernel.injector
+                    if injector is not None:
+                        injector.note_retry()
+                    continue
+                self._contain(error, "segment-map")
+                return False
+            except SimulationError:
+                return False
+
+    def _map_segment_once(self, address: int, info: SigInfo) -> bool:
         sys = self.kernel.syscalls
-        try:
-            path, _offset = sys.addr_to_path(self.proc, address)
-        except SyscallError:
-            return False
+        path, _offset = sys.addr_to_path(self.proc, address)
 
         # Is it a linked module segment? Then bring it in through ldl so
         # its symbols and pending relocations are honoured.
         try:
             read_segment_meta(self.kernel, self.proc, path)
             is_module = True
+        except InjectedFaultError:
+            raise
         except SimulationError:
             is_module = False
-        try:
-            if is_module:
-                self._ensure_root()
-                assert self.ldl.root is not None
-                module = self.ldl.ensure_module_from_path(path,
-                                                          self.ldl.root)
-                self.ldl.link_module(module)
-                self.segments_mapped += 1
-                return True
-            return self._map_plain_segment(path, info)
-        except SimulationError:
-            return False
+        if is_module:
+            self._ensure_root()
+            assert self.ldl.root is not None
+            module = self.ldl.ensure_module_from_path(path,
+                                                      self.ldl.root)
+            self.ldl.link_module(module)
+            self.segments_mapped += 1
+            return True
+        return self._map_plain_segment(path, info)
 
     def _map_plain_segment(self, path: str, info: SigInfo) -> bool:
         """Open and map a non-module segment file at its address."""
@@ -144,12 +177,16 @@ class HemlockRuntime:
         try:
             fd = sys.open(self.proc, path, O_RDWR)
             prot = PROT_RWX
-        except SimulationError:
+        except (SyscallError, FilesystemError) as error:
+            if getattr(error, "transient", False):
+                raise  # let _map_segment_at retry with backoff
             if want_write:
                 return False  # no write rights: the fault stands
             try:
                 fd = sys.open(self.proc, path, O_RDONLY)
-            except SimulationError:
+            except (SyscallError, FilesystemError) as error:
+                if getattr(error, "transient", False):
+                    raise
                 return False
             prot = PROT_RX
         try:

@@ -42,6 +42,7 @@ class SharedFilesystem(Filesystem):
         self._free_inos = list(range(MAX_INODES - 1, -1, -1))
         self.addrmap = addrmap if addrmap is not None else LinearAddressMap()
         self.region = SFS_REGION
+        self.injector = None  # set by repro.inject.install_injector
         super().__init__(physmem, name)
 
     # ------------------------------------------------------------------
@@ -52,12 +53,18 @@ class SharedFilesystem(Filesystem):
         return self._free_inos.pop()
 
     def _check_new_inode(self) -> None:
+        injector = self.injector
+        if injector is not None:
+            injector.on_sfs("sfs-create", "/")
         if not self._free_inos:
             raise FileLimitError(
                 f"shared file system full ({MAX_INODES} inodes)"
             )
 
     def _check_write(self, inode: Inode, end_offset: int) -> None:
+        injector = self.injector
+        if injector is not None:
+            injector.on_sfs("sfs-write", f"inode:{inode.number}")
         if end_offset > MAX_FILE_SIZE:
             raise FileLimitError(
                 f"shared files are limited to {MAX_FILE_SIZE} bytes"

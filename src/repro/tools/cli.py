@@ -24,13 +24,19 @@ system):
   findings raise :class:`repro.errors.LintError`; ``--strict``
   promotes WARNINGs to failures too.
 
-One tool runs on the *host* instead of inside the simulation:
+Two tools run on the *host* instead of inside the simulation:
 
 * :func:`reprotrace_main` — ``reprotrace [-o dir] [--kinds K,K]
   [--capacity N] [--top N] script.py [args...]`` runs any example (or
   other host script) with kernel-wide tracing armed, then writes a
   JSONL event log and a ``chrome://tracing`` file and prints the top-N
   hot-spot report. Also installed as the ``reprotrace`` console script.
+* :func:`reprochaos_main` — ``reprochaos [--seed N] [--runs N]
+  [--planes P,P] [--rate F] script.py...`` soaks host scripts under
+  :mod:`repro.inject` fault planes: each seeded configuration runs
+  twice and the two ``INJECT`` event streams must be bit-identical
+  (replay drift fails the campaign), and no injected fault may escape
+  the simulation as a host-level crash (kernel death fails it too).
 """
 
 from __future__ import annotations
@@ -422,6 +428,207 @@ def reprotrace_entry() -> int:
         return 2
 
 
+# ----------------------------------------------------------------------
+# reprochaos — seeded fault-injection soak campaigns
+# ----------------------------------------------------------------------
+
+#: Planes a campaign arms by default (all of them).
+_CHAOS_PLANES = ("syscall", "io", "linker", "vmfault")
+
+
+def _campaign_plans(planes: Sequence[str], rate: float) -> List:
+    """The standard soak plan set for *planes* at trigger rate *rate*.
+
+    One representative plan per plane: failing syscalls, short reads
+    and torn writes, transient linker failures (exercising the
+    retry/backoff hardening), and — far rarer, since every memory
+    access is a decision point — spurious page faults.
+    """
+    from repro.inject import FaultKind, FaultPlan, Plane
+
+    plans = []
+    for name in planes:
+        plane = Plane.parse(name)
+        if plane is Plane.SYSCALL:
+            plans.append(FaultPlan(plane, FaultKind.ERROR,
+                                   probability=rate, errno="EIO"))
+        elif plane is Plane.IO:
+            plans.append(FaultPlan(plane, FaultKind.SHORT_READ,
+                                   site="read", probability=rate))
+            plans.append(FaultPlan(plane, FaultKind.TORN_WRITE,
+                                   site="write", probability=rate))
+        elif plane is Plane.LINKER:
+            plans.append(FaultPlan(plane, FaultKind.ERROR,
+                                   probability=rate, transient=True))
+        elif plane is Plane.VMFAULT:
+            plans.append(FaultPlan(plane, FaultKind.SPURIOUS,
+                                   probability=rate / 16.0))
+    return plans
+
+
+def _chaos_run(script: str, plans: Sequence, seed: int) -> dict:
+    """One seeded soak run of *script*; returns outcome + INJECT stream.
+
+    Outcomes:
+      * ``clean`` — the script finished (exit status 0);
+      * ``workload-failure`` — the script aborted on a simulated error
+        or a failed assertion: an injected fault surfaced, but through
+        the simulation's own typed channels;
+      * ``kernel-death`` — a non-simulation exception escaped: an
+        injected fault broke the simulator itself. Always a bug.
+    """
+    import contextlib
+    import io
+
+    from repro.inject import CAMPAIGN, cancel_injection, request_injection
+    from repro.trace import tracer as trace_state
+    from repro.trace.tracer import cancel_tracing, request_tracing
+
+    request_injection(plans, seed=seed)
+    request_tracing(kinds=["INJECT"])
+    saved_argv = sys.argv
+    sys.argv = [script]
+    outcome, detail, captured = "clean", "", io.StringIO()
+    try:
+        try:
+            with contextlib.redirect_stdout(captured):
+                runpy.run_path(script, run_name="__main__")
+        except SystemExit as status:
+            if status.code not in (None, 0):
+                outcome = "workload-failure"
+                detail = f"exit status {status.code}"
+        except (SimulationError, AssertionError) as error:
+            outcome = "workload-failure"
+            detail = f"{type(error).__name__}: {error}"
+        except Exception as error:  # noqa: BLE001 - the point of the soak
+            outcome = "kernel-death"
+            detail = f"{type(error).__name__}: {error}"
+    finally:
+        tracer = trace_state.TRACER
+        stream = tuple(
+            (event.boot, event.cycle, event.pid, event.addr,
+             event.name, event.value)
+            for event in tracer.events()
+        ) if tracer.enabled else ()
+        totals = {
+            "boots": len(CAMPAIGN),
+            "triggered": sum(i.stats.triggered for i in CAMPAIGN),
+            "contained": sum(i.stats.contained for i in CAMPAIGN),
+            "retries": sum(i.stats.retries for i in CAMPAIGN),
+        }
+        sys.argv = saved_argv
+        cancel_injection()
+        cancel_tracing()
+    return {"outcome": outcome, "detail": detail, "stream": stream,
+            "totals": totals, "output": captured.getvalue()}
+
+
+def reprochaos_main(argv: Sequence[str],
+                    stdout: Optional[TextIO] = None) -> int:
+    """Soak host scripts under seeded fault injection.
+
+    ``reprochaos [--seed N] [--runs N] [--planes syscall,io,...]
+    [--rate F] script.py...``
+
+    Every (script, seed) configuration is executed twice; because the
+    planes are seeded and the simulation is deterministic, the two
+    ``INJECT`` event streams must match bit-for-bit ("replay drift"
+    otherwise). Returns non-zero if any run died outside the
+    simulation's typed error channels or any replay drifted.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    seed = 1993
+    runs = 1
+    planes: Sequence[str] = _CHAOS_PLANES
+    rate = 0.005
+    scripts: List[str] = []
+
+    args = list(argv)
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--seed":
+            seed = int(_value(args, index, "--seed"))
+            index += 2
+        elif arg == "--runs":
+            runs = int(_value(args, index, "--runs"))
+            index += 2
+        elif arg == "--planes":
+            names = _value(args, index, "--planes")
+            planes = [name.strip() for name in names.split(",")
+                      if name.strip()]
+            index += 2
+        elif arg == "--rate":
+            rate = float(_value(args, index, "--rate"))
+            index += 2
+        elif arg.startswith("-"):
+            raise UsageError(f"reprochaos: unknown option {arg!r}")
+        else:
+            scripts.append(arg)
+            index += 1
+    if not scripts:
+        raise UsageError(
+            "reprochaos: usage: reprochaos [--seed N] [--runs N] "
+            "[--planes P,P] [--rate F] script.py..."
+        )
+    for script in scripts:
+        if not os.path.isfile(script):
+            raise UsageError(f"reprochaos: no such script: {script}")
+    try:
+        plans = _campaign_plans(planes, rate)
+    except ValueError as error:
+        raise UsageError(f"reprochaos: {error}")
+
+    print(f"reprochaos: {len(scripts)} script(s) x {runs} run(s), "
+          f"base seed {seed}, rate {rate:g}", file=out)
+    for plan in plans:
+        print(f"  plan: {plan.describe()}", file=out)
+
+    failures = 0
+    for script in scripts:
+        for run in range(runs):
+            run_seed = seed + run
+            first = _chaos_run(script, plans, run_seed)
+            replay = _chaos_run(script, plans, run_seed)
+            drift = first["stream"] != replay["stream"] \
+                or first["outcome"] != replay["outcome"]
+            totals = first["totals"]
+            verdict = first["outcome"]
+            if drift:
+                verdict += " REPLAY-DRIFT"
+            if first["outcome"] == "kernel-death" or drift:
+                failures += 1
+            line = (f"  {script} seed={run_seed}: {verdict} "
+                    f"boots={totals['boots']} "
+                    f"injected={totals['triggered']} "
+                    f"contained={totals['contained']} "
+                    f"retries={totals['retries']} "
+                    f"events={len(first['stream'])}")
+            if first["detail"]:
+                line += f" [{first['detail']}]"
+            print(line, file=out)
+            if first["outcome"] == "kernel-death":
+                tail = first["output"].strip().splitlines()[-5:]
+                for text in tail:
+                    print(f"    | {text}", file=out)
+    if failures:
+        print(f"reprochaos: FAILED ({failures} kernel death(s) or "
+              f"replay drift(s))", file=out)
+        return 1
+    print("reprochaos: OK (all faults contained, all replays "
+          "bit-identical)", file=out)
+    return 0
+
+
+def reprochaos_entry() -> int:
+    """Console-script entry point (``reprochaos ...``)."""
+    try:
+        return reprochaos_main(sys.argv[1:])
+    except UsageError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+
 def load_archive(kernel: Kernel, proc: Process, path: str) -> Archive:
     data = kernel.vfs.read_whole(path, proc.uid, cwd=proc.cwd)
     return Archive.from_bytes(data)
@@ -466,10 +673,13 @@ def _one_output_one_input(argv: Sequence[str], tool: str,
 
 
 if __name__ == "__main__":  # pragma: no cover - console convenience
-    # ``python -m repro.tools.cli [reprotrace] ...`` — reprotrace is the
-    # only host-side tool; the rest run inside the simulation.
+    # ``python -m repro.tools.cli [reprotrace|reprochaos] ...`` — the
+    # host-side tools; the rest run inside the simulation.
     _args = sys.argv[1:]
-    if _args and _args[0] == "reprotrace":
+    _entry = reprotrace_entry
+    if _args and _args[0] in ("reprotrace", "reprochaos"):
+        if _args[0] == "reprochaos":
+            _entry = reprochaos_entry
         _args = _args[1:]
     sys.argv = [sys.argv[0]] + _args
-    sys.exit(reprotrace_entry())
+    sys.exit(_entry())

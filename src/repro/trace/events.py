@@ -28,6 +28,7 @@ class EventKind(enum.IntEnum):
     IPC = 7            # message-queue / pipe traffic
     DISK = 8           # a cold-file disk seek
     TLB = 9            # software-TLB traffic (value = entry/hit count)
+    INJECT = 10        # one injected fault (name = plane:kind:site)
 
     @property
     def bit(self) -> int:

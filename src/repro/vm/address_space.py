@@ -150,6 +150,7 @@ class AddressSpace:
         self.tlb_fills = 0
         self.tlb_invalidations = 0
         self.tlb_flushes = 0
+        self.injector = None  # set by repro.inject.install_injector
 
     # ------------------------------------------------------------------
     # mapping management
@@ -409,6 +410,11 @@ class AddressSpace:
 
     def _pte_for_access(self, address: int, access: AccessKind,
                         force: bool) -> _Pte:
+        injector = self.injector
+        if injector is not None and not force:
+            # Kernel force-paths are exempt: a spurious fault there would
+            # escape the restartable-instruction containment boundary.
+            injector.on_access(self.name, address, access)
         pte = self._pages.get(address >> PAGE_SHIFT)
         if pte is None:
             raise PageFaultError(address, access, present=False)

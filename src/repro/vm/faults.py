@@ -42,6 +42,9 @@ class PageFaultError(VMError):
         self.address = address
         self.access = access
         self.present = present
+        # Set True by the vmfault injection plane on spurious faults so
+        # the kernel can count containment when the victim dies.
+        self.injected = False
         # The raise site is the one place every fault passes through
         # (CPU fetch, typed views, kernel force-paths all end up here);
         # the kernel's delivery emits the resolution outcome separately.

@@ -1,13 +1,31 @@
 """Failure injection: corrupted files, races, and abuse must be
-contained — processes may die, the kernel may not."""
+contained — processes may die, the kernel may not.
+
+Transfer-time damage (corrupt reads, short reads, I/O errors, failing
+or vanishing module lookups) is driven through the :mod:`repro.inject`
+planes, parametrized over plane x fault kind x sharing class. Blob
+surgery survives only where no plane exists: damage to bytes *at rest*
+(a truncated file on the volume).
+"""
 
 import pytest
 
-from repro.errors import ObjectFormatError, SimulationError
+from repro.errors import (
+    InjectedFaultError,
+    ObjectFormatError,
+    SimulationError,
+)
 from repro.hw.asm import assemble
+from repro.inject import (
+    FaultKind,
+    FaultPlan,
+    Plane,
+    install_injector,
+    remove_injector,
+)
 from repro.linker.classes import SharingClass
 from repro.linker.lds import LinkRequest, store_object
-from repro.linker.segments import TRAILER, TRAILER_MAGIC, read_segment_meta
+from repro.linker.segments import read_segment_meta
 from repro.runtime.libshared import runtime_for
 from repro.runtime.views import Mem
 from repro.toyc import compile_source
@@ -18,22 +36,125 @@ def put_c(kernel, shell, path, source):
                  compile_source(source, path.rsplit("/", 1)[-1]))
 
 
-class TestCorruptSegments:
-    def _module(self, system, shell):
+def build_module_exe(system, shell, sharing):
+    """main uses `cell` from module m, loaded with *sharing* class."""
+    kernel = system.kernel
+    kernel.vfs.makedirs("/shared/lib")
+    put_c(kernel, shell, "/shared/lib/m.o", "int cell = 1;")
+    put_c(kernel, shell, "/main.o",
+          "extern int cell;\nint main() { return cell; }")
+    return system.lds.link(
+        shell,
+        [LinkRequest("/main.o"), LinkRequest("m.o", sharing)],
+        output="/bin", search_dirs=["/shared/lib"],
+    ).executable
+
+
+#: plane x fault kind (with the site each kind hits).
+FAULT_MATRIX = [
+    pytest.param(Plane.IO, FaultKind.CORRUPT, "read",
+                 id="io-corrupt"),
+    pytest.param(Plane.IO, FaultKind.SHORT_READ, "read",
+                 id="io-short-read"),
+    pytest.param(Plane.IO, FaultKind.ERROR, "read",
+                 id="io-error"),
+    pytest.param(Plane.LINKER, FaultKind.ERROR, "*",
+                 id="linker-error"),
+    pytest.param(Plane.LINKER, FaultKind.MISSING, "*",
+                 id="linker-missing"),
+]
+
+SHARING_CLASSES = [
+    pytest.param(SharingClass.DYNAMIC_PUBLIC, id="dynamic-public"),
+    pytest.param(SharingClass.DYNAMIC_PRIVATE, id="dynamic-private"),
+]
+
+
+class TestInjectedCorruptionMatrix:
+    """The corrupt-segment matrix, driven through the planes."""
+
+    @pytest.mark.parametrize("plane,kind,site", FAULT_MATRIX)
+    @pytest.mark.parametrize("sharing", SHARING_CLASSES)
+    def test_fault_is_contained(self, system, shell, plane, kind, site,
+                                sharing):
+        kernel = system.kernel
+        exe = build_module_exe(system, shell, sharing)
+        plan = FaultPlan(plane, kind, match="/shared/lib/*", site=site)
+        injector = install_injector(kernel, [plan], seed=11)
+
+        # The victim may die at exec (typed error) or at run time
+        # (SIGSEGV) — both are containment; a host-level crash is not.
+        try:
+            proc = kernel.create_machine_process("victim", exe)
+            kernel.run_until_exit(proc)
+            assert not proc.alive
+        except SimulationError:
+            pass
+
+        assert injector.stats.triggered >= 1, \
+            f"the {plane.value}:{kind.value} plane never fired"
+        assert "injected=" in kernel.stats()
+        remove_injector(kernel)
+
+        # The kernel survived: a clean successor works end-to-end.
+        # (Drop any module instance the faulting run may have created
+        # from damaged template bytes; the template at rest is intact.)
+        try:
+            kernel.syscalls.unlink(shell, "/shared/lib/m")
+        except SimulationError:
+            pass
+        clean = kernel.create_machine_process("clean", exe)
+        kernel.run_until_exit(clean)
+        assert clean.exit_code == 1
+
+    def test_corrupt_metadata_read_rejected(self, system, shell):
+        """Transfer-time damage to a mapped module's metadata surfaces
+        as a typed parse error (the plane-driven replacement for the
+        old trash-the-blob surgery)."""
+        kernel = system.kernel
+        exe = build_module_exe(system, shell,
+                               SharingClass.DYNAMIC_PUBLIC)
+        p0 = kernel.create_machine_process("p0", exe)
+        kernel.run_until_exit(p0)
+        install_injector(
+            kernel,
+            [FaultPlan(Plane.IO, FaultKind.CORRUPT,
+                       match="/shared/lib/m", site="read")],
+            seed=2,
+        )
+        with pytest.raises(SimulationError):
+            read_segment_meta(kernel, shell, "/shared/lib/m")
+
+    def test_short_template_read_fails_cleanly(self, system, shell):
+        """A short read of a template is a malformed object, not a
+        crash — the plane-driven truncation case."""
         kernel = system.kernel
         kernel.vfs.makedirs("/shared/lib")
-        put_c(kernel, shell, "/shared/lib/m.o", "int cell = 1;")
-        put_c(kernel, shell, "/main.o",
-              "extern int cell;\nint main() { return cell; }")
-        return system.lds.link(
-            shell,
-            [LinkRequest("/main.o"),
-             LinkRequest("m.o", SharingClass.DYNAMIC_PUBLIC)],
-            output="/bin", search_dirs=["/shared/lib"],
-        ).executable
+        put_c(kernel, shell, "/shared/lib/t.o", "int x = 3;")
+        put_c(kernel, shell, "/main.o", "int main() { return 0; }")
+        install_injector(
+            kernel,
+            [FaultPlan(Plane.IO, FaultKind.SHORT_READ,
+                       match="/shared/lib/t.o", site="read")],
+            seed=4,
+        )
+        with pytest.raises((ObjectFormatError, InjectedFaultError)):
+            system.lds.link(
+                shell,
+                [LinkRequest("/main.o"),
+                 LinkRequest("t.o", SharingClass.STATIC_PUBLIC)],
+                output="/bin", search_dirs=["/shared/lib"],
+            )
+        remove_injector(kernel)
+
+
+class TestAtRestCorruption:
+    """Damage to bytes already on the volume — no transfer happens, so
+    no plane exists; surgery on the stored blob stays the right tool."""
 
     def test_truncated_trailer(self, system, shell):
-        exe = self._module(system, shell)
+        exe = build_module_exe(system, shell,
+                               SharingClass.DYNAMIC_PUBLIC)
         kernel = system.kernel
         # Create the module, then chop its tail off.
         p0 = kernel.create_machine_process("p0", exe)
@@ -47,33 +168,6 @@ class TestCorruptSegments:
         with pytest.raises(SimulationError):
             kernel.create_machine_process("p1", exe)
         assert kernel.stats()
-
-    def test_garbage_metadata(self, system, shell):
-        exe = self._module(system, shell)
-        kernel = system.kernel
-        p0 = kernel.create_machine_process("p0", exe)
-        kernel.run_until_exit(p0)
-        blob = bytearray(kernel.vfs.read_whole("/shared/lib/m"))
-        # Keep the trailer magic but trash the metadata bytes.
-        magic, image_len, meta_len, _r = TRAILER.unpack(blob[-16:])
-        assert magic == TRAILER_MAGIC
-        blob[image_len: image_len + meta_len] = b"\xde" * meta_len
-        kernel.vfs.write_whole("/shared/lib/m", bytes(blob))
-        with pytest.raises(ObjectFormatError):
-            read_segment_meta(kernel, shell, "/shared/lib/m")
-
-    def test_template_corruption_fails_cleanly(self, system, shell):
-        kernel = system.kernel
-        kernel.vfs.makedirs("/shared/lib")
-        kernel.vfs.write_whole("/shared/lib/bad.o", b"not an object")
-        put_c(kernel, shell, "/main.o", "int main() { return 0; }")
-        with pytest.raises(ObjectFormatError):
-            system.lds.link(
-                shell,
-                [LinkRequest("/main.o"),
-                 LinkRequest("bad.o", SharingClass.STATIC_PUBLIC)],
-                output="/bin", search_dirs=["/shared/lib"],
-            )
 
 
 class TestUnlinkWhileMapped:
@@ -122,6 +216,26 @@ class TestRuntimeRobustness:
         kernel.run_until_exit(proc)
         assert proc.exit_code == -1
         assert "SIGSEGV" in proc.death_reason
+
+    def test_injected_missing_module_matches_vanished(self, system,
+                                                      shell):
+        """The linker plane's MISSING kind reproduces the vanished
+        module scenario without deleting anything: same death, same
+        containment."""
+        kernel = system.kernel
+        exe = build_module_exe(system, shell,
+                               SharingClass.DYNAMIC_PUBLIC)
+        injector = install_injector(
+            kernel,
+            [FaultPlan(Plane.LINKER, FaultKind.MISSING,
+                       site="create_public")],
+            seed=6,
+        )
+        proc = kernel.create_machine_process("p", exe)
+        kernel.run_until_exit(proc)
+        assert proc.exit_code == -1
+        assert "SIGSEGV" in proc.death_reason
+        assert injector.stats.triggered >= 1
 
     def test_stack_overflow_dies_cleanly(self, system, shell):
         kernel = system.kernel
