@@ -81,7 +81,8 @@ def boot(lazy: bool = True, addrmap=None,
          costs: Optional[CostModel] = None,
          wide_addresses: bool = False,
          scoped: bool = True,
-         verify: Optional[bool] = None) -> System:
+         verify: Optional[bool] = None,
+         disk=None) -> System:
     """Boot a fresh simulated machine.
 
     * *lazy* — whether ldl links lazily (the paper's default) or eagerly;
@@ -94,8 +95,11 @@ def boot(lazy: bool = True, addrmap=None,
     * *verify* — arm the reprolint static-verification gate in both
       lds and ldl (None = follow the REPRO_LINT environment variable).
       The gate is purely in-memory and charges zero simulated cycles.
+    * *disk* — a :class:`repro.disk.BlockDevice` to mount as the durable
+      store: blank devices are formatted, used ones are recovered
+      (journal replay + addr↔inode rebuild). None boots all-volatile.
     """
     kernel = Kernel(addrmap=addrmap, costs=costs,
-                    wide_addresses=wide_addresses)
+                    wide_addresses=wide_addresses, disk=disk)
     attach_runtime(kernel, lazy=lazy, scoped=scoped, verify=verify)
     return System(kernel=kernel, lds=Lds(kernel, verify=verify))

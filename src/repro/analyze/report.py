@@ -89,6 +89,37 @@ CATALOG: Dict[str, Tuple[Severity, str]] = {
                "public segment would be patched with a private address"),
     "SHR003": (Severity.WARNING,
                "module listed under two conflicting sharing classes"),
+    # -- disk-image checker (reprofsck) --------------------------------
+    "DSK001": (Severity.ERROR,
+               "no valid superblock (or geometry disagrees with device)"),
+    "DSK002": (Severity.WARNING,
+               "primary superblock invalid; backup superblock used"),
+    "DSK003": (Severity.ERROR,
+               "checkpoint image undecodable or fails its checksum"),
+    "DSK004": (Severity.ERROR,
+               "valid journal record beyond the tail (mid-stream damage)"),
+    "DSK005": (Severity.ERROR,
+               "journal structure violated (op outside its transaction)"),
+    "DSK006": (Severity.ERROR,
+               "committed journal transaction fails to replay"),
+    "DSK010": (Severity.ERROR,
+               "directory entry references a missing inode"),
+    "DSK011": (Severity.ERROR,
+               "inode link count disagrees with directory references"),
+    "DSK012": (Severity.WARNING,
+               "inode unreachable from the volume root (orphan)"),
+    "DSK013": (Severity.ERROR,
+               "symlink inode lacks a target"),
+    "DSK020": (Severity.ERROR,
+               "shared-volume inode or file exceeds the volume's limits"),
+    "DSK021": (Severity.ERROR,
+               "address-map entry without a backing segment inode"),
+    "DSK022": (Severity.ERROR,
+               "segment inode missing from the stored address map"),
+    "DSK023": (Severity.ERROR,
+               "stored map address disagrees with the inode's address"),
+    "DSK024": (Severity.ERROR,
+               "segment address ranges overlap"),
 }
 
 

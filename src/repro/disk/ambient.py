@@ -1,0 +1,55 @@
+"""Ambient durable-store arming (the ``reprochaos --crash`` hook).
+
+Mirrors :mod:`repro.inject.injector`'s campaign pattern: a host-side
+driver arms a durable-store request, and every :class:`Kernel` booted
+until cancellation gets a fresh, identically parameterized block device
+mounted — so an unmodified example script becomes a crash-recovery
+workload without editing a line of it. The devices are collected in
+:data:`CAMPAIGN` so the driver can crash-test and remount each one
+after the script finishes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+_PENDING: Optional[dict] = None
+
+#: DiskStores attached while armed, oldest first — the campaign record.
+CAMPAIGN: List[object] = []
+
+
+def request_durable(nblocks: int = 8192, seed: int = 0,
+                    window: Optional[int] = None) -> None:
+    """Arm a durable store for every kernel booted until
+    :func:`cancel_durable`. Each boot gets a fresh device with the same
+    geometry and seed (reruns are bit-identical)."""
+    global _PENDING
+    _PENDING = {"nblocks": nblocks, "seed": seed, "window": window}
+    CAMPAIGN.clear()
+
+
+def cancel_durable() -> None:
+    """Disarm :func:`request_durable` (mounted stores stay mounted)."""
+    global _PENDING
+    _PENDING = None
+
+
+def attach_kernel(kernel) -> None:
+    """Called from ``Kernel.__init__`` on disk-less boots: honour an
+    armed request by formatting and mounting a fresh device."""
+    if _PENDING is None:
+        return
+    from repro.disk.blockdev import DEFAULT_WINDOW, BlockDevice
+    from repro.disk.mount import DiskStore
+
+    window = _PENDING["window"]
+    device = BlockDevice(
+        nblocks=_PENDING["nblocks"], seed=_PENDING["seed"],
+        name=f"disk{len(CAMPAIGN)}",
+        window=DEFAULT_WINDOW if window is None else window,
+    )
+    store = DiskStore.attach(kernel, device)
+    kernel.disk = store
+    kernel.recovery = store.recovery
+    CAMPAIGN.append(store)

@@ -1,0 +1,306 @@
+"""``reprofsck``: the offline disk-image consistency checker.
+
+Read-only: the checker reconstructs the image's state in *scratch*
+volumes (never the mounted kernel's) and reports findings with stable
+``DSK###`` codes from the shared :mod:`repro.analyze.report` catalogue.
+A healthy image — including one produced by a crash at any journal
+record boundary — yields an empty report: a torn journal tail is the
+*designed* crash outcome and is surfaced through :class:`FsckStats`,
+not as a finding. Findings mean actual damage: checksum failures,
+structural violations, or disagreement between the kernel's stored
+address map and the SFS inode table it was derived from (§3's
+boot-time rebuild exists precisely because the map must be
+reconstructible from — and therefore consistent with — the inodes).
+
+Checks, in order (later phases are skipped when earlier ones fail):
+
+1. superblock validity + geometry (DSK001, DSK002);
+2. checkpoint decodability and checksum (DSK003);
+3. journal structure: mid-stream damage vs honest torn tail (DSK004),
+   ops outside their transaction (DSK005);
+4. replay of committed transactions onto the scratch tree (DSK006);
+5. tree invariants: dangling dirents (DSK010), link counts (DSK011),
+   orphans (DSK012), empty symlinks (DSK013);
+6. shared-volume invariants: limits (DSK020) and the stored
+   address-map ↔ inode cross-checks (DSK021–DSK024).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analyze.report import Report, finding
+from repro.disk.blockdev import BlockDevice
+from repro.disk.image import decode_checkpoint, restore_volume
+from repro.disk.journal import scan_journal
+from repro.disk.mount import (
+    VOLUME_KEYS,
+    apply_journal_op,
+    read_checkpoint_blob,
+    read_superblock,
+)
+from repro.errors import DiskFormatError, FsckError
+from repro.fs.filesystem import Filesystem
+from repro.vm.pages import PhysicalMemory
+
+
+@dataclass
+class FsckStats:
+    """Non-finding observations (a torn tail is normal after a crash)."""
+
+    generation: int = 0
+    applied_txid: int = 0
+    committed_txns: int = 0
+    replayed_txns: int = 0
+    discarded_records: int = 0
+    inodes: Dict[str, int] = field(default_factory=dict)
+    segments: int = 0
+
+
+@dataclass
+class FsckResult:
+    report: Report
+    stats: FsckStats
+
+    def __iter__(self):
+        return iter(self.report)
+
+    def __len__(self) -> int:
+        return len(self.report)
+
+    def raise_if_findings(self) -> None:
+        if len(self.report):
+            raise FsckError([str(f) for f in self.report],
+                            subject=self.report.subject)
+
+
+def _scratch_volume(kind: str, name: str) -> Filesystem:
+    physmem = PhysicalMemory()
+    if kind == "sfs":
+        from repro.sfs.sharedfs import SharedFilesystem
+
+        return SharedFilesystem(physmem, name=name)
+    if kind == "sfs64":
+        from repro.sfs.sfs64 import SharedFilesystem64
+
+        return SharedFilesystem64(physmem, name=name)
+    return Filesystem(physmem, name=name)
+
+
+def fsck(device: BlockDevice, subject: str = "") -> FsckResult:
+    """Check *device* and return findings + stats. Read-only."""
+    report = Report(subject or device.name)
+    stats = FsckStats()
+
+    super_fields = read_superblock(device, 0)
+    used_backup = False
+    if super_fields is None:
+        backup_index = device.nblocks - 1
+        super_fields = read_superblock(device, backup_index)
+        used_backup = True
+    if super_fields is None:
+        report.add(finding("DSK001", device.name,
+                           "primary and backup superblocks both invalid"))
+        return FsckResult(report, stats)
+    if used_backup:
+        report.add(finding("DSK002", device.name,
+                           "primary superblock invalid; used the backup"))
+    if super_fields["block_size"] != device.block_size \
+            or super_fields["nblocks"] != device.nblocks \
+            or not (0 < super_fields["journal_start"]
+                    <= super_fields["slot_a"]
+                    < super_fields["slot_b"] < device.nblocks):
+        report.add(finding("DSK001", device.name,
+                           "superblock geometry disagrees with the "
+                           "device"))
+        return FsckResult(report, stats)
+    stats.generation = super_fields["generation"]
+    stats.applied_txid = super_fields["applied_txid"]
+
+    try:
+        blob = read_checkpoint_blob(device, super_fields)
+        applied, records = decode_checkpoint(blob)
+    except DiskFormatError as error:
+        report.add(finding("DSK003", device.name, str(error)))
+        return FsckResult(report, stats)
+
+    volumes: Dict[str, Filesystem] = {}
+    stored_maps: Dict[str, Optional[list]] = {}
+    for key in VOLUME_KEYS:
+        record = records.get(key)
+        if record is None:
+            report.add(finding("DSK003", device.name,
+                               f"checkpoint lacks volume {key!r}"))
+            return FsckResult(report, stats)
+        fs = _scratch_volume(record[0], f"{device.name}:{key}")
+        try:
+            stored_maps[key] = restore_volume(fs, record)
+        except DiskFormatError as error:
+            report.add(finding("DSK003", device.name,
+                               f"volume {key!r}: {error}"))
+            return FsckResult(report, stats)
+        volumes[key] = fs
+
+    # Cross-check the *stored* kernel address map against the inode
+    # table at checkpoint time (before replay mutates the tree).
+    _check_addrmap(report, volumes["sfs"], stored_maps["sfs"])
+
+    scan = scan_journal(device, super_fields["journal_start"],
+                        super_fields["journal_blocks"],
+                        super_fields["generation"], deep=True)
+    stats.committed_txns = len(scan.committed)
+    stats.discarded_records = scan.discarded_records
+    if scan.mid_corruption:
+        report.add(finding(
+            "DSK004", device.name,
+            "a valid journal record exists beyond the tail — mid-stream "
+            "damage, not a crash tear"))
+    for violation in scan.malformed:
+        report.add(finding("DSK005", device.name, violation))
+
+    for txid, ops in scan.committed:
+        if txid <= super_fields["applied_txid"]:
+            continue
+        for volume, op, args in ops:
+            fs = volumes.get(volume)
+            try:
+                if fs is None:
+                    raise DiskFormatError(
+                        f"unknown volume {volume!r}")
+                apply_journal_op(fs, op, args)
+            except Exception as error:
+                report.add(finding(
+                    "DSK006", device.name,
+                    f"txn {txid} op {op!r}: {error}"))
+                return FsckResult(report, stats)
+        stats.replayed_txns += 1
+
+    for key, fs in volumes.items():
+        stats.inodes[key] = fs.inode_count()
+        _check_tree(report, fs)
+    _check_sfs(report, volumes["sfs"], stats)
+    return FsckResult(report, stats)
+
+
+def fsck_image(path: str) -> FsckResult:
+    """Check a saved device image file (the ``reprofsck`` CLI path)."""
+    device = BlockDevice.load(path)
+    return fsck(device, subject=path)
+
+
+# ---------------------------------------------------------------------------
+# invariant checks
+# ---------------------------------------------------------------------------
+
+def _check_tree(report: Report, fs: Filesystem) -> None:
+    refs: Dict[int, int] = {fs.root.number: 1}  # the implicit mount ref
+    subdirs: Dict[int, int] = {}
+    for inode in fs.inodes():
+        if not inode.is_dir:
+            continue
+        for name, child in inode.entries.items():
+            if name in (".", ".."):
+                continue
+            if fs.inode_by_number(child.number) is not child:
+                report.add(finding(
+                    "DSK010", fs.name,
+                    f"entry {name!r} in dir {inode.number} references "
+                    f"missing inode {child.number}"))
+                continue
+            refs[child.number] = refs.get(child.number, 0) + 1
+            if child.is_dir:
+                subdirs[inode.number] = subdirs.get(inode.number, 0) + 1
+    for inode in fs.inodes():
+        if inode.is_dir:
+            expected = 2 + subdirs.get(inode.number, 0)
+        else:
+            expected = refs.get(inode.number, 0)
+        if inode.nlink != expected:
+            report.add(finding(
+                "DSK011", fs.name,
+                f"inode {inode.number} has nlink {inode.nlink}, "
+                f"directory tree implies {expected}"))
+        if inode.is_symlink and not inode.symlink_target:
+            report.add(finding(
+                "DSK013", fs.name,
+                f"symlink inode {inode.number} has no target"))
+    reachable = {fs.root.number}
+    fs.walk(lambda _path, inode: reachable.add(inode.number))
+    for inode in fs.inodes():
+        if inode.number not in reachable:
+            report.add(finding(
+                "DSK012", fs.name,
+                f"inode {inode.number} ({inode.type.value}) is "
+                f"unreachable from the root"))
+
+
+def _check_addrmap(report: Report, sfs, stored: Optional[list]) -> None:
+    """The stored kernel map vs the inode table it must mirror."""
+    if stored is None:
+        return
+    stored_by_ino = {}
+    for base, span, ino in stored:
+        stored_by_ino[ino] = (base, span)
+        if sfs.inode_by_number(ino) is None \
+                or not sfs.inode_by_number(ino).is_file:
+            report.add(finding(
+                "DSK021", sfs.name,
+                f"map entry 0x{base:x}+0x{span:x} names inode {ino}, "
+                f"which is not a segment inode"))
+    for inode in sfs.inodes():
+        if not inode.is_file:
+            continue
+        entry = stored_by_ino.get(inode.number)
+        if entry is None:
+            report.add(finding(
+                "DSK022", sfs.name,
+                f"segment inode {inode.number} has no stored map entry"))
+            continue
+        base, _span = entry
+        expected = sfs.address_of_inode(inode.number)
+        if base != expected:
+            report.add(finding(
+                "DSK023", sfs.name,
+                f"map places inode {inode.number} at 0x{base:x}, the "
+                f"inode's address is 0x{expected:x}"))
+
+
+def _check_sfs(report: Report, sfs, stats: FsckStats) -> None:
+    from repro.sfs.sharedfs import (
+        MAX_FILE_SIZE,
+        MAX_INODES,
+        SharedFilesystem,
+    )
+    narrow = isinstance(sfs, SharedFilesystem) \
+        and not hasattr(sfs, "_cursor")
+    ranges: List[tuple] = []
+    for inode in sfs.inodes():
+        if narrow and not 0 <= inode.number < MAX_INODES:
+            report.add(finding(
+                "DSK020", sfs.name,
+                f"inode number {inode.number} outside the "
+                f"{MAX_INODES}-inode volume"))
+            continue
+        if not inode.is_file:
+            continue
+        if narrow and inode.size > MAX_FILE_SIZE:
+            report.add(finding(
+                "DSK020", sfs.name,
+                f"segment inode {inode.number} holds {inode.size} "
+                f"bytes (limit {MAX_FILE_SIZE})"))
+        span = getattr(inode, "segment_span", MAX_FILE_SIZE)
+        base = sfs.address_of_inode(inode.number)
+        ranges.append((base, span, inode.number))
+        stats.segments += 1
+    ranges.sort()
+    for (base_a, span_a, ino_a), (base_b, _span_b, ino_b) \
+            in zip(ranges, ranges[1:]):
+        if base_a + span_a > base_b:
+            report.add(finding(
+                "DSK024", sfs.name,
+                f"segments of inodes {ino_a} and {ino_b} overlap "
+                f"(0x{base_a:x}+0x{span_a:x} vs 0x{base_b:x})"))
+
+
+__all__ = ["fsck", "fsck_image", "FsckResult", "FsckStats"]

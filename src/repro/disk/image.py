@@ -1,0 +1,195 @@
+"""Checkpoint images: whole-volume serialization and in-place restore.
+
+A checkpoint captures one volume — inode table, directory tree, file
+bytes, symlinks, and the volume's allocator state — as a TLV field
+tree (:mod:`repro.disk.codec`). Two things make the format more than a
+dump:
+
+* **allocator state is exact**: the 32-bit SFS stores its free-inode
+  list in order and sfs64 stores its range allocator cursor and free
+  list, so inode/address allocation after recovery continues precisely
+  where the original run left off (bit-identical replay);
+* **the SFS address map is stored**, even though it is derivable, so
+  ``reprofsck`` can cross-check the kernel's map against the inode
+  table — a map/table disagreement is exactly the corruption class the
+  paper's boot-time rebuild exists to fix.
+
+Restore is *in place*: the kernel's mounted ``Filesystem`` objects are
+rebuilt rather than replaced, so the VFS mount table and every
+``fs``-typed reference around the kernel stay valid across recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.disk.codec import encode_fields, decode_fields
+from repro.errors import DiskFormatError
+from repro.fs.filesystem import Filesystem
+from repro.fs.inode import Inode, InodeType
+from repro.vm.pages import MemoryObject
+
+IMAGE_VERSION = 1
+
+_TYPE_TAGS = {InodeType.FILE: "f", InodeType.DIRECTORY: "d",
+              InodeType.SYMLINK: "l"}
+_TAG_TYPES = {tag: itype for itype, tag in _TYPE_TAGS.items()}
+
+
+def volume_kind(fs: Filesystem) -> str:
+    """'fs' | 'sfs' | 'sfs64' — decides which allocator fields exist."""
+    from repro.sfs.sfs64 import SharedFilesystem64
+    from repro.sfs.sharedfs import SharedFilesystem
+    if isinstance(fs, SharedFilesystem64):
+        return "sfs64"
+    if isinstance(fs, SharedFilesystem):
+        return "sfs"
+    return "fs"
+
+
+def serialize_volume(fs: Filesystem) -> list:
+    """One volume as a nested field list (codec-encodable)."""
+    kind = volume_kind(fs)
+    inodes: List[list] = []
+    for inode in sorted(fs.inodes(), key=lambda i: i.number):
+        size = 0
+        data = b""
+        if inode.is_file:
+            assert inode.memobj is not None
+            size = inode.memobj.size
+            # Trailing zeros restore implicitly via the size field, so
+            # strip them — sparse files stay cheap on disk.
+            data = inode.memobj.read(0, size).rstrip(b"\0")
+        inodes.append([
+            inode.number, _TYPE_TAGS[inode.type], inode.mode, inode.uid,
+            inode.nlink, inode.symlink_target, size, data,
+            getattr(inode, "segment_address", None),
+            getattr(inode, "segment_span", None),
+        ])
+    dirents: List[list] = []
+    for inode in sorted(fs.inodes(), key=lambda i: i.number):
+        if not inode.is_dir:
+            continue
+        for name in sorted(inode.entries):
+            if name in (".", ".."):
+                continue
+            dirents.append([inode.number, name,
+                            inode.entries[name].number])
+    alloc: Optional[list] = None
+    addrmap: Optional[list] = None
+    if kind == "sfs":
+        alloc = [list(fs._free_inos)]
+        addrmap = [list(entry) for entry in fs.addrmap.entries()]
+    elif kind == "sfs64":
+        flat: List[int] = []
+        for base, span in fs._free_ranges:
+            flat += [base, span]
+        alloc = [fs._cursor, fs.default_reservation, flat]
+        addrmap = [list(entry) for entry in fs.addrmap.entries()]
+    return [kind, fs.name, fs.root.number, fs._next_ino, alloc,
+            inodes, dirents, addrmap]
+
+
+def restore_volume(fs: Filesystem, record: list) -> Optional[list]:
+    """Rebuild *fs* in place from a :func:`serialize_volume` record.
+
+    Returns the stored address-map entries (for cross-checking), or
+    None for volumes without one.
+    """
+    try:
+        (kind, name, root_ino, next_ino, alloc, inodes, dirents,
+         addrmap) = record
+    except ValueError:
+        raise DiskFormatError("malformed volume record")
+    if kind != volume_kind(fs):
+        raise DiskFormatError(
+            f"volume {name!r} is a {kind!r} image but the mounted "
+            f"volume is {volume_kind(fs)!r}"
+        )
+    # Drop the current tree, releasing its frames.
+    for inode in fs.inodes():
+        if inode.memobj is not None:
+            inode.memobj.free()
+    fs._inodes.clear()
+    fs._next_ino = next_ino
+    if kind == "sfs":
+        (free_inos,) = alloc
+        fs._free_inos = list(free_inos)
+    elif kind == "sfs64":
+        cursor, default_reservation, flat = alloc
+        fs._cursor = cursor
+        fs.default_reservation = default_reservation
+        fs._free_ranges = [(flat[i], flat[i + 1])
+                           for i in range(0, len(flat), 2)]
+    table: Dict[int, Inode] = {}
+    for row in inodes:
+        try:
+            (ino, tag, mode, uid, nlink, symlink_target, size, data,
+             seg_addr, seg_span) = row
+            itype = _TAG_TYPES[tag]
+        except (ValueError, KeyError):
+            raise DiskFormatError("malformed inode row")
+        memobj = None
+        if itype is InodeType.FILE:
+            memobj = MemoryObject(fs.physmem, 0, name=f"{name}:ino{ino}")
+            if data:
+                memobj.write(0, data)
+            memobj.size = size
+        inode = Inode(ino, itype, mode, uid, memobj)
+        inode.nlink = nlink
+        inode.symlink_target = symlink_target
+        if seg_addr is not None:
+            inode.segment_address = seg_addr
+            inode.segment_span = seg_span
+        table[ino] = inode
+    if root_ino not in table or not table[root_ino].is_dir:
+        raise DiskFormatError(f"volume {name!r} has no root directory")
+    fs._inodes.update(table)
+    root = table[root_ino]
+    root.entries["."] = root
+    root.entries[".."] = root
+    for dir_ino, entry_name, child_ino in dirents:
+        parent = table.get(dir_ino)
+        child = table.get(child_ino)
+        if parent is None or child is None or not parent.is_dir:
+            raise DiskFormatError(
+                f"dangling directory entry {entry_name!r} "
+                f"({dir_ino} -> {child_ino})"
+            )
+        parent.entries[entry_name] = child
+        if child.is_dir:
+            child.entries["."] = child
+            child.entries[".."] = parent
+    fs.root = root
+    if hasattr(fs, "rebuild_address_map"):
+        fs.rebuild_address_map()
+    fs._index_rebuild()
+    return addrmap
+
+
+def encode_checkpoint(volumes: Dict[str, Filesystem],
+                      applied_txid: int) -> bytes:
+    """Serialize every mounted volume into one checkpoint blob."""
+    records = [[key] + [serialize_volume(fs)]
+               for key, fs in sorted(volumes.items())]
+    return encode_fields([IMAGE_VERSION, applied_txid, records])
+
+
+def decode_checkpoint(blob: bytes):
+    """(applied_txid, {volume_key: record}) from a checkpoint blob."""
+    try:
+        version, applied_txid, records = decode_fields(blob)
+    except (ValueError, DiskFormatError) as error:
+        raise DiskFormatError(f"undecodable checkpoint: {error}")
+    if version != IMAGE_VERSION:
+        raise DiskFormatError(
+            f"unsupported checkpoint version {version}"
+        )
+    out = {}
+    for row in records:
+        try:
+            key, record = row
+        except ValueError:
+            raise DiskFormatError("malformed checkpoint volume row")
+        out[key] = record
+    return applied_txid, out

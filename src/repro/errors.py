@@ -132,6 +132,46 @@ class AddressMapError(FilesystemError):
 
 
 # ---------------------------------------------------------------------------
+# Durable block store (repro.disk)
+# ---------------------------------------------------------------------------
+
+class DiskError(SimulationError):
+    """Errors raised by the simulated block device and its journal."""
+
+
+class DiskFormatError(DiskError):
+    """An on-disk structure (superblock, checkpoint, record) is invalid."""
+
+
+class DiskFullError(DiskError):
+    """The device, journal region, or checkpoint slot is out of space."""
+
+
+class DiskCrashedError(DiskError):
+    """An operation was attempted on a crashed (powered-off) device."""
+
+
+class FsckError(DiskError):
+    """``reprofsck`` found inconsistencies at or above its threshold.
+
+    Carries the rendered findings, mirroring :class:`LintError`.
+    """
+
+    def __init__(self, findings: "list[str]", subject: str = "") -> None:
+        self.findings = list(findings)
+        self.subject = subject
+        head = f"{subject}: " if subject else ""
+        summary = "; ".join(self.findings[:3])
+        more = len(self.findings) - 3
+        if more > 0:
+            summary += f"; ... and {more} more"
+        super().__init__(
+            f"{head}fsck failed ({len(self.findings)} finding(s)): "
+            f"{summary}"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Object-file and linker level
 # ---------------------------------------------------------------------------
 
@@ -234,6 +274,10 @@ class InjectedDiskFullError(InjectedFaultError, FileLimitError):
 
 class InjectedLinkError(InjectedFaultError, LinkError):
     """An injected failure inside the linker (the linker plane)."""
+
+
+class InjectedDiskError(InjectedFaultError, DiskError):
+    """An injected block-device failure (the disk plane)."""
 
 
 class InjectedModuleNotFoundError(InjectedFaultError,

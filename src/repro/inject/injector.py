@@ -291,6 +291,50 @@ class Injector:
         fault.injected = True
         raise fault
 
+    def on_disk_record(self, site: str, subject: str) -> bool:
+        """Disk plane, CRASH kind at a journal-record boundary.
+
+        True = the device loses power exactly as this record would be
+        written: the record (and everything after it) never persists,
+        pending writes resolve through the device's reorder window.
+        """
+        state = self._decide(Plane.DISK, site, subject, 0,
+                             kinds=frozenset({FaultKind.CRASH}))
+        return state is not None
+
+    def filter_disk_write(self, subject: str, data: bytes,
+                          site: str = "block-write"):
+        """Disk plane, block-write side.
+
+        Returns ``(data, action)`` — *action* is ``None`` (persist
+        *data*, possibly torn/corrupted), ``"drop"`` (acknowledge but
+        never persist), or ``"crash"`` (power loss at this write).
+        """
+        state = self._decide(
+            Plane.DISK, site, subject, 0,
+            kinds=frozenset({FaultKind.TORN_WRITE, FaultKind.DROP,
+                             FaultKind.CORRUPT, FaultKind.CRASH}))
+        if state is None:
+            return data, None
+        plan = state.plan
+        if plan.kind is FaultKind.DROP:
+            return data, "drop"
+        if plan.kind is FaultKind.CRASH:
+            return data, "crash"
+        if plan.kind is FaultKind.TORN_WRITE:
+            keep = state.rng.randint(0, max(len(data) - 1, 0))
+            return data[:keep], None
+        return self._corrupt(state, data), None
+
+    def filter_disk_read(self, subject: str, data: bytes,
+                         site: str = "block-read") -> bytes:
+        """Disk plane, read side: bit-rot on the transferred block."""
+        state = self._decide(Plane.DISK, site, subject, 0,
+                             kinds=frozenset({FaultKind.CORRUPT}))
+        if state is None:
+            return data
+        return self._corrupt(state, data)
+
     def on_link(self, proc, site: str, name: str,
                 as_syscall: bool = False) -> None:
         """Linker plane: template loads, public mapping/creation, and
@@ -345,6 +389,9 @@ def install_injector(kernel, plans: Sequence[FaultPlan] = (),
     kernel.injector = injector
     kernel.vfs.injector = injector
     kernel.sfs.injector = injector
+    disk = getattr(kernel, "disk", None)
+    if disk is not None:
+        disk.device.injector = injector
     for proc in kernel.processes.values():
         proc.address_space.injector = injector
     return injector
@@ -355,6 +402,9 @@ def remove_injector(kernel) -> None:
     kernel.injector = None
     kernel.vfs.injector = None
     kernel.sfs.injector = None
+    disk = getattr(kernel, "disk", None)
+    if disk is not None:
+        disk.device.injector = None
     for proc in kernel.processes.values():
         proc.address_space.injector = None
 

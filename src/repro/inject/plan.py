@@ -12,7 +12,9 @@ Planes name the four choke points the paper's mechanisms depend on:
 * ``VMFAULT`` — page-fault raising and delivery in the VM/kernel;
 * ``IO``      — VFS open-file reads/writes plus the SFS capacity hooks;
 * ``LINKER``  — template loads, public-module mapping/creation, and the
-  address-based segment open.
+  address-based segment open;
+* ``DISK``    — the durable block store: per-block writes and reads plus
+  the journal-record boundaries (crash-at-record).
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ class Plane(enum.Enum):
     VMFAULT = "vmfault"
     IO = "io"
     LINKER = "linker"
+    DISK = "disk"
 
     @classmethod
     def parse(cls, name: str) -> "Plane":
@@ -50,8 +53,9 @@ class FaultKind(enum.Enum):
     ENOSPC = "enospc"          # a write/create hits a full device
     CORRUPT = "corrupt"        # transferred bytes are bit-flipped
     MISSING = "missing"        # a module lookup reports not-found
-    DROP = "drop"              # a fault delivery is suppressed
+    DROP = "drop"              # a fault delivery / block write is dropped
     SPURIOUS = "spurious"      # an access faults although the page is fine
+    CRASH = "crash"            # power loss at a journal-record boundary
 
 
 #: Which kinds make sense on which plane (validated at construction).
@@ -62,6 +66,8 @@ VALID_KINDS = {
                          FaultKind.TORN_WRITE, FaultKind.ENOSPC,
                          FaultKind.CORRUPT}),
     Plane.LINKER: frozenset({FaultKind.ERROR, FaultKind.MISSING}),
+    Plane.DISK: frozenset({FaultKind.TORN_WRITE, FaultKind.DROP,
+                           FaultKind.CORRUPT, FaultKind.CRASH}),
 }
 
 #: Kind subsets each entry point accepts (a read site never sees ENOSPC).

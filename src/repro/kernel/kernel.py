@@ -61,7 +61,8 @@ class Kernel:
     def __init__(self, addrmap: Optional[AddressMap] = None,
                  costs: Optional[CostModel] = None,
                  max_frames: Optional[int] = None,
-                 wide_addresses: bool = False) -> None:
+                 wide_addresses: bool = False,
+                 disk=None) -> None:
         self.physmem = PhysicalMemory(**(
             {"max_frames": max_frames} if max_frames else {}
         ))
@@ -100,6 +101,27 @@ class Kernel:
         # An armed injection campaign (reprochaos) attaches a fresh,
         # identically seeded injector to every boot.
         _inject.attach_kernel(self)
+        # The durable store (repro.disk). A blank device is formatted;
+        # anything else is recovered — committed journal transactions
+        # replayed, the torn tail discarded, the addr↔inode table
+        # rebuilt. None keeps the classic all-volatile configuration.
+        self.disk = None
+        self.recovery = None
+        if disk is not None:
+            from repro.disk.mount import DiskStore
+
+            self.disk = DiskStore.attach(self, disk)
+            self.recovery = self.disk.recovery
+        else:
+            # An armed durable campaign (reprochaos --crash) attaches a
+            # fresh device to every boot, like injection and tracing.
+            # Imported lazily: repro.disk pulls in repro.analyze, which
+            # itself imports this module.
+            from repro.disk import ambient as _disk_ambient
+
+            _disk_ambient.attach_kernel(self)
+            if self.disk is not None:
+                self.recovery = self.disk.recovery
 
     def is_public_address(self, address: int) -> bool:
         """Does *address* fall in this machine's public region?
@@ -456,6 +478,33 @@ class Kernel:
                                                 f"{error}")
 
     # ------------------------------------------------------------------
+    # durability (repro.disk)
+    # ------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Checkpoint the durable store (no-op when all-volatile).
+
+        Also the only point at which segment bytes mutated through
+        *memory stores* (not ``write``) become durable: the journal
+        records file writes, but a mapped store hits the pages directly,
+        and only a checkpoint captures pages wholesale.
+        """
+        if self.disk is not None:
+            self.disk.checkpoint()
+
+    def shutdown(self) -> None:
+        """Clean shutdown: checkpoint and disarm journaling."""
+        if self.disk is not None:
+            self.disk.checkpoint()
+            self.disk.detach()
+
+    def crash(self) -> None:
+        """Simulate power loss (resolves the device's pending-write
+        window per its seed; everything after is silently lost)."""
+        if self.disk is not None:
+            self.disk.device.crash()
+
+    # ------------------------------------------------------------------
 
     def note_contained(self, error, where: str) -> None:
         """Count an injected fault absorbed at a kernel boundary.
@@ -479,6 +528,11 @@ class Kernel:
             counts = self.injector.stats
             extra = (f" injected={counts.triggered} "
                      f"contained={counts.contained}")
+        if self.recovery is not None:
+            extra += (f" recovered_txns={self.recovery.replayed_txns} "
+                      f"discarded_records="
+                      f"{self.recovery.discarded_records} "
+                      f"segments={self.recovery.addrmap_segments}")
         return (
             f"processes={len(self.processes)} (alive {alive}) "
             f"frames={self.physmem.allocated} cycles={self.clock.cycles}"

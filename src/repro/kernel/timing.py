@@ -34,6 +34,8 @@ class CostModel:
     map_segment: int = 2500       # mmap bookkeeping incl. TLB shootdown
     retry_backoff: int = 600      # first backoff wait after a transient
                                   # fault; doubles with each retry
+    journal_block: int = 120      # one journaled metadata block (charged
+                                  # only when a durable store is mounted)
 
 
 @dataclass

@@ -50,6 +50,8 @@ DEFAULT_RESERVATION = 16 << 20  # 16 MiB of address space per segment
 class SharedFilesystem64(Filesystem):
     """The relaxed, B-tree-indexed shared partition."""
 
+    _index_paths = True  # hard links prohibited: 1:1 inode↔path
+
     def __init__(self, physmem: PhysicalMemory,
                  region: AddressRegion = SFS64_REGION,
                  default_reservation: int = DEFAULT_RESERVATION,
@@ -149,6 +151,14 @@ class SharedFilesystem64(Filesystem):
                 self.addrmap.unregister(inode.number)
                 self._release_range(base, span)
 
+    def _journal_create_fields(self, inode: Inode):
+        # The reservation is chosen at create time (reserving()), so the
+        # CREATE record must carry it for replay to re-allocate the same
+        # span — the base address then falls out of the deterministic
+        # range allocator.
+        span = getattr(inode, "segment_span", None)
+        return [] if span is None else [span]
+
     # ------------------------------------------------------------------
     # translation (same interface as the 32-bit SharedFilesystem)
     # ------------------------------------------------------------------
@@ -168,18 +178,6 @@ class SharedFilesystem64(Filesystem):
         if inode is None:
             return None
         return inode, offset
-
-    def path_of_inode(self, ino: int) -> str:
-        found: List[str] = []
-
-        def visit(path: str, inode: Inode) -> None:
-            if inode.number == ino:
-                found.append(path)
-
-        self.walk(visit)
-        if not found:
-            raise FileNotFoundSimError(f"no path for inode {ino}")
-        return found[0]
 
     def path_of_address(self, address: int) -> Optional[Tuple[str, int]]:
         hit = self.inode_of_address(address)

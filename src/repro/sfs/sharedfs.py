@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.errors import FileLimitError, FileNotFoundSimError
+from repro.errors import FileLimitError, FilesystemError
 from repro.fs.filesystem import Filesystem
 from repro.fs.inode import Inode
 from repro.sfs.addrmap import AddressMap, LinearAddressMap
@@ -36,6 +36,10 @@ assert SEGMENT_SPAN == MAX_FILE_SIZE
 class SharedFilesystem(Filesystem):
     """The dedicated shared partition of §3."""
 
+    # Hard links are prohibited, so the inode↔path mapping is 1:1 and
+    # the O(1) reverse index is sound.
+    _index_paths = True
+
     def __init__(self, physmem: PhysicalMemory,
                  addrmap: Optional[AddressMap] = None,
                  name: str = "sfs") -> None:
@@ -51,6 +55,15 @@ class SharedFilesystem(Filesystem):
 
     def _allocate_ino(self) -> int:
         return self._free_inos.pop()
+
+    def _claim_ino(self, ino: int) -> None:
+        # Removal by value keeps the remaining free list in the same
+        # relative order, so allocation after a journal replay proceeds
+        # exactly as it did in the original run.
+        try:
+            self._free_inos.remove(ino)
+        except ValueError:
+            raise FilesystemError(f"inode {ino} already allocated")
 
     def _check_new_inode(self) -> None:
         injector = self.injector
@@ -121,23 +134,6 @@ class SharedFilesystem(Filesystem):
         if inode is None:  # stale map entry should never happen
             return None
         return inode, offset
-
-    def path_of_inode(self, ino: int) -> str:
-        """Volume-relative path of inode *ino*.
-
-        Hard links are prohibited, so each inode has exactly one path;
-        we find it by walking the (small) volume.
-        """
-        found: List[str] = []
-
-        def visit(path: str, inode: Inode) -> None:
-            if inode.number == ino:
-                found.append(path)
-
-        self.walk(visit)
-        if not found:
-            raise FileNotFoundSimError(f"no path for inode {ino}")
-        return found[0]
 
     def path_of_address(self, address: int) -> Optional[Tuple[str, int]]:
         """(volume path, offset) of *address* — the new kernel call of §3."""

@@ -37,6 +37,16 @@ Two tools run on the *host* instead of inside the simulation:
   twice and the two ``INJECT`` event streams must be bit-identical
   (replay drift fails the campaign), and no injected fault may escape
   the simulation as a host-level crash (kernel death fails it too).
+  ``reprochaos --crash [--stride N] [--max-points N] [--nblocks N]
+  script.py...`` instead mounts a durable :mod:`repro.disk` store
+  under every kernel the script boots and runs the script once per
+  journal-record boundary, crashing the disk mid-record each time;
+  every surviving image must pass ``reprofsck`` with zero findings and
+  remount with all public segments reopenable by address.
+* :func:`reprofsck_main` — ``reprofsck [--verbose] image...`` checks
+  saved device images (``BlockDevice.save``) for damage, rendering
+  stable ``DSK###`` findings; exit status 1 when any image has
+  findings. Also installed as the ``reprofsck`` console script.
 """
 
 from __future__ import annotations
@@ -523,6 +533,95 @@ def _chaos_run(script: str, plans: Sequence, seed: int) -> dict:
             "totals": totals, "output": captured.getvalue()}
 
 
+def _durable_run(script: str, seed: int, nblocks: int,
+                 plans: Optional[Sequence] = None) -> dict:
+    """Run *script* with a durable store mounted under every kernel it
+    boots (and, optionally, fault plans armed). Returns the outcome and
+    the attached DiskStores for post-mortem inspection."""
+    import contextlib
+    import io
+
+    from repro.disk import CAMPAIGN as STORES
+    from repro.disk import cancel_durable, request_durable
+    from repro.inject import cancel_injection, request_injection
+
+    request_durable(nblocks=nblocks, seed=seed)
+    if plans:
+        request_injection(plans, seed=seed)
+    saved_argv = sys.argv
+    sys.argv = [script]
+    outcome, detail, captured = "clean", "", io.StringIO()
+    try:
+        try:
+            with contextlib.redirect_stdout(captured):
+                runpy.run_path(script, run_name="__main__")
+        except SystemExit as status:
+            if status.code not in (None, 0):
+                outcome = "workload-failure"
+                detail = f"exit status {status.code}"
+        except (SimulationError, AssertionError) as error:
+            outcome = "workload-failure"
+            detail = f"{type(error).__name__}: {error}"
+        except Exception as error:  # noqa: BLE001 - the point of the soak
+            outcome = "kernel-death"
+            detail = f"{type(error).__name__}: {error}"
+        stores = list(STORES)
+    finally:
+        sys.argv = saved_argv
+        cancel_durable()
+        if plans:
+            cancel_injection()
+    return {"outcome": outcome, "detail": detail, "stores": stores,
+            "output": captured.getvalue()}
+
+
+def _crash_soak(script: str, seed: int, nblocks: int, stride: int,
+                max_points: Optional[int], out: TextIO) -> List[str]:
+    """Crash *script*'s durable store at every journal-record boundary;
+    returns the list of failures (ideally empty)."""
+    from repro import boot
+    from repro.disk import fsck, verify_segments
+    from repro.inject import FaultKind, FaultPlan, Plane
+
+    base = _durable_run(script, seed, nblocks)
+    if base["outcome"] == "kernel-death":
+        return [f"baseline: kernel death: {base['detail']}"]
+    total = max((store.journal.records_written
+                 for store in base["stores"]), default=0)
+    if total == 0:
+        print(f"  {script}: wrote no journal records; nothing to crash",
+              file=out)
+        return []
+    ks = list(range(1, total + 1, max(stride, 1)))
+    if max_points is not None and len(ks) > max_points:
+        step = len(ks) / max_points
+        ks = [ks[int(i * step)] for i in range(max_points)]
+    failures: List[str] = []
+    for k in ks:
+        plan = FaultPlan(Plane.DISK, FaultKind.CRASH, site="journal-*",
+                        after=k - 1, max_faults=1)
+        run = _durable_run(script, seed, nblocks, plans=[plan])
+        if run["outcome"] == "kernel-death":
+            failures.append(f"record {k}: kernel death: {run['detail']}")
+            continue
+        for store in run["stores"]:
+            survivor = store.device.reopen()
+            result = fsck(survivor, subject=f"{script}@{k}")
+            if len(result.report):
+                failures.extend(f"record {k}: fsck: {item}"
+                                for item in result.report)
+                continue
+            system = boot(disk=survivor)
+            seg_failures = verify_segments(system.kernel)
+            system.kernel.shutdown()
+            failures.extend(f"record {k}: segment: {text}"
+                            for text in seg_failures)
+    verdict = "clean" if not failures else f"{len(failures)} failure(s)"
+    print(f"  {script}: {len(ks)}/{total} crash point(s): {verdict}",
+          file=out)
+    return failures
+
+
 def reprochaos_main(argv: Sequence[str],
                     stdout: Optional[TextIO] = None) -> int:
     """Soak host scripts under seeded fault injection.
@@ -535,12 +634,25 @@ def reprochaos_main(argv: Sequence[str],
     ``INJECT`` event streams must match bit-for-bit ("replay drift"
     otherwise). Returns non-zero if any run died outside the
     simulation's typed error channels or any replay drifted.
+
+    ``reprochaos --crash [--seed N] [--stride N] [--max-points N]
+    [--nblocks N] script.py...``
+
+    The crash-recovery soak: each script runs once per journal-record
+    boundary with a durable store mounted and a ``DISK``-plane CRASH
+    plan armed to kill the power mid-record; every surviving image must
+    pass ``reprofsck`` with zero findings and remount with every public
+    segment reopenable by address.
     """
     out = stdout if stdout is not None else sys.stdout
     seed = 1993
     runs = 1
     planes: Sequence[str] = _CHAOS_PLANES
     rate = 0.005
+    crash = False
+    stride = 1
+    max_points: Optional[int] = None
+    nblocks = 2048
     scripts: List[str] = []
 
     args = list(argv)
@@ -561,6 +673,18 @@ def reprochaos_main(argv: Sequence[str],
         elif arg == "--rate":
             rate = float(_value(args, index, "--rate"))
             index += 2
+        elif arg == "--crash":
+            crash = True
+            index += 1
+        elif arg == "--stride":
+            stride = int(_value(args, index, "--stride"))
+            index += 2
+        elif arg == "--max-points":
+            max_points = int(_value(args, index, "--max-points"))
+            index += 2
+        elif arg == "--nblocks":
+            nblocks = int(_value(args, index, "--nblocks"))
+            index += 2
         elif arg.startswith("-"):
             raise UsageError(f"reprochaos: unknown option {arg!r}")
         else:
@@ -569,11 +693,32 @@ def reprochaos_main(argv: Sequence[str],
     if not scripts:
         raise UsageError(
             "reprochaos: usage: reprochaos [--seed N] [--runs N] "
-            "[--planes P,P] [--rate F] script.py..."
+            "[--planes P,P] [--rate F] [--crash [--stride N] "
+            "[--max-points N] [--nblocks N]] script.py..."
         )
     for script in scripts:
         if not os.path.isfile(script):
             raise UsageError(f"reprochaos: no such script: {script}")
+
+    if crash:
+        print(f"reprochaos: crash soak, {len(scripts)} script(s), "
+              f"seed {seed}, stride {stride}"
+              + (f", max {max_points} point(s)" if max_points else ""),
+              file=out)
+        failures: List[str] = []
+        for script in scripts:
+            failures.extend(
+                _crash_soak(script, seed, nblocks, stride, max_points,
+                            out))
+        if failures:
+            for text in failures[:20]:
+                print(f"  FAIL {text}", file=out)
+            print(f"reprochaos: FAILED ({len(failures)} crash-recovery "
+                  f"failure(s))", file=out)
+            return 1
+        print("reprochaos: OK (every crash point recovered; fsck clean, "
+              "segments reopen by address)", file=out)
+        return 0
     try:
         plans = _campaign_plans(planes, rate)
     except ValueError as error:
@@ -629,6 +774,80 @@ def reprochaos_entry() -> int:
         return 2
 
 
+# ----------------------------------------------------------------------
+# reprofsck — offline disk-image checking
+# ----------------------------------------------------------------------
+
+
+def reprofsck_main(argv: Sequence[str],
+                   stdout: Optional[TextIO] = None) -> int:
+    """Check saved device images for damage.
+
+    ``reprofsck [--verbose] image...``
+
+    Each *image* is a host file written by ``BlockDevice.save``. All
+    findings carry stable ``DSK###`` codes (see repro.analyze.report);
+    a torn journal tail is reported as a statistic, never a finding —
+    it is the designed outcome of a crash, not damage. Exit status: 0
+    when every image is clean, 1 when any image has findings, 2 on
+    usage errors.
+    """
+    from repro.disk import fsck_image
+    from repro.errors import DiskError
+
+    out = stdout if stdout is not None else sys.stdout
+    verbose = False
+    paths: List[str] = []
+    for arg in argv:
+        if arg in ("--verbose", "-v"):
+            verbose = True
+        elif arg.startswith("-"):
+            raise UsageError(f"reprofsck: unknown option {arg!r}")
+        else:
+            paths.append(arg)
+    if not paths:
+        raise UsageError("reprofsck: usage: reprofsck [--verbose] "
+                         "image...")
+
+    dirty = 0
+    for path in paths:
+        if not os.path.isfile(path):
+            raise UsageError(f"reprofsck: no such image: {path}")
+        try:
+            result = fsck_image(path)
+        except DiskError as error:
+            print(f"{path}: unreadable: {error}", file=out)
+            dirty += 1
+            continue
+        stats = result.stats
+        if len(result.report):
+            dirty += 1
+            print(result.report.render(), file=out)
+        else:
+            print(f"{path}: clean", file=out)
+        if verbose:
+            inodes = ", ".join(f"{key}={count}" for key, count
+                               in sorted(stats.inodes.items()))
+            print(f"  generation {stats.generation}, applied txn "
+                  f"{stats.applied_txid}, {stats.committed_txns} "
+                  f"committed txn(s) in the journal "
+                  f"({stats.replayed_txns} beyond the checkpoint), "
+                  f"{stats.discarded_records} torn-tail record(s) "
+                  f"discarded", file=out)
+            print(f"  inodes: {inodes}; {stats.segments} public "
+                  f"segment(s)", file=out)
+    return 1 if dirty else 0
+
+
+def reprofsck_entry() -> int:
+    """Console-script entry point (``reprofsck ...``)."""
+    try:
+        return reprofsck_main(sys.argv[1:])
+    except UsageError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+
 def load_archive(kernel: Kernel, proc: Process, path: str) -> Archive:
     data = kernel.vfs.read_whole(path, proc.uid, cwd=proc.cwd)
     return Archive.from_bytes(data)
@@ -673,13 +892,15 @@ def _one_output_one_input(argv: Sequence[str], tool: str,
 
 
 if __name__ == "__main__":  # pragma: no cover - console convenience
-    # ``python -m repro.tools.cli [reprotrace|reprochaos] ...`` — the
-    # host-side tools; the rest run inside the simulation.
+    # ``python -m repro.tools.cli [reprotrace|reprochaos|reprofsck]``
+    # — the host-side tools; the rest run inside the simulation.
+    _ENTRIES = {"reprotrace": reprotrace_entry,
+                "reprochaos": reprochaos_entry,
+                "reprofsck": reprofsck_entry}
     _args = sys.argv[1:]
     _entry = reprotrace_entry
-    if _args and _args[0] in ("reprotrace", "reprochaos"):
-        if _args[0] == "reprochaos":
-            _entry = reprochaos_entry
+    if _args and _args[0] in _ENTRIES:
+        _entry = _ENTRIES[_args[0]]
         _args = _args[1:]
     sys.argv = [sys.argv[0]] + _args
     sys.exit(_entry())

@@ -26,9 +26,10 @@ class EventKind(enum.IntEnum):
     LINK_RESOLVE = 5   # one symbol resolved (or one module linked: a span)
     ISLAND = 6         # a branch island or PLT stub emitted
     IPC = 7            # message-queue / pipe traffic
-    DISK = 8           # a cold-file disk seek
+    DISK = 8           # disk traffic: cold-file seeks, journal records
     TLB = 9            # software-TLB traffic (value = entry/hit count)
     INJECT = 10        # one injected fault (name = plane:kind:site)
+    RECOVER = 11       # boot-time recovery traffic (replay, torn tail)
 
     @property
     def bit(self) -> int:
