@@ -1,0 +1,180 @@
+"""E10 — rwhod at cluster scale: one segment fetch vs a file per host.
+
+The paper's §4 comparison, restated across machines: the admin database
+lives in one cluster-wide shared segment owned by the server's rwhod.
+A reader anywhere pays a constant two-frame FETCH/GRANT to pull the
+whole database once; the file baseline pays one LIST plus one GET round
+trip *per host*, so its traffic scales with the fleet while the shared
+segment's does not.
+
+Also the cluster's A-series guard: a kernel booted without ``net=`` is
+bit-identical to the seed pin (no "net" cycle category exists), and the
+whole scale scenario — fault-free or under a fixed-seed NET fault plan
+— replays bit-identically: same trace streams, same reader outputs,
+same per-node cycle counts. Results land in ``BENCH_E10_NET.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import boot
+from repro.bench.harness import Experiment, write_bench_json
+from repro.bench.workloads import (
+    build_module_fanout,
+    fanout_expected_exit,
+    make_shell,
+)
+from repro.inject import cancel_injection, request_injection
+from repro.tools.cli import _campaign_plans
+from repro.trace import tracer as trace_state
+from repro.trace.tracer import cancel_tracing, request_tracing
+
+WIDTH = 12
+USED = 12
+
+#: The armed-but-idle pin shared with A7/A8/A9: the exact simulated
+#: cycle count of the module fanout on a freshly booted, unclustered
+#: machine. The cluster hooks may not move it by a single cycle.
+VOLATILE_FANOUT_CYCLES = 2_603_166
+
+NNODES = 8
+NHOSTS = 2048
+READERS = [1, 3, 5, 7]
+FAULT_RATE = 0.002
+SEED = 1993
+
+
+def run_fanout():
+    """The E2 fanout on a plain (unclustered) boot."""
+    system = boot()
+    kernel = system.kernel
+    shell = make_shell(kernel)
+    wall_start = time.perf_counter()
+    graph = build_module_fanout(kernel, shell, width=WIDTH, used=USED,
+                                module_dir="/shared/fan")
+    proc = kernel.create_machine_process("p", graph.executable)
+    code = kernel.run_until_exit(proc)
+    wall = time.perf_counter() - wall_start
+    assert code == fanout_expected_exit(USED)
+    return wall, kernel.clock.cycles, dict(kernel.clock.by_category)
+
+
+def run_scale(implementation: str, plans=None):
+    """The rwho scale scenario on an N-node cluster, traced.
+
+    Returns the scenario result dict plus the (boot, cycle, pid, addr,
+    name, value) trace stream — everything two runs must agree on.
+    """
+    from repro.apps.rwho.cluster import run_cluster_rwho, synth_statuses
+    from repro.net import Cluster
+
+    if plans is not None:
+        request_injection(plans, seed=SEED)
+    request_tracing(kinds=["NET", "INJECT"])
+    try:
+        cluster = Cluster(NNODES, seed=SEED)
+        result = run_cluster_rwho(cluster, synth_statuses(NHOSTS),
+                                  implementation, readers=READERS,
+                                  max_rounds=500_000)
+        cluster.shutdown()
+        tracer = trace_state.TRACER
+        stream = tuple(
+            (event.boot, event.cycle, event.pid, event.addr,
+             event.name, event.value)
+            for event in tracer.events()
+        )
+    finally:
+        cancel_tracing()
+        if plans is not None:
+            cancel_injection()
+    return result, stream
+
+
+def test_e10_cluster_rwho(report, benchmark):
+    def run():
+        wall_start = time.perf_counter()
+        fanout = run_fanout()
+        shm_a = run_scale("shm")
+        shm_b = run_scale("shm")
+        filed = run_scale("file")
+        plans = _campaign_plans(["net"], FAULT_RATE)
+        faulted_a = run_scale("shm", plans)
+        faulted_b = run_scale("shm", plans)
+        wall = time.perf_counter() - wall_start
+        return fanout, shm_a, shm_b, filed, faulted_a, faulted_b, wall
+
+    fanout, shm_a, shm_b, filed, faulted_a, faulted_b, wall = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    fanout_wall, fanout_cycles, fanout_categories = fanout
+    shm, shm_stream = shm_a
+    filed_result, _ = filed
+
+    experiment = Experiment(
+        "E10_NET",
+        f"rwho over a {NNODES}-node cluster, {NHOSTS} hosts",
+        "the admin database in one cluster-wide shared segment: a "
+        "remote rwho fetches the whole database in one constant-cost "
+        "exchange, while the file baseline pays a round trip per host "
+        "— and the entire cluster is bit-identical per (seed, plan)",
+    )
+    experiment.add("simulated cycles (no cluster)", fanout_cycles,
+                   detail="must equal the A7/A8/A9 pin exactly")
+    experiment.add("frames (shared segment)", shm["frames_sent"],
+                   unit="frames",
+                   detail=f"{len(READERS)} readers: broadcast DATA + "
+                          f"constant FETCH/GRANT per reader")
+    experiment.add("frames (file baseline)",
+                   filed_result["frames_sent"], unit="frames",
+                   detail="LIST + one GET per host, per reader")
+    experiment.add("bytes (shared segment)", shm["bytes_sent"],
+                   unit="bytes")
+    experiment.add("bytes (file baseline)", filed_result["bytes_sent"],
+                   unit="bytes")
+    experiment.add("segment fetches", shm["by_kind"].get("FETCH", 0),
+                   unit="frames",
+                   detail="independent of the host count")
+    experiment.add("file-baseline calls",
+                   filed_result["by_kind"].get("CALL", 0),
+                   unit="frames", detail="scales with the host count")
+    experiment.add("traffic ratio (file/shm)",
+                   round(filed_result["frames_sent"]
+                         / shm["frames_sent"], 2), unit="x")
+    experiment.add("server net cycles", shm["net_cycles"][0])
+    experiment.note(
+        "two fault-free runs and two runs under a fixed-seed NET fault "
+        "plan each produced bit-identical trace streams, reader "
+        "outputs, and per-node cycle counts")
+    report(experiment)
+
+    write_bench_json(experiment, wall_seconds={
+        "fanout_volatile": fanout_wall,
+        "e10_total": wall,
+    })
+
+    # The tentpole guarantee: no cluster, no new cycles — the exact
+    # pin, and the "net" category must not exist at all.
+    assert fanout_cycles == VOLATILE_FANOUT_CYCLES
+    assert "net" not in fanout_categories
+
+    # Every reader saw the complete database, both implementations.
+    assert set(shm["outputs"]) == set(READERS)
+    reference = shm["outputs"][READERS[0]]
+    assert reference.count("\n") + 1 == NHOSTS
+    for node in READERS:
+        assert shm["outputs"][node] == reference
+        assert filed_result["outputs"][node] == reference
+
+    # The paper's shape: file traffic scales with hosts, shm does not.
+    assert shm["by_kind"]["FETCH"] == len(READERS)
+    assert filed_result["by_kind"]["CALL"] \
+        >= len(READERS) * (NHOSTS + 1)
+    assert filed_result["frames_sent"] > 2 * shm["frames_sent"]
+
+    # Bit-identical replay, fault-free and faulted.
+    assert shm_a[1] == shm_b[1]
+    assert shm_a[0]["outputs"] == shm_b[0]["outputs"]
+    assert shm_a[0]["cycles"] == shm_b[0]["cycles"]
+    assert faulted_a[1] == faulted_b[1]
+    assert faulted_a[0]["outputs"] == faulted_b[0]["outputs"]
+    assert faulted_a[0]["cycles"] == faulted_b[0]["cycles"]

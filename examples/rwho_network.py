@@ -7,8 +7,20 @@ files and the Hemlock shared-memory database — producing identical
 output at very different cost, which is where the paper's "saves a
 little over a second each time it is called" comes from.
 
-Run:  python examples/rwho_network.py
+Run:  python examples/rwho_network.py [--nhosts N] [--seed N]
+                                      [--cluster N]
+
+With ``--cluster N`` (or ``REPRO_CLUSTER=N`` in the environment, which
+is how ``reprochaos --net`` drives this script) the same fleet runs
+over an N-node :class:`repro.net.Cluster` instead: gateway nodes
+broadcast over the fabric, the server's rwhod builds the database in a
+cluster-wide shared segment, and a remote reader's output is checked
+against the single-kernel oracle — exactly equal fault-free, a subset
+of it when a fault campaign is dropping datagrams.
 """
+
+import argparse
+import os
 
 from repro import boot
 from repro.apps.rwho import (
@@ -28,18 +40,18 @@ NHOSTS = 65
 BROADCAST_ROUNDS = 3
 
 
-def main() -> None:
+def single_main(nhosts: int, seed: int) -> None:
     system = boot()
     kernel = system.kernel
     daemon_proc = make_shell(kernel, "rwhod")
     user_proc = make_shell(kernel, "user")
 
-    network = generate_network(nhosts=NHOSTS)
+    network = generate_network(nhosts=nhosts)
     file_daemon = FileRwhod(kernel, daemon_proc)
-    shm_daemon = ShmRwhod(kernel, daemon_proc, nhosts=NHOSTS)
+    shm_daemon = ShmRwhod(kernel, daemon_proc, nhosts=nhosts)
 
-    print(f"== rwhod: receiving broadcasts from {NHOSTS} machines ==")
-    rng = DeterministicRng(99)
+    print(f"== rwhod: receiving broadcasts from {nhosts} machines ==")
+    rng = DeterministicRng(seed)
     for round_number in range(BROADCAST_ROUNDS):
         for status in network:
             fresh = updated_status(status, 60 * round_number, rng)
@@ -70,7 +82,7 @@ def main() -> None:
     shm_rwho(kernel, user_proc)
     shm_cycles = kernel.clock.snapshot() - start
     print(f"  file version:   {file_cycles:10,} cycles "
-          f"({NHOSTS} opens + reads + unpacking)")
+          f"({nhosts} opens + reads + unpacking)")
     print(f"  shared version: {shm_cycles:10,} cycles "
           f"(plain loads from the mapped database)")
     print(f"  speedup:        {file_cycles / shm_cycles:10.1f}x")
@@ -79,6 +91,62 @@ def main() -> None:
     info = kernel.vfs.stat("/shared/rwho.db")
     print(f"  /shared/rwho.db: {info.st_size:,} bytes, "
           f"address 0x{kernel.sfs.address_of_inode(info.st_ino):08x}")
+
+
+def cluster_main(nnodes: int, nhosts: int, seed: int) -> None:
+    from repro.apps.rwho.cluster import (
+        run_cluster_rwho,
+        single_kernel_rwho,
+        synth_statuses,
+    )
+    from repro.net import Cluster
+
+    statuses = synth_statuses(nhosts)
+    cluster = Cluster(nnodes, seed=seed)
+    print(f"== rwhod over a {nnodes}-node cluster, {nhosts} hosts ==")
+    result = run_cluster_rwho(cluster, statuses, "shm")
+    cluster.shutdown()
+    print(f"{result['frames_sent']} frames "
+          f"({result['bytes_sent']:,} bytes) in "
+          f"{result['broadcast_rounds'] + result['read_rounds']} "
+          f"rounds; net cycles per node: {result['net_cycles']}")
+
+    faulted = cluster.machines[0].kernel.injector is not None
+    oracle = single_kernel_rwho(statuses)
+    for node, text in sorted(result["outputs"].items()):
+        lines = text.splitlines()
+        print(f"\n== rwho on node {node} (first 6 of {len(lines)} "
+              f"lines) ==")
+        for line in lines[:6]:
+            print(" ", line)
+        if faulted:
+            # Datagram loss only removes records, never invents them.
+            assert set(lines) <= set(oracle.splitlines())
+        else:
+            assert text == oracle
+    verdict = "a subset of" if faulted else "identical to"
+    print(f"\ncluster reader output is {verdict} the single-kernel "
+          f"oracle")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nhosts", type=int, default=NHOSTS,
+                        help="fleet size (default %(default)s)")
+    parser.add_argument("--seed", type=int, default=99,
+                        help="deterministic seed (default %(default)s)")
+    parser.add_argument(
+        "--cluster", type=int,
+        default=int(os.environ.get("REPRO_CLUSTER", "0") or 0),
+        help="run over an N-node cluster instead of one kernel "
+             "(default: $REPRO_CLUSTER or 0 = single kernel)")
+    # parse_known_args: the test harness runs this file via runpy with
+    # its own argv still in place.
+    args, _ = parser.parse_known_args()
+    if args.cluster:
+        cluster_main(args.cluster, args.nhosts, args.seed)
+    else:
+        single_main(args.nhosts, args.seed)
 
 
 if __name__ == "__main__":

@@ -82,7 +82,7 @@ def boot(lazy: bool = True, addrmap=None,
          wide_addresses: bool = False,
          scoped: bool = True,
          verify: Optional[bool] = None,
-         disk=None) -> System:
+         disk=None, net=None) -> System:
     """Boot a fresh simulated machine.
 
     * *lazy* — whether ldl links lazily (the paper's default) or eagerly;
@@ -98,8 +98,15 @@ def boot(lazy: bool = True, addrmap=None,
     * *disk* — a :class:`repro.disk.BlockDevice` to mount as the durable
       store: blank devices are formatted, used ones are recovered
       (journal replay + addr↔inode rebuild). None boots all-volatile.
+    * *net* — a cluster attachment (one :class:`repro.net.Cluster` slot)
+      wiring this machine's NIC and coherence agent. None (the default)
+      boots the classic stand-alone machine; :class:`repro.net.Cluster`
+      passes this internally, so user code rarely supplies it.
     """
     kernel = Kernel(addrmap=addrmap, costs=costs,
                     wide_addresses=wide_addresses, disk=disk)
     attach_runtime(kernel, lazy=lazy, scoped=scoped, verify=verify)
-    return System(kernel=kernel, lds=Lds(kernel, verify=verify))
+    system = System(kernel=kernel, lds=Lds(kernel, verify=verify))
+    if net is not None:
+        net.attach(kernel)
+    return system

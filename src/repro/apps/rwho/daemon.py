@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.apps.rwho.common import HostStatus
+from repro.errors import SimulationError
 from repro.apps.rwho.fileimpl import FileRwhod, pack_status, unpack_status
 from repro.apps.rwho.shmimpl import ShmRwhod
 from repro.kernel.kernel import Kernel
@@ -56,13 +57,30 @@ def daemon_body(implementation: str, nhosts: int):
         qid = sys.msgget(proc, RWHO_QUEUE_KEY)
         received = 0
         while True:
-            datagram = sys.msgrcv(proc, qid, blocking=False)
+            # A long-lived daemon rides out injected faults: a failed
+            # receive retries next slice, a datagram lost mid-update is
+            # one stale record, never a dead daemon.
+            try:
+                datagram = sys.msgrcv(proc, qid, blocking=False)
+            except SimulationError:
+                injector = kernel.injector
+                if injector is not None:
+                    injector.note_retry()
+                yield
+                continue
             if datagram is None:
                 yield  # queue empty: sleep until rescheduled
                 continue
             if datagram == _SHUTDOWN:
                 break
-            database.receive(unpack_status(datagram))
+            try:
+                database.receive(unpack_status(datagram))
+            except SimulationError:
+                injector = kernel.injector
+                if injector is not None:
+                    injector.note_contained("rwhod-receive")
+                yield
+                continue
             received += 1
         return received
 

@@ -172,6 +172,16 @@ class FsckError(DiskError):
 
 
 # ---------------------------------------------------------------------------
+# Cluster fabric (repro.net)
+# ---------------------------------------------------------------------------
+
+class NetError(SimulationError):
+    """Errors raised by the simulated cluster network and its
+    coherence protocol (a synchronous exchange that exhausted its
+    retransmission budget, a malformed frame, a protocol violation)."""
+
+
+# ---------------------------------------------------------------------------
 # Object-file and linker level
 # ---------------------------------------------------------------------------
 
@@ -278,6 +288,12 @@ class InjectedLinkError(InjectedFaultError, LinkError):
 
 class InjectedDiskError(InjectedFaultError, DiskError):
     """An injected block-device failure (the disk plane)."""
+
+
+class InjectedNetError(InjectedFaultError, NetError):
+    """An injected network failure that exhausted the fabric's bounded
+    retransmission (the net plane). Travels the same typed channel as a
+    genuine protocol timeout would."""
 
 
 class InjectedModuleNotFoundError(InjectedFaultError,

@@ -335,6 +335,32 @@ class Injector:
             return data
         return self._corrupt(state, data)
 
+    _NET_KINDS = frozenset({FaultKind.DROP, FaultKind.CORRUPT,
+                            FaultKind.DUP, FaultKind.DELAY})
+
+    def filter_frame(self, subject: str, data: bytes,
+                     site: str = "send"):
+        """Net plane: one frame crossing the simulated wire.
+
+        *subject* is ``"src->dst:port"`` for fnmatch targeting. Returns
+        ``(data, action)`` — *action* is ``None`` (deliver *data*,
+        possibly corrupted), ``"drop"`` (the frame is lost), ``"dup"``
+        (delivered twice), or ``("delay", rounds)`` (held back *rounds*
+        extra scheduling rounds, drawn from the plan's RNG).
+        """
+        state = self._decide(Plane.NET, site, subject, 0,
+                             kinds=self._NET_KINDS)
+        if state is None:
+            return data, None
+        plan = state.plan
+        if plan.kind is FaultKind.DROP:
+            return data, "drop"
+        if plan.kind is FaultKind.DUP:
+            return data, "dup"
+        if plan.kind is FaultKind.DELAY:
+            return data, ("delay", state.rng.randint(1, 4))
+        return self._corrupt(state, data), None
+
     def on_link(self, proc, site: str, name: str,
                 as_syscall: bool = False) -> None:
         """Linker plane: template loads, public mapping/creation, and

@@ -14,7 +14,9 @@ Planes name the four choke points the paper's mechanisms depend on:
 * ``LINKER``  — template loads, public-module mapping/creation, and the
   address-based segment open;
 * ``DISK``    — the durable block store: per-block writes and reads plus
-  the journal-record boundaries (crash-at-record).
+  the journal-record boundaries (crash-at-record);
+* ``NET``     — the simulated cluster fabric: frames on the wire may be
+  dropped, duplicated, delayed, or bit-flipped.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ class Plane(enum.Enum):
     IO = "io"
     LINKER = "linker"
     DISK = "disk"
+    NET = "net"
 
     @classmethod
     def parse(cls, name: str) -> "Plane":
@@ -56,6 +59,8 @@ class FaultKind(enum.Enum):
     DROP = "drop"              # a fault delivery / block write is dropped
     SPURIOUS = "spurious"      # an access faults although the page is fine
     CRASH = "crash"            # power loss at a journal-record boundary
+    DUP = "dup"                # a network frame is delivered twice
+    DELAY = "delay"            # a network frame is held back extra rounds
 
 
 #: Which kinds make sense on which plane (validated at construction).
@@ -68,6 +73,8 @@ VALID_KINDS = {
     Plane.LINKER: frozenset({FaultKind.ERROR, FaultKind.MISSING}),
     Plane.DISK: frozenset({FaultKind.TORN_WRITE, FaultKind.DROP,
                            FaultKind.CORRUPT, FaultKind.CRASH}),
+    Plane.NET: frozenset({FaultKind.DROP, FaultKind.CORRUPT,
+                          FaultKind.DUP, FaultKind.DELAY}),
 }
 
 #: Kind subsets each entry point accepts (a read site never sees ENOSPC).

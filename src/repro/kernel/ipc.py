@@ -84,6 +84,16 @@ class MessageQueueTable:
     def remove(self, key: int) -> None:
         self._queues.pop(key, None)
 
+    def drained(self) -> bool:
+        """True when no queue holds an undelivered message (the cluster
+        scheduler's quiescence check)."""
+        return all(not q.messages for q in self._queues.values())
+
+    def backlog(self) -> int:
+        """Total undelivered messages across every queue (the cluster
+        scheduler's progress signature)."""
+        return sum(len(q.messages) for q in self._queues.values())
+
 
 class Pipe:
     """A byte-stream pipe with bounded buffering."""

@@ -95,6 +95,13 @@ class Kernel:
         # The fault injector (repro.inject). None keeps every plane
         # silent at the cost of one attribute check per choke point.
         self.injector = None
+        # The cluster half (repro.net): this machine's NIC, node id,
+        # and coherence agent. All None/0 on a single-machine boot, so
+        # the classic configuration pays one attribute check per public
+        # fault and nothing else.
+        self.nic = None
+        self.node_id = 0
+        self.coherence = None
         # An armed ambient tracer (reprotrace, REPRO_TRACE=1) binds to
         # this kernel's clock; otherwise this is a no-op.
         _trace.attach_kernel(self)

@@ -36,6 +36,10 @@ class CostModel:
                                   # fault; doubles with each retry
     journal_block: int = 120      # one journaled metadata block (charged
                                   # only when a durable store is mounted)
+    net_frame: int = 2000         # NIC + protocol processing, per frame
+    net_per_word: int = 1         # wire copy, 4 bytes/cycle
+    net_latency: int = 6000       # one-way propagation a synchronous
+                                  # protocol message stalls the caller for
 
 
 @dataclass
@@ -81,6 +85,19 @@ class Clock:
 
     def map_segment(self) -> None:
         self.charge("mappings", self.costs.map_segment)
+
+    def net(self, nbytes: int) -> None:
+        """One network frame through this machine's NIC (either
+        direction): per-frame processing plus the wire copy. Charged
+        only by :mod:`repro.net`; single-machine boots never see the
+        category."""
+        self.charge("net", self.costs.net_frame
+                    + ((nbytes + 3) // 4) * self.costs.net_per_word)
+
+    def net_stall(self, hops: int = 1) -> None:
+        """Propagation delay a caller waits out for a synchronous
+        protocol exchange (*hops* one-way trips)."""
+        self.charge("net", self.costs.net_latency * hops)
 
     def backoff(self, attempt: int) -> None:
         """One deterministic exponential-backoff wait: retry *attempt*

@@ -1,0 +1,47 @@
+"""repro.net — a deterministic multi-node Hemlock cluster.
+
+Extends the single-machine prototype to N machines sharing the paper's
+global segment address space over a simulated network: a seeded fabric
+(:mod:`repro.net.link`), a round-based cluster scheduler
+(:mod:`repro.net.cluster`), and a single-writer-invalidation coherence
+protocol that piggybacks on the existing SIGSEGV plumbing
+(:mod:`repro.net.coherence`). Everything is bit-identical per
+``(seed, fault plan)``; an unbooted cluster costs a single attribute
+check per public fault.
+"""
+
+from repro.net.cluster import Cluster, Machine, NodePort
+from repro.net.coherence import (
+    COHERENCE_PORT,
+    CoherenceAgent,
+    CoherenceStats,
+    SegmentDirectory,
+    SegmentState,
+)
+from repro.net.link import (
+    Fabric,
+    FabricStats,
+    Frame,
+    FrameKind,
+    MAX_RETRANSMITS,
+    Nic,
+    mix_seed,
+)
+
+__all__ = [
+    "Cluster",
+    "Machine",
+    "NodePort",
+    "COHERENCE_PORT",
+    "CoherenceAgent",
+    "CoherenceStats",
+    "SegmentDirectory",
+    "SegmentState",
+    "Fabric",
+    "FabricStats",
+    "Frame",
+    "FrameKind",
+    "MAX_RETRANSMITS",
+    "Nic",
+    "mix_seed",
+]

@@ -1,0 +1,520 @@
+"""The simulated wire: frames, links, and the cluster fabric.
+
+Every byte that crosses between machines travels as a checksummed
+:class:`Frame`. Datagrams are asynchronous — enqueued with a per-link
+seeded latency (in scheduler rounds) and delivered when the cluster
+reaches that round, which is where loss-free reordering comes from.
+Protocol exchanges (coherence, application RPC) are synchronous calls
+with bounded retransmission: a dropped or corrupted frame costs the
+caller a deterministic backoff and a resend, and a request that
+exhausts its budget surfaces as :class:`repro.errors.InjectedNetError`
+(the fabric itself is lossless; only the NET fault plane loses frames).
+
+Determinism: per-link jitter comes from a splitmix64-derived
+:class:`~repro.util.rng.DeterministicRng` per ordered node pair, frame
+sequence numbers are globally monotonic, and due frames deliver sorted
+by ``(deliver_round, seq, copy)`` — so two runs of the same seeded
+cluster see byte-identical traffic in the same order.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InjectedNetError, NetError
+from repro.trace import tracer as _trace
+from repro.trace.events import EventKind
+from repro.util.rng import DeterministicRng
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+FRAME_MAGIC = b"HNET"
+FRAME_VERSION = 1
+
+#: attempts a synchronous exchange makes before giving up
+MAX_RETRANSMITS = 8
+
+#: replies remembered per NIC for retransmitted (duplicate) requests
+REPLY_CACHE_LIMIT = 512
+
+
+def mix_seed(seed: int, index: int) -> int:
+    """splitmix64-style finalizer, the same derivation the injector
+    uses, so per-link streams never alias each other or the plan RNGs."""
+    x = (seed + (index + 1) * 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class FrameKind(enum.IntEnum):
+    """What a frame carries."""
+
+    DATA = 0         # an application datagram (forwarded to a queue)
+    CALL = 1         # a generic application RPC request
+    REPLY = 2        # a generic application RPC reply
+    ACK = 3          # protocol acknowledgement (no payload)
+    NAK = 4          # protocol refusal (unknown segment / port)
+    PUBLISH = 5      # coherence: a new segment enters the directory
+    UNPUBLISH = 6    # coherence: a segment leaves the directory
+    FETCH = 7        # coherence: give me a copy (read or write intent)
+    GRANT = 8        # coherence: here is your copy / permission
+    UPGRADE = 9      # coherence: promote my shared copy to exclusive
+    INVALIDATE = 10  # coherence: discard your copy
+    DOWNGRADE = 11   # coherence: demote your exclusive copy to shared
+    LOOKUP = 12      # coherence: path -> base address
+
+
+# magic, version, kind, port, src, dst, seq, length, crc
+_HEADER = struct.Struct("<4sBBHHHIII")
+HEADER_SIZE = _HEADER.size
+
+
+@dataclass
+class Frame:
+    """One unit of cluster traffic."""
+
+    kind: FrameKind
+    src: int
+    dst: int
+    port: int
+    seq: int
+    payload: bytes = b""
+
+    def pack(self) -> bytes:
+        head = _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, int(self.kind),
+                            self.port, self.src, self.dst, self.seq,
+                            len(self.payload), 0)
+        crc = zlib.crc32(head + self.payload) & 0xFFFFFFFF
+        return _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, int(self.kind),
+                            self.port, self.src, self.dst, self.seq,
+                            len(self.payload), crc) + self.payload
+
+    @classmethod
+    def unpack(cls, wire: bytes) -> "Frame":
+        """Parse and verify; raises :class:`NetError` on any damage."""
+        if len(wire) < HEADER_SIZE:
+            raise NetError(f"runt frame ({len(wire)} bytes)")
+        magic, version, kind, port, src, dst, seq, length, crc = \
+            _HEADER.unpack_from(wire)
+        payload = wire[HEADER_SIZE:]
+        if magic != FRAME_MAGIC or version != FRAME_VERSION:
+            raise NetError("bad frame magic/version")
+        if length != len(payload):
+            raise NetError(
+                f"frame length mismatch ({length} != {len(payload)})")
+        head = _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, kind, port, src,
+                            dst, seq, length, 0)
+        if zlib.crc32(head + payload) & 0xFFFFFFFF != crc:
+            raise NetError(f"frame checksum mismatch (seq {seq})")
+        try:
+            parsed_kind = FrameKind(kind)
+        except ValueError:
+            raise NetError(f"unknown frame kind {kind}")
+        return cls(parsed_kind, src, dst, port, seq, payload)
+
+
+@dataclass
+class FabricStats:
+    """Exact counters over everything the fabric carried."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    dropped: int = 0         # lost to an injected DROP
+    duplicated: int = 0      # extra copies from injected DUP
+    delayed: int = 0         # frames held back by injected DELAY
+    corrupt_dropped: int = 0 # discarded at the NIC on checksum failure
+    dup_dropped: int = 0     # duplicate datagrams suppressed by seq
+    retransmits: int = 0     # synchronous-exchange resends
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def count_kind(self, kind: FrameKind) -> None:
+        name = kind.name
+        self.by_kind[name] = self.by_kind.get(name, 0) + 1
+
+
+class _Link:
+    """One ordered node pair: a base delay plus seeded jitter."""
+
+    __slots__ = ("base_delay", "jitter", "rng")
+
+    def __init__(self, base_delay: int, jitter: int,
+                 rng: DeterministicRng) -> None:
+        self.base_delay = base_delay
+        self.jitter = jitter
+        self.rng = rng
+
+    def draw_delay(self) -> int:
+        """Rounds until delivery for one datagram on this link."""
+        if self.jitter <= 0:
+            return self.base_delay
+        return self.base_delay + self.rng.randint(0, self.jitter)
+
+
+class Nic:
+    """One machine's network interface.
+
+    Holds the datagram inbox the cluster fills at round boundaries, the
+    per-port RPC handlers, and the reply cache that makes retransmitted
+    requests idempotent. All receive-side cycle charging happens here,
+    on the owning machine's clock.
+    """
+
+    def __init__(self, fabric: "Fabric", node_id: int, kernel) -> None:
+        self.fabric = fabric
+        self.node_id = node_id
+        self.kernel = kernel
+        self.inbox: List[bytes] = []
+        self._seen_seqs: set = set()
+        self._handlers: Dict[int, object] = {}
+        self._reply_cache: "OrderedDict[Tuple[int, int], bytes]" = \
+            OrderedDict()
+
+    def bind(self, port: int, handler) -> None:
+        """Register *handler* for synchronous frames to *port*.
+
+        The handler takes the request :class:`Frame` and returns
+        ``(FrameKind, payload_bytes)``.
+        """
+        if port in self._handlers:
+            raise NetError(f"port {port} already bound on node "
+                           f"{self.node_id}")
+        self._handlers[port] = handler
+
+    # ------------------------------------------------------------------
+    # datagrams
+    # ------------------------------------------------------------------
+
+    def send(self, proc, dst: int, port: int, payload: bytes,
+             kind: FrameKind = FrameKind.DATA) -> None:
+        """Queue one datagram onto the fabric (fire and forget)."""
+        self.fabric.send_datagram(self, proc, dst, port, payload, kind)
+
+    def poll(self, proc) -> List[Frame]:
+        """Drain the inbox: verify, dedupe, charge, return good frames.
+
+        Called from the ``netd`` daemon each scheduling round, so
+        receive-side cycles land on this machine's clock while its
+        network daemon runs.
+        """
+        if not self.inbox:
+            return []
+        raw, self.inbox = self.inbox, []
+        clock = self.kernel.clock
+        stats = self.fabric.stats
+        tracer = _trace.TRACER
+        good: List[Frame] = []
+        for wire in raw:
+            clock.net(len(wire))
+            try:
+                frame = Frame.unpack(wire)
+            except NetError:
+                stats.corrupt_dropped += 1
+                if tracer.enabled:
+                    tracer.emit(EventKind.NET, name="rx-bad",
+                                pid=proc.pid, value=len(wire))
+                continue
+            if frame.seq in self._seen_seqs:
+                stats.dup_dropped += 1
+                if tracer.enabled:
+                    tracer.emit(EventKind.NET, name="rx-dup",
+                                pid=proc.pid, addr=frame.seq)
+                continue
+            self._seen_seqs.add(frame.seq)
+            stats.frames_delivered += 1
+            stats.bytes_delivered += len(wire)
+            if tracer.enabled:
+                tracer.emit(EventKind.NET,
+                            name=f"rx:{frame.kind.name.lower()}",
+                            pid=proc.pid, addr=frame.seq,
+                            value=len(wire))
+            good.append(frame)
+        return good
+
+    # ------------------------------------------------------------------
+    # synchronous exchanges
+    # ------------------------------------------------------------------
+
+    def call(self, dst: int, kind: FrameKind, port: int,
+             payload: bytes) -> Frame:
+        """One synchronous request/reply exchange with node *dst*."""
+        return self.fabric.rpc(self, dst, kind, port, payload)
+
+    def _serve(self, frame: Frame) -> bytes:
+        """Execute (or replay) the handler for a request frame; returns
+        the packed reply wire. Retransmitted requests are answered from
+        the reply cache so every handler observes each seq once."""
+        key = (frame.src, frame.seq)
+        cached = self._reply_cache.get(key)
+        if cached is not None:
+            return cached
+        handler = self._handlers.get(frame.port)
+        if handler is None:
+            reply_kind, reply_payload = FrameKind.NAK, b""
+        else:
+            reply_kind, reply_payload = handler(frame)
+        reply = Frame(reply_kind, self.node_id, frame.src, frame.port,
+                      frame.seq, reply_payload)
+        wire = reply.pack()
+        self._reply_cache[key] = wire
+        while len(self._reply_cache) > REPLY_CACHE_LIMIT:
+            self._reply_cache.popitem(last=False)
+        return wire
+
+
+class Fabric:
+    """The seeded network joining a cluster's machines."""
+
+    def __init__(self, nnodes: int, seed: int = 1993,
+                 base_delay: int = 1, jitter: int = 2) -> None:
+        if nnodes < 1:
+            raise NetError("a fabric needs at least one node")
+        self.nnodes = nnodes
+        self.seed = seed
+        self.stats = FabricStats()
+        self.round = 0
+        self._next_seq = 1
+        self._nics: List[Optional[Nic]] = [None] * nnodes
+        self._links: Dict[Tuple[int, int], _Link] = {}
+        for src in range(nnodes):
+            for dst in range(nnodes):
+                if src == dst:
+                    continue
+                index = src * nnodes + dst
+                self._links[(src, dst)] = _Link(
+                    base_delay, jitter,
+                    DeterministicRng(mix_seed(seed, index)))
+        # (deliver_round, seq, copy, dst, wire)
+        self._in_flight: List[Tuple[int, int, int, int, bytes]] = []
+
+    def attach(self, node_id: int, nic: Nic) -> None:
+        if self._nics[node_id] is not None:
+            raise NetError(f"node {node_id} already attached")
+        self._nics[node_id] = nic
+
+    def link(self, src: int, dst: int) -> _Link:
+        return self._links[(src, dst)]
+
+    def pending(self) -> int:
+        """Frames queued on the wire, not yet delivered."""
+        return len(self._in_flight)
+
+    def _nic(self, node_id: int) -> Nic:
+        if not 0 <= node_id < self.nnodes:
+            raise NetError(f"no such node {node_id}")
+        nic = self._nics[node_id]
+        if nic is None:
+            raise NetError(f"node {node_id} is not attached")
+        return nic
+
+    def _allocate_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # datagram path
+    # ------------------------------------------------------------------
+
+    def send_datagram(self, src_nic: Nic, proc, dst: int, port: int,
+                      payload: bytes, kind: FrameKind) -> None:
+        self._nic(dst)  # validate early, on the sender's side
+        frame = Frame(kind, src_nic.node_id, dst, port,
+                      self._allocate_seq(), payload)
+        wire = frame.pack()
+        clock = src_nic.kernel.clock
+        clock.net(len(wire))
+        stats = self.stats
+        stats.frames_sent += 1
+        stats.bytes_sent += len(wire)
+        stats.count_kind(kind)
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            tracer.emit(EventKind.NET, name=f"tx:{kind.name.lower()}",
+                        pid=proc.pid if proc is not None else 0,
+                        addr=frame.seq, value=len(wire))
+        extra = 0
+        copies = 1
+        injector = src_nic.kernel.injector
+        if injector is not None:
+            subject = f"{frame.src}->{dst}:{port}"
+            wire, action = injector.filter_frame(subject, wire,
+                                                 site="send")
+            if action == "drop":
+                stats.dropped += 1
+                if tracer.enabled:
+                    tracer.emit(EventKind.NET, name="drop",
+                                addr=frame.seq)
+                return
+            if action == "dup":
+                stats.duplicated += 1
+                copies = 2
+            elif isinstance(action, tuple) and action[0] == "delay":
+                stats.delayed += 1
+                extra = action[1]
+        link = self._links[(frame.src, dst)]
+        for copy in range(copies):
+            deliver = self.round + link.draw_delay() + extra
+            self._in_flight.append(
+                (deliver, frame.seq, copy, dst, wire))
+
+    def deliver_due(self, current_round: int) -> int:
+        """Move every frame whose round has come into its NIC inbox.
+
+        Delivery order is ``(deliver_round, seq, copy)`` — a total
+        order independent of insertion order, so reordering comes only
+        from the seeded latencies.
+        """
+        self.round = current_round
+        if not self._in_flight:
+            return 0
+        due = [entry for entry in self._in_flight
+               if entry[0] <= current_round]
+        if not due:
+            return 0
+        self._in_flight = [entry for entry in self._in_flight
+                           if entry[0] > current_round]
+        due.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        for _deliver, _seq, _copy, dst, wire in due:
+            self._nic(dst).inbox.append(wire)
+        return len(due)
+
+    # ------------------------------------------------------------------
+    # synchronous exchange path
+    # ------------------------------------------------------------------
+
+    def rpc(self, src_nic: Nic, dst: int, kind: FrameKind, port: int,
+            payload: bytes,
+            max_attempts: int = MAX_RETRANSMITS) -> Frame:
+        """One request/reply exchange, with bounded retransmission.
+
+        The caller's clock is charged for every (re)send, the
+        round-trip stall, and the received reply; the responder's clock
+        for every request it sees and every reply it produces. A lost
+        or damaged frame costs the caller a deterministic backoff and a
+        resend; the responder's reply cache absorbs duplicates. The
+        fabric itself never loses frames, so exhausting the budget can
+        only happen under the NET fault plane — hence the typed
+        :class:`InjectedNetError`.
+        """
+        dst_nic = self._nic(dst)
+        if dst is src_nic.node_id:
+            raise NetError("synchronous exchange with self")
+        request = Frame(kind, src_nic.node_id, dst, port,
+                        self._allocate_seq(), payload)
+        request_wire = request.pack()
+        src_clock = src_nic.kernel.clock
+        dst_clock = dst_nic.kernel.clock
+        stats = self.stats
+        tracer = _trace.TRACER
+        injector = src_nic.kernel.injector
+        subject = f"{request.src}->{dst}:{port}"
+        for attempt in range(1, max_attempts + 1):
+            if attempt > 1:
+                stats.retransmits += 1
+                src_clock.backoff(attempt - 1)
+            src_clock.net(len(request_wire))
+            stats.frames_sent += 1
+            stats.bytes_sent += len(request_wire)
+            stats.count_kind(kind)
+            if tracer.enabled:
+                tracer.emit(EventKind.NET,
+                            name=f"tx:{kind.name.lower()}",
+                            addr=request.seq, value=len(request_wire))
+            wire = request_wire
+            copies = 1
+            if injector is not None:
+                wire, action = injector.filter_frame(subject, wire,
+                                                     site="rpc")
+                if action == "drop":
+                    stats.dropped += 1
+                    if tracer.enabled:
+                        tracer.emit(EventKind.NET, name="drop",
+                                    addr=request.seq)
+                    src_clock.net_stall(2)  # the timeout window
+                    continue
+                if action == "dup":
+                    stats.duplicated += 1
+                    copies = 2
+                elif isinstance(action, tuple) and action[0] == "delay":
+                    stats.delayed += 1
+                    src_clock.net_stall(action[1])
+            src_clock.net_stall(1)  # request propagation
+            reply_wire: Optional[bytes] = None
+            for _copy in range(copies):
+                dst_clock.net(len(wire))
+                try:
+                    seen = Frame.unpack(wire)
+                except NetError:
+                    stats.corrupt_dropped += 1
+                    if tracer.enabled:
+                        tracer.emit(EventKind.NET, name="rx-bad",
+                                    addr=request.seq)
+                    continue
+                stats.frames_delivered += 1
+                stats.bytes_delivered += len(wire)
+                if tracer.enabled:
+                    tracer.emit(EventKind.NET,
+                                name=f"rx:{seen.kind.name.lower()}",
+                                addr=seen.seq, value=len(wire))
+                served = dst_nic._serve(seen)
+                if reply_wire is None:
+                    reply_wire = served
+            if reply_wire is None:
+                # the request never parsed: wait out the timeout, resend
+                src_clock.net_stall(1)
+                continue
+            dst_clock.net(len(reply_wire))
+            stats.frames_sent += 1
+            stats.bytes_sent += len(reply_wire)
+            reply_candidate = reply_wire
+            if injector is not None:
+                reply_subject = f"{dst}->{request.src}:{port}"
+                reply_candidate, action = injector.filter_frame(
+                    reply_subject, reply_candidate, site="rpc-reply")
+                if action == "drop":
+                    stats.dropped += 1
+                    if tracer.enabled:
+                        tracer.emit(EventKind.NET, name="drop-reply",
+                                    addr=request.seq)
+                    src_clock.net_stall(1)
+                    continue
+                if isinstance(action, tuple) and action[0] == "delay":
+                    stats.delayed += 1
+                    src_clock.net_stall(action[1])
+            src_clock.net_stall(1)  # reply propagation
+            src_clock.net(len(reply_candidate))
+            try:
+                reply = Frame.unpack(reply_candidate)
+            except NetError:
+                stats.corrupt_dropped += 1
+                if tracer.enabled:
+                    tracer.emit(EventKind.NET, name="rx-bad",
+                                addr=request.seq)
+                continue
+            stats.frames_delivered += 1
+            stats.bytes_delivered += len(reply_candidate)
+            stats.count_kind(reply.kind)
+            if tracer.enabled:
+                tracer.emit(EventKind.NET,
+                            name=f"rx:{reply.kind.name.lower()}",
+                            addr=reply.seq, value=len(reply_candidate))
+            return reply
+        error = InjectedNetError(
+            f"exchange {kind.name}->{dst}:{port} exhausted "
+            f"{max_attempts} attempts")
+        error.plane = "net"
+        error.site = "rpc"
+        error.fault_kind = "timeout"
+        return self._raise(error)
+
+    @staticmethod
+    def _raise(error: InjectedNetError) -> Frame:
+        raise error

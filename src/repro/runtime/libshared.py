@@ -115,6 +115,16 @@ class HemlockRuntime:
             # kernel and every other process are untouched.
             self._contain(error, "segv-handler")
             return False
+        # On a clustered machine the coherence agent gets first claim on
+        # public faults: it resolves remote segments and write-upgrades
+        # of read-only replicas (present=True faults the classic path
+        # below would refuse). None = not cluster-managed, fall through.
+        coherence = self.kernel.coherence
+        if coherence is not None \
+                and self.kernel.is_public_address(info.address):
+            handled = coherence.on_fault(proc, info)
+            if handled is not None:
+                return handled
         # A pointer into a shared segment not yet part of this address
         # space? Translate address -> path and map, rights permitting.
         if self.kernel.is_public_address(info.address) \
@@ -305,8 +315,24 @@ class HemlockRuntime:
             sys.close(self.proc, fd)
 
     def segment_base(self, path: str) -> int:
-        """Base address of an existing segment."""
-        return self.kernel.syscalls.path_to_addr(self.proc, path)
+        """Base address of an existing segment.
+
+        On a clustered machine a path that does not resolve locally is
+        looked up in the cluster directory, so a process can take the
+        base of a segment published by another node and let the first
+        touch fetch it."""
+        try:
+            return self.kernel.syscalls.path_to_addr(self.proc, path)
+        except (SyscallError, FilesystemError):
+            coherence = self.kernel.coherence
+            if coherence is not None:
+                from repro.fs.path import normalize
+
+                base = coherence.lookup_path(
+                    normalize(path, self.proc.cwd))
+                if base is not None:
+                    return base
+            raise
 
     def delete_segment(self, path: str) -> None:
         """Explicit destruction (manual cleanup, §5 Garbage Collection).

@@ -47,6 +47,7 @@ class SharedFilesystem(Filesystem):
         self.addrmap = addrmap if addrmap is not None else LinearAddressMap()
         self.region = SFS_REGION
         self.injector = None  # set by repro.inject.install_injector
+        self.coherence = None  # set by repro.net when clustered
         super().__init__(physmem, name)
 
     # ------------------------------------------------------------------
@@ -94,9 +95,13 @@ class SharedFilesystem(Filesystem):
             if tracer.enabled:
                 tracer.emit(EventKind.MAP, name="segment-create",
                             addr=base, value=inode.number)
+            if self.coherence is not None:
+                self.coherence.segment_created(inode)
 
     def _on_destroy(self, inode: Inode) -> None:
         if inode.is_file:
+            if self.coherence is not None:
+                self.coherence.segment_destroyed(inode)
             self.addrmap.unregister(inode.number)
             tracer = _trace.TRACER
             if tracer.enabled:

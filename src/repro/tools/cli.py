@@ -43,6 +43,15 @@ Two tools run on the *host* instead of inside the simulation:
   journal-record boundary, crashing the disk mid-record each time;
   every surviving image must pass ``reprofsck`` with zero findings and
   remount with all public segments reopenable by address.
+* :func:`repronet_main` — ``repronet topo|run|soak [--nodes N]
+  [--seed N] [--hosts N] [--impl shm|file] [--rate F] [--runs N]``
+  inspects the deterministic cluster topology, runs the rwho scale
+  scenario over a :class:`repro.net.Cluster` with full traffic/cycle
+  accounting, or soaks the cluster under NET-plane faults with the
+  same twice-run replay-drift discipline as ``reprochaos``. A
+  ``reprochaos --net [--nodes N]`` campaign composes both: NET plans
+  join the plane mix and ``REPRO_CLUSTER=N`` makes cluster-aware
+  scripts boot a cluster.
 * :func:`reprofsck_main` — ``reprofsck [--verbose] image...`` checks
   saved device images (``BlockDevice.save``) for damage, rendering
   stable ``DSK###`` findings; exit status 1 when any image has
@@ -473,11 +482,21 @@ def _campaign_plans(planes: Sequence[str], rate: float) -> List:
         elif plane is Plane.VMFAULT:
             plans.append(FaultPlan(plane, FaultKind.SPURIOUS,
                                    probability=rate / 16.0))
+        elif plane is Plane.NET:
+            plans.append(FaultPlan(plane, FaultKind.DROP,
+                                   probability=rate))
+            plans.append(FaultPlan(plane, FaultKind.DUP,
+                                   probability=rate))
+            plans.append(FaultPlan(plane, FaultKind.DELAY,
+                                   probability=rate))
+            plans.append(FaultPlan(plane, FaultKind.CORRUPT,
+                                   probability=rate / 4.0))
     return plans
 
 
-def _chaos_run(script: str, plans: Sequence, seed: int) -> dict:
-    """One seeded soak run of *script*; returns outcome + INJECT stream.
+def _chaos_run(script: str, plans: Sequence, seed: int,
+               kinds: Sequence[str] = ("INJECT",)) -> dict:
+    """One seeded soak run of *script*; returns outcome + trace stream.
 
     Outcomes:
       * ``clean`` — the script finished (exit status 0);
@@ -495,7 +514,7 @@ def _chaos_run(script: str, plans: Sequence, seed: int) -> dict:
     from repro.trace.tracer import cancel_tracing, request_tracing
 
     request_injection(plans, seed=seed)
-    request_tracing(kinds=["INJECT"])
+    request_tracing(kinds=list(kinds))
     saved_argv = sys.argv
     sys.argv = [script]
     outcome, detail, captured = "clean", "", io.StringIO()
@@ -643,6 +662,12 @@ def reprochaos_main(argv: Sequence[str],
     plan armed to kill the power mid-record; every surviving image must
     pass ``reprofsck`` with zero findings and remount with every public
     segment reopenable by address.
+
+    ``reprochaos --net [--nodes N] ...`` adds the ``net`` plane
+    (drop/dup/delay/corrupt frames) to the campaign, traces ``NET``
+    events alongside ``INJECT`` so the drift check covers frame-level
+    ordering, and exports ``REPRO_CLUSTER=N`` so cluster-aware scripts
+    boot an N-node :class:`repro.net.Cluster` instead of one kernel.
     """
     out = stdout if stdout is not None else sys.stdout
     seed = 1993
@@ -653,6 +678,8 @@ def reprochaos_main(argv: Sequence[str],
     stride = 1
     max_points: Optional[int] = None
     nblocks = 2048
+    net = False
+    nodes = 4
     scripts: List[str] = []
 
     args = list(argv)
@@ -685,6 +712,12 @@ def reprochaos_main(argv: Sequence[str],
         elif arg == "--nblocks":
             nblocks = int(_value(args, index, "--nblocks"))
             index += 2
+        elif arg == "--net":
+            net = True
+            index += 1
+        elif arg == "--nodes":
+            nodes = int(_value(args, index, "--nodes"))
+            index += 2
         elif arg.startswith("-"):
             raise UsageError(f"reprochaos: unknown option {arg!r}")
         else:
@@ -699,6 +732,9 @@ def reprochaos_main(argv: Sequence[str],
     for script in scripts:
         if not os.path.isfile(script):
             raise UsageError(f"reprochaos: no such script: {script}")
+    if net and crash:
+        raise UsageError("reprochaos: --net and --crash are separate "
+                         "soaks; pick one")
 
     if crash:
         print(f"reprochaos: crash soak, {len(scripts)} script(s), "
@@ -719,43 +755,61 @@ def reprochaos_main(argv: Sequence[str],
         print("reprochaos: OK (every crash point recovered; fsck clean, "
               "segments reopen by address)", file=out)
         return 0
+    kinds: Sequence[str] = ("INJECT",)
+    if net:
+        if "net" not in planes:
+            planes = list(planes) + ["net"]
+        kinds = ("INJECT", "NET")
     try:
         plans = _campaign_plans(planes, rate)
     except ValueError as error:
         raise UsageError(f"reprochaos: {error}")
 
     print(f"reprochaos: {len(scripts)} script(s) x {runs} run(s), "
-          f"base seed {seed}, rate {rate:g}", file=out)
+          f"base seed {seed}, rate {rate:g}"
+          + (f", cluster of {nodes}" if net else ""), file=out)
     for plan in plans:
         print(f"  plan: {plan.describe()}", file=out)
 
+    saved_cluster = os.environ.get("REPRO_CLUSTER")
+    if net:
+        # Cluster-aware scripts (examples/rwho_network.py) read this to
+        # boot a cluster instead of a single kernel.
+        os.environ["REPRO_CLUSTER"] = str(nodes)
     failures = 0
-    for script in scripts:
-        for run in range(runs):
-            run_seed = seed + run
-            first = _chaos_run(script, plans, run_seed)
-            replay = _chaos_run(script, plans, run_seed)
-            drift = first["stream"] != replay["stream"] \
-                or first["outcome"] != replay["outcome"]
-            totals = first["totals"]
-            verdict = first["outcome"]
-            if drift:
-                verdict += " REPLAY-DRIFT"
-            if first["outcome"] == "kernel-death" or drift:
-                failures += 1
-            line = (f"  {script} seed={run_seed}: {verdict} "
-                    f"boots={totals['boots']} "
-                    f"injected={totals['triggered']} "
-                    f"contained={totals['contained']} "
-                    f"retries={totals['retries']} "
-                    f"events={len(first['stream'])}")
-            if first["detail"]:
-                line += f" [{first['detail']}]"
-            print(line, file=out)
-            if first["outcome"] == "kernel-death":
-                tail = first["output"].strip().splitlines()[-5:]
-                for text in tail:
-                    print(f"    | {text}", file=out)
+    try:
+        for script in scripts:
+            for run in range(runs):
+                run_seed = seed + run
+                first = _chaos_run(script, plans, run_seed, kinds)
+                replay = _chaos_run(script, plans, run_seed, kinds)
+                drift = first["stream"] != replay["stream"] \
+                    or first["outcome"] != replay["outcome"]
+                totals = first["totals"]
+                verdict = first["outcome"]
+                if drift:
+                    verdict += " REPLAY-DRIFT"
+                if first["outcome"] == "kernel-death" or drift:
+                    failures += 1
+                line = (f"  {script} seed={run_seed}: {verdict} "
+                        f"boots={totals['boots']} "
+                        f"injected={totals['triggered']} "
+                        f"contained={totals['contained']} "
+                        f"retries={totals['retries']} "
+                        f"events={len(first['stream'])}")
+                if first["detail"]:
+                    line += f" [{first['detail']}]"
+                print(line, file=out)
+                if first["outcome"] == "kernel-death":
+                    tail = first["output"].strip().splitlines()[-5:]
+                    for text in tail:
+                        print(f"    | {text}", file=out)
+    finally:
+        if net:
+            if saved_cluster is None:
+                os.environ.pop("REPRO_CLUSTER", None)
+            else:
+                os.environ["REPRO_CLUSTER"] = saved_cluster
     if failures:
         print(f"reprochaos: FAILED ({failures} kernel death(s) or "
               f"replay drift(s))", file=out)
@@ -769,6 +823,225 @@ def reprochaos_entry() -> int:
     """Console-script entry point (``reprochaos ...``)."""
     try:
         return reprochaos_main(sys.argv[1:])
+    except UsageError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+
+# ----------------------------------------------------------------------
+# repronet — deterministic cluster runs and soaks
+# ----------------------------------------------------------------------
+
+def _net_scenario(nnodes: int, seed: int, nhosts: int,
+                  implementation: str,
+                  readers: Optional[List[int]] = None) -> dict:
+    """Boot a cluster, run the rwho scale scenario, shut down."""
+    from repro.apps.rwho.cluster import run_cluster_rwho, synth_statuses
+    from repro.net import Cluster
+
+    cluster = Cluster(nnodes, seed=seed)
+    result = run_cluster_rwho(cluster, synth_statuses(nhosts),
+                              implementation, readers=readers)
+    cluster.shutdown()
+    result["rounds"] = cluster.round
+    return result
+
+
+def _net_soak_run(nnodes: int, seed: int, nhosts: int,
+                  implementation: str, plans: Sequence) -> dict:
+    """One seeded cluster soak: the rwho scenario under NET-plane
+    faults with ``NET``+``INJECT`` tracing armed. Same outcome
+    vocabulary as :func:`_chaos_run`."""
+    from repro.inject import CAMPAIGN, cancel_injection, request_injection
+    from repro.trace import tracer as trace_state
+    from repro.trace.tracer import cancel_tracing, request_tracing
+
+    request_injection(plans, seed=seed)
+    request_tracing(kinds=["NET", "INJECT"])
+    outcome, detail = "clean", ""
+    outputs: dict = {}
+    cycles: List[int] = []
+    try:
+        try:
+            result = _net_scenario(nnodes, seed, nhosts, implementation)
+            outputs = result["outputs"]
+            cycles = result["cycles"]
+        except (SimulationError, AssertionError) as error:
+            outcome = "workload-failure"
+            detail = f"{type(error).__name__}: {error}"
+        except Exception as error:  # noqa: BLE001 - the point of the soak
+            outcome = "kernel-death"
+            detail = f"{type(error).__name__}: {error}"
+    finally:
+        tracer = trace_state.TRACER
+        stream = tuple(
+            (event.boot, event.cycle, event.pid, event.addr,
+             event.name, event.value)
+            for event in tracer.events()
+        ) if tracer.enabled else ()
+        totals = {
+            "boots": len(CAMPAIGN),
+            "triggered": sum(i.stats.triggered for i in CAMPAIGN),
+            "contained": sum(i.stats.contained for i in CAMPAIGN),
+        }
+        cancel_injection()
+        cancel_tracing()
+    return {"outcome": outcome, "detail": detail, "stream": stream,
+            "outputs": outputs, "cycles": cycles, "totals": totals}
+
+
+def repronet_main(argv: Sequence[str],
+                  stdout: Optional[TextIO] = None) -> int:
+    """Inspect and soak the deterministic cluster.
+
+    ``repronet topo [--nodes N] [--seed N]`` prints the cluster shape:
+    node count, per-node inode stripes (hence segment address ranges),
+    and the seeded per-link delay parameters.
+
+    ``repronet run [--nodes N] [--seed N] [--hosts N] [--impl shm|file]
+    [--readers a,b]`` boots a cluster, runs the rwho scale scenario
+    once, and prints the traffic/cycle accounting.
+
+    ``repronet soak [--nodes N] [--seed N] [--hosts N] [--rate F]
+    [--runs N] [--impl shm|file]`` is the cluster replay-drift soak:
+    each seeded configuration runs twice under NET-plane faults
+    (drop/dup/delay/corrupt) with ``NET``+``INJECT`` tracing; the two
+    runs must agree bit-for-bit on reader outputs, trace streams, and
+    per-node cycle counts, and no fault may escape the simulation's
+    typed error channels.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    args = list(argv)
+    if not args or args[0] not in ("topo", "run", "soak"):
+        raise UsageError(
+            "repronet: usage: repronet topo|run|soak [--nodes N] "
+            "[--seed N] [--hosts N] [--impl shm|file] [--readers a,b] "
+            "[--rate F] [--runs N]")
+    command = args[0]
+    nodes = 4
+    seed = 1993
+    hosts = 64
+    implementation = "shm"
+    readers: Optional[List[int]] = None
+    rate = 0.01
+    runs = 1
+
+    index = 1
+    while index < len(args):
+        arg = args[index]
+        if arg == "--nodes":
+            nodes = int(_value(args, index, "--nodes"))
+            index += 2
+        elif arg == "--seed":
+            seed = int(_value(args, index, "--seed"))
+            index += 2
+        elif arg == "--hosts":
+            hosts = int(_value(args, index, "--hosts"))
+            index += 2
+        elif arg == "--impl":
+            implementation = _value(args, index, "--impl")
+            index += 2
+        elif arg == "--readers":
+            names = _value(args, index, "--readers")
+            readers = [int(name) for name in names.split(",") if name]
+            index += 2
+        elif arg == "--rate":
+            rate = float(_value(args, index, "--rate"))
+            index += 2
+        elif arg == "--runs":
+            runs = int(_value(args, index, "--runs"))
+            index += 2
+        else:
+            raise UsageError(f"repronet: unknown option {arg!r}")
+    if implementation not in ("shm", "file"):
+        raise UsageError(f"repronet: unknown --impl {implementation!r}")
+
+    if command == "topo":
+        from repro.net import Fabric, mix_seed
+        from repro.sfs.sharedfs import MAX_INODES
+
+        fabric = Fabric(nodes, seed)
+        stripe = MAX_INODES // nodes
+        print(f"repronet: {nodes} node(s), seed {seed}, "
+              f"{stripe} inos/stripe", file=out)
+        for node in range(nodes):
+            lo = node * stripe
+            home = " (directory home)" if node == 0 else ""
+            print(f"  node {node}: inos [{lo}, {lo + stripe}){home}",
+                  file=out)
+        for (src, dst), link in sorted(fabric._links.items()):
+            print(f"  link {src}->{dst}: base {link.base_delay} "
+                  f"round(s) + jitter 0..{link.jitter}, "
+                  f"seed {mix_seed(seed, src * nodes + dst):#018x}",
+                  file=out)
+        return 0
+
+    if command == "run":
+        result = _net_scenario(nodes, seed, hosts, implementation,
+                               readers)
+        print(f"repronet: {implementation} rwho over {nodes} node(s), "
+              f"{result['nhosts']} host(s), seed {seed}", file=out)
+        print(f"  rounds: {result['broadcast_rounds']} broadcast + "
+              f"{result['read_rounds']} read", file=out)
+        print(f"  frames: {result['frames_sent']} sent, "
+              f"{result['frames_delivered']} delivered "
+              f"({result['bytes_sent']} -> {result['bytes_delivered']} "
+              f"bytes)", file=out)
+        kinds = ", ".join(f"{kind}={count}" for kind, count
+                          in sorted(result["by_kind"].items()))
+        print(f"  by kind: {kinds}", file=out)
+        for node in range(nodes):
+            print(f"  node {node}: {result['cycles'][node]} cycles "
+                  f"({result['net_cycles'][node]} net)", file=out)
+        for node in sorted(result["outputs"]):
+            lines = result["outputs"][node].count("\n") + 1
+            print(f"  reader on node {node}: {lines} line(s)", file=out)
+        return 0
+
+    # soak
+    plans = _campaign_plans(["net"], rate)
+    print(f"repronet: soak, {nodes} node(s) x {hosts} host(s) x "
+          f"{runs} run(s), base seed {seed}, rate {rate:g}", file=out)
+    for plan in plans:
+        print(f"  plan: {plan.describe()}", file=out)
+    failures = 0
+    for run in range(runs):
+        run_seed = seed + run
+        first = _net_soak_run(nodes, run_seed, hosts, implementation,
+                              plans)
+        replay = _net_soak_run(nodes, run_seed, hosts, implementation,
+                               plans)
+        drift = first["stream"] != replay["stream"] \
+            or first["outputs"] != replay["outputs"] \
+            or first["cycles"] != replay["cycles"] \
+            or first["outcome"] != replay["outcome"]
+        totals = first["totals"]
+        verdict = first["outcome"]
+        if drift:
+            verdict += " REPLAY-DRIFT"
+        if first["outcome"] == "kernel-death" or drift:
+            failures += 1
+        line = (f"  seed={run_seed}: {verdict} "
+                f"boots={totals['boots']} "
+                f"injected={totals['triggered']} "
+                f"contained={totals['contained']} "
+                f"events={len(first['stream'])}")
+        if first["detail"]:
+            line += f" [{first['detail']}]"
+        print(line, file=out)
+    if failures:
+        print(f"repronet: FAILED ({failures} kernel death(s) or "
+              f"replay drift(s))", file=out)
+        return 1
+    print("repronet: OK (all faults contained, all replays "
+          "bit-identical)", file=out)
+    return 0
+
+
+def repronet_entry() -> int:
+    """Console-script entry point (``repronet ...``)."""
+    try:
+        return repronet_main(sys.argv[1:])
     except UsageError as error:
         print(error, file=sys.stderr)
         return 2
@@ -896,6 +1169,7 @@ if __name__ == "__main__":  # pragma: no cover - console convenience
     # — the host-side tools; the rest run inside the simulation.
     _ENTRIES = {"reprotrace": reprotrace_entry,
                 "reprochaos": reprochaos_entry,
+                "repronet": repronet_entry,
                 "reprofsck": reprofsck_entry}
     _args = sys.argv[1:]
     _entry = reprotrace_entry

@@ -30,6 +30,7 @@ class EventKind(enum.IntEnum):
     TLB = 9            # software-TLB traffic (value = entry/hit count)
     INJECT = 10        # one injected fault (name = plane:kind:site)
     RECOVER = 11       # boot-time recovery traffic (replay, torn tail)
+    NET = 12           # cluster traffic: frames and coherence protocol
 
     @property
     def bit(self) -> int:

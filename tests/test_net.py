@@ -1,0 +1,525 @@
+"""repro.net — the deterministic cluster.
+
+Wire-format integrity, seeded-fabric determinism, inode striping,
+pay-for-use on unclustered boots, the single-writer-invalidation
+coherence protocol (deterministic smoke + Hypothesis property),
+the rwho differential oracle, replay-drift regression under NET-plane
+faults, retransmission-exhaustion containment, and wedge/deadlock
+detection in the cluster scheduler.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import boot
+from repro.errors import InjectedNetError, NetError
+from repro.inject import (
+    FaultKind,
+    FaultPlan,
+    Plane,
+    cancel_injection,
+    request_injection,
+)
+from repro.kernel.timing import Clock
+from repro.net import (
+    MAX_RETRANSMITS,
+    Cluster,
+    Fabric,
+    Frame,
+    FrameKind,
+    Nic,
+)
+from repro.runtime.libshared import runtime_for
+from repro.runtime.views import Mem
+from repro.sfs.sharedfs import MAX_INODES
+from repro.tools.cli import (
+    UsageError,
+    _campaign_plans,
+    _net_soak_run,
+    repronet_main,
+    reprochaos_main,
+)
+
+PROP_SEG = "/shared/prop.seg"
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def creator_body(path: str, size: int = 64, out: dict = None):
+    def body(kernel, proc):
+        runtime = runtime_for(kernel, proc)
+        base = runtime.create_segment(path, size)
+        if out is not None:
+            out["base"] = base
+        yield
+        return 0
+
+    return body
+
+
+def writer_body(path: str, slot: int, value: int):
+    def body(kernel, proc):
+        runtime = runtime_for(kernel, proc)
+        base = runtime.segment_base(path)
+        Mem(kernel, proc).store_u32(base + 4 * slot, value)
+        yield
+        return 0
+
+    return body
+
+
+def reader_body(path: str, node: int, views: dict, nslots: int = 4):
+    def body(kernel, proc):
+        runtime = runtime_for(kernel, proc)
+        base = runtime.segment_base(path)
+        mem = Mem(kernel, proc)
+        views[node] = [mem.load_u32(base + 4 * slot)
+                       for slot in range(nslots)]
+        yield
+        return 0
+
+    return body
+
+
+def workload_deaths(cluster):
+    """(name, reason) for every non-daemon process that died badly."""
+    dead = []
+    for machine in cluster.machines:
+        for pid, proc in machine.kernel.processes.items():
+            if pid in machine.daemon_pids:
+                continue
+            if proc.death_reason is not None:
+                dead.append((proc.name, proc.death_reason))
+    return dead
+
+
+# ----------------------------------------------------------------------
+# the wire format
+# ----------------------------------------------------------------------
+
+class TestFrame:
+    def test_roundtrip_every_kind(self):
+        for kind in FrameKind:
+            frame = Frame(kind, src=3, dst=1, port=0x5257, seq=99,
+                          payload=b"hello segments")
+            back = Frame.unpack(frame.pack())
+            assert back == frame
+
+    def test_runt_frame_rejected(self):
+        with pytest.raises(NetError, match="runt"):
+            Frame.unpack(b"HN")
+
+    def test_bad_magic_rejected(self):
+        wire = bytearray(Frame(FrameKind.DATA, 0, 1, 7, 1,
+                               b"x").pack())
+        wire[0] ^= 0xFF
+        with pytest.raises(NetError, match="magic"):
+            Frame.unpack(bytes(wire))
+
+    def test_flipped_payload_bit_rejected(self):
+        wire = bytearray(Frame(FrameKind.DATA, 0, 1, 7, 1,
+                               b"payload").pack())
+        wire[-1] ^= 0x01
+        with pytest.raises(NetError, match="checksum"):
+            Frame.unpack(bytes(wire))
+
+    def test_truncated_payload_rejected(self):
+        wire = Frame(FrameKind.DATA, 0, 1, 7, 1, b"payload").pack()
+        with pytest.raises(NetError, match="length"):
+            Frame.unpack(wire[:-3])
+
+
+# ----------------------------------------------------------------------
+# the NET fault plane
+# ----------------------------------------------------------------------
+
+class TestNetPlans:
+    @pytest.mark.parametrize("kind", [FaultKind.DROP, FaultKind.CORRUPT,
+                                      FaultKind.DUP, FaultKind.DELAY])
+    def test_valid_kinds(self, kind):
+        plan = FaultPlan(Plane.NET, kind, probability=0.5)
+        assert plan.plane is Plane.NET
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="not valid"):
+            FaultPlan(Plane.NET, FaultKind.ERROR)
+
+
+# ----------------------------------------------------------------------
+# seeded fabric determinism (stub kernels, no boot)
+# ----------------------------------------------------------------------
+
+class _StubKernel:
+    def __init__(self):
+        self.clock = Clock()
+        self.injector = None
+
+
+def _stub_fabric(seed: int):
+    fabric = Fabric(3, seed=seed)
+    nics = [Nic(fabric, node, _StubKernel()) for node in range(3)]
+    for node, nic in enumerate(nics):
+        fabric.attach(node, nic)
+    return fabric, nics
+
+
+def _drive(seed: int):
+    """A fixed traffic pattern; returns the raw delivery transcript."""
+    fabric, nics = _stub_fabric(seed)
+    for step in range(6):
+        nics[step % 3].send(None, (step + 1) % 3, 40 + step,
+                            bytes([step]) * step)
+    transcript = []
+    for rnd in range(1, 12):
+        fabric.deliver_due(rnd)
+        for nic in nics:
+            while nic.inbox:
+                transcript.append((rnd, nic.node_id, nic.inbox.pop(0)))
+    return transcript
+
+
+class TestFabricDeterminism:
+    def test_same_seed_same_transcript(self):
+        assert _drive(1993) == _drive(1993)
+
+    def test_jitter_comes_from_the_seed(self):
+        # Different seeds draw different per-link latencies; the frames
+        # themselves (seq, payload) are the same either way.
+        a, b = _drive(1), _drive(2)
+        assert sorted(wire for _, _, wire in a) == \
+            sorted(wire for _, _, wire in b)
+        assert a != b  # the schedules differ
+
+    def test_total_order_is_round_seq_copy(self):
+        # with jitter off, frames due in the same round land in seq
+        # order, regardless of how they were queued
+        fabric = Fabric(3, seed=7, jitter=0)
+        nics = [Nic(fabric, node, _StubKernel()) for node in range(3)]
+        for node, nic in enumerate(nics):
+            fabric.attach(node, nic)
+        for _ in range(8):
+            nics[0].send(None, 1, 9, b"x")
+        fabric.deliver_due(20)  # everything is due at once
+        frames = [Frame.unpack(wire) for wire in nics[1].inbox]
+        seqs = [frame.seq for frame in frames]
+        assert seqs == sorted(seqs)
+
+
+# ----------------------------------------------------------------------
+# cluster boot: striping, pay-for-use, validation
+# ----------------------------------------------------------------------
+
+class TestClusterBoot:
+    def test_unclustered_boot_pays_nothing(self):
+        kernel = boot().kernel
+        assert kernel.nic is None
+        assert kernel.coherence is None
+        assert kernel.sfs.coherence is None
+        assert "net" not in kernel.clock.by_category
+
+    def test_inode_striping(self):
+        cluster = Cluster(4, seed=11)
+        stripe = MAX_INODES // 4
+        for node, machine in enumerate(cluster.machines):
+            free = machine.kernel.sfs._free_inos
+            # pop() allocates from the end: the next ino handed out is
+            # the lowest still-free slot of this node's own stripe
+            assert node * stripe <= free[-1] < (node + 1) * stripe
+            own = [ino for ino in free
+                   if node * stripe <= ino < (node + 1) * stripe]
+            assert free[-1] == min(own)
+        cluster.shutdown()
+
+    def test_segments_land_in_their_stripe(self):
+        cluster = Cluster(4, seed=11)
+        stripe = MAX_INODES // 4
+        for node in (1, 3):
+            out = {}
+            cluster.spawn(node, f"creator{node}",
+                          creator_body(f"/shared/stripe{node}.seg",
+                                       out=out))
+            cluster.run()
+            sfs = cluster.machines[node].kernel.sfs
+            lo = sfs.address_of_inode(node * stripe)
+            hi = sfs.address_of_inode((node + 1) * stripe - 1)
+            assert lo <= out["base"] <= hi
+        cluster.shutdown()
+
+    def test_netd_is_pid_one_everywhere(self):
+        cluster = Cluster(3, seed=5)
+        for machine in cluster.machines:
+            assert machine.netd.pid == 1
+            assert machine.netd.pid in machine.daemon_pids
+        cluster.shutdown()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(nnodes=0),
+        dict(nnodes=2, home=5),
+        dict(nnodes=2, disks=[None]),
+        dict(nnodes=2, wide_addresses=True),
+    ])
+    def test_bad_configurations_rejected(self, kwargs):
+        with pytest.raises(NetError):
+            Cluster(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# coherence: the single-writer-invalidation protocol
+# ----------------------------------------------------------------------
+
+class TestCoherence:
+    def test_fetch_upgrade_invalidate_refetch(self):
+        cluster = Cluster(4, seed=42)
+        views = {}
+        cluster.spawn(1, "creator", creator_body(PROP_SEG))
+        cluster.run()
+        cluster.spawn(1, "w1", writer_body(PROP_SEG, 0, 0xAAAA))
+        cluster.run()
+        cluster.spawn(2, "r2", reader_body(PROP_SEG, 2, views))
+        cluster.run()
+        assert views[2][0] == 0xAAAA
+
+        # remote write: node 2 upgrades, node 1's copy is invalidated
+        cluster.spawn(2, "w2", writer_body(PROP_SEG, 1, 0xBBBB))
+        cluster.run()
+        cluster.spawn(1, "r1", reader_body(PROP_SEG, 1, views))
+        cluster.spawn(3, "r3", reader_body(PROP_SEG, 3, views))
+        cluster.run()
+        assert views[1][:2] == [0xAAAA, 0xBBBB]
+        assert views[3][:2] == [0xAAAA, 0xBBBB]
+        assert not workload_deaths(cluster)
+
+        stats = cluster.coherence_stats()
+        assert sum(s["fetches"] for s in stats) >= 2
+        assert sum(s["invalidations"] for s in stats) >= 1
+        assert sum(s["upgrades"] for s in stats) >= 1
+        # only participating nodes charged "net" cycles
+        assert cluster.net_cycles()[0] >= 0
+        cluster.shutdown()
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           writes=st.lists(st.tuples(st.integers(0, 2),
+                                     st.integers(0, 3)),
+                           min_size=1, max_size=8),
+           kind=st.sampled_from([FaultKind.DROP, FaultKind.CORRUPT,
+                                 FaultKind.DUP, FaultKind.DELAY]),
+           site=st.sampled_from(["rpc", "rpc-reply", "*"]),
+           nfaults=st.integers(min_value=0, max_value=3))
+    def test_views_match_model_under_bounded_faults(
+            self, seed, writes, kind, site, nfaults):
+        """With fewer injected faults than the retransmit budget, every
+        exchange completes: all writers succeed, and readers on every
+        node agree with the last-write-per-slot model."""
+        assert nfaults < MAX_RETRANSMITS
+        plans = [FaultPlan(Plane.NET, kind, site=site,
+                           probability=1.0, max_faults=nfaults)] \
+            if nfaults else []
+        request_injection(plans, seed=seed)
+        try:
+            cluster = Cluster(3, seed=(seed % 65521) + 1)
+            cluster.spawn(0, "creator", creator_body(PROP_SEG))
+            cluster.run()
+            model = {}
+            for index, (node, slot) in enumerate(writes):
+                cluster.spawn(node, f"w{index}",
+                              writer_body(PROP_SEG, slot, index + 1))
+                cluster.run()
+                model[slot] = index + 1
+            views = {}
+            for node in range(3):
+                cluster.spawn(node, f"r{node}",
+                              reader_body(PROP_SEG, node, views))
+            cluster.run()
+            assert not workload_deaths(cluster)
+            expected = [model.get(slot, 0) for slot in range(4)]
+            assert views == {0: expected, 1: expected, 2: expected}
+            cluster.shutdown()
+        finally:
+            cancel_injection()
+
+    def test_rpc_exhaustion_is_contained(self):
+        """Dropping every rpc frame exhausts the retransmit budget: the
+        victim dies with the typed InjectedNetError, the kernels and
+        the cluster survive."""
+        plans = [FaultPlan(Plane.NET, FaultKind.DROP, site="rpc",
+                           probability=1.0)]
+        request_injection(plans, seed=3)
+        try:
+            cluster = Cluster(2, seed=8)
+            cluster.spawn(0, "creator", creator_body(PROP_SEG))
+            cluster.run()
+            views = {}
+            reader = cluster.spawn(1, "r1",
+                                   reader_body(PROP_SEG, 1, views))
+            cluster.run()
+            assert 1 not in views
+            assert reader.death_reason is not None
+            assert "InjectedNetError" in reader.death_reason \
+                or "SIGSEGV" in reader.death_reason
+            injector = cluster.machines[1].kernel.injector
+            assert injector is not None and injector.stats.triggered \
+                >= MAX_RETRANSMITS
+            # the cluster is still alive and serviceable
+            cluster.spawn(0, "r0", reader_body(PROP_SEG, 0, views))
+            cluster.run()
+            assert views[0][0] == 0
+            cluster.shutdown()
+        finally:
+            cancel_injection()
+
+
+# ----------------------------------------------------------------------
+# rwho at cluster scale: differential oracle + netd bridge
+# ----------------------------------------------------------------------
+
+class TestClusterRwho:
+    def test_shm_matches_single_kernel_oracle(self):
+        from repro.apps.rwho.cluster import (
+            run_cluster_rwho,
+            single_kernel_rwho,
+            synth_statuses,
+        )
+
+        statuses = synth_statuses(30)
+        cluster = Cluster(4, seed=1993)
+        result = run_cluster_rwho(cluster, statuses, "shm",
+                                  readers=[1, 3])
+        cluster.shutdown()
+        oracle = single_kernel_rwho(statuses)
+        assert result["outputs"][1] == oracle
+        assert result["outputs"][3] == oracle
+        # the database crossed the wire once per reading node, not once
+        # per host: FETCH/GRANT counts stay constant in nhosts
+        assert result["by_kind"]["FETCH"] == 2
+        assert result["by_kind"]["DATA"] == 30
+
+    def test_file_baseline_matches_and_costs_more_frames(self):
+        from repro.apps.rwho.cluster import (
+            run_cluster_rwho,
+            single_kernel_rwho,
+            synth_statuses,
+        )
+
+        statuses = synth_statuses(30)
+        shm_cluster = Cluster(3, seed=1993)
+        shm = run_cluster_rwho(shm_cluster, statuses, "shm",
+                               readers=[1])
+        shm_cluster.shutdown()
+        file_cluster = Cluster(3, seed=1993)
+        filed = run_cluster_rwho(file_cluster, statuses, "file",
+                                 readers=[1])
+        file_cluster.shutdown()
+        oracle = single_kernel_rwho(statuses)
+        assert shm["outputs"][1] == oracle
+        assert filed["outputs"][1] == oracle
+        # file baseline: one LIST + one GET round trip per host
+        assert filed["frames_sent"] >= 2 * 30
+        assert filed["frames_sent"] > shm["frames_sent"]
+
+
+# ----------------------------------------------------------------------
+# replay-drift regression
+# ----------------------------------------------------------------------
+
+def _soak(plans, seed):
+    return _net_soak_run(4, seed, 24, "shm", plans)
+
+
+class TestReplayDrift:
+    def test_fault_free_replay_is_bit_identical(self):
+        first = _soak([], 1993)
+        replay = _soak([], 1993)
+        assert first["outcome"] == "clean"
+        assert first["stream"] == replay["stream"]
+        assert first["outputs"] == replay["outputs"]
+        assert first["cycles"] == replay["cycles"]
+        assert len(first["stream"]) > 0  # NET events were traced
+
+    def test_faulted_replay_is_bit_identical(self):
+        plans = _campaign_plans(["net"], 0.2)
+        first = _soak(plans, 1993)
+        replay = _soak(plans, 1993)
+        assert first["outcome"] != "kernel-death"
+        assert first["totals"]["triggered"] > 0
+        assert first["stream"] == replay["stream"]
+        assert first["outputs"] == replay["outputs"]
+        assert first["cycles"] == replay["cycles"]
+
+
+# ----------------------------------------------------------------------
+# scheduler wedge/deadlock detection
+# ----------------------------------------------------------------------
+
+class TestSchedulerGuards:
+    def test_datagram_to_dead_port_is_a_typed_wedge(self):
+        cluster = Cluster(2, seed=3)
+
+        def lonely(kernel, proc):
+            kernel.nic.send(proc, 1, 0x999, b"anyone home?")
+            yield
+            return 0
+
+        cluster.spawn(0, "lonely", lonely)
+        with pytest.raises(NetError, match="wedged|drain"):
+            cluster.run()
+        cluster.shutdown()
+
+    def test_round_ceiling_is_enforced(self):
+        cluster = Cluster(2, seed=3)
+
+        def forever(kernel, proc):
+            while True:
+                yield
+
+        cluster.spawn(0, "spin", forever)
+        with pytest.raises(NetError, match="quiesce|wedged"):
+            cluster.run(max_rounds=50)
+        cluster.shutdown()
+
+
+# ----------------------------------------------------------------------
+# the CLI surface
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_topo_is_deterministic(self):
+        a, b = io.StringIO(), io.StringIO()
+        assert repronet_main(["topo", "--nodes", "3"], stdout=a) == 0
+        assert repronet_main(["topo", "--nodes", "3"], stdout=b) == 0
+        assert a.getvalue() == b.getvalue()
+        assert "inos [0, 341)" in a.getvalue()
+
+    def test_run_reports_traffic(self):
+        out = io.StringIO()
+        status = repronet_main(
+            ["run", "--nodes", "3", "--hosts", "12"], stdout=out)
+        assert status == 0
+        text = out.getvalue()
+        assert "frames" in text and "reader on node" in text
+
+    def test_soak_passes_fixed_seed(self):
+        out = io.StringIO()
+        status = repronet_main(
+            ["soak", "--nodes", "3", "--hosts", "8", "--runs", "1",
+             "--rate", "0.05"], stdout=out)
+        assert status == 0
+        assert "OK" in out.getvalue()
+
+    def test_usage_errors(self):
+        with pytest.raises(UsageError):
+            repronet_main([])
+        with pytest.raises(UsageError):
+            repronet_main(["run", "--bogus"])
+        with pytest.raises(UsageError):
+            repronet_main(["run", "--impl", "carrier-pigeon"])
+        with pytest.raises(UsageError):
+            reprochaos_main(["--net", "--crash", "x.py"])
