@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.errors import ObjectFormatError
 from repro.hw import isa
 from repro.objfile.format import (
     ObjectFile,
@@ -196,7 +197,7 @@ def _check_word32(obj: ObjectFile, reloc: Relocation,
         return
     try:
         section_size = obj.section_size(symbol.section)
-    except Exception:
+    except ObjectFormatError:
         return
     target = symbol.value + reloc.addend
     if target < 0 or target > section_size:

@@ -40,7 +40,7 @@ from repro.disk.mount import (
     read_checkpoint_blob,
     read_superblock,
 )
-from repro.errors import DiskFormatError, FsckError
+from repro.errors import DiskFormatError, FsckError, SimulationError
 from repro.fs.filesystem import Filesystem
 from repro.vm.pages import PhysicalMemory
 
@@ -169,7 +169,7 @@ def fsck(device: BlockDevice, subject: str = "") -> FsckResult:
                     raise DiskFormatError(
                         f"unknown volume {volume!r}")
                 apply_journal_op(fs, op, args)
-            except Exception as error:
+            except (SimulationError, ValueError, TypeError) as error:
                 report.add(finding(
                     "DSK006", device.name,
                     f"txn {txid} op {op!r}: {error}"))

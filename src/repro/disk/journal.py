@@ -39,7 +39,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.disk.blockdev import BlockDevice
 from repro.disk.codec import encode_fields, decode_fields
-from repro.errors import DiskFullError
+from repro.errors import DiskFormatError, DiskFullError
 from repro.trace import tracer as _trace
 from repro.trace.events import EventKind
 
@@ -134,7 +134,7 @@ def scan_journal(device: BlockDevice, start: int, nblocks: int,
                     fields = decode_fields(record.payload)
                     volume, op = fields[0], fields[1]
                     open_ops.append((volume, op, fields[2:]))
-                except Exception as error:
+                except (DiskFormatError, IndexError) as error:
                     scan.malformed.append(
                         f"undecodable OP payload in txn {record.txid}: "
                         f"{error}"

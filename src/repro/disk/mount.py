@@ -51,7 +51,8 @@ from repro.disk.image import (
     restore_volume,
 )
 from repro.disk.journal import Journal, scan_journal
-from repro.errors import DiskError, DiskFormatError, DiskFullError
+from repro.errors import DiskError, DiskFormatError, DiskFullError, \
+    SimulationError
 from repro.trace import tracer as _trace
 from repro.trace.events import EventKind
 
@@ -400,7 +401,7 @@ class DiskStore:
                 self._apply_op(fs, op, args)
             except DiskFormatError:
                 raise
-            except Exception as error:
+            except (SimulationError, ValueError, TypeError) as error:
                 raise DiskFormatError(
                     f"replay of txn {txid} op {op!r} failed: {error}"
                 )

@@ -182,6 +182,35 @@ class NetError(SimulationError):
 
 
 # ---------------------------------------------------------------------------
+# Trace and record/replay level
+# ---------------------------------------------------------------------------
+
+class TraceCursorError(SimulationError):
+    """A tracer cursor no longer addresses retained events: either the
+    ring buffer dropped events past it (the gap would otherwise vanish
+    silently into a replay) or the cursor is ahead of everything
+    emitted (a stale or corrupt checkpoint)."""
+
+
+class RRError(SimulationError):
+    """Record/replay failed: a malformed ``.rrr`` recording, a
+    checkpoint that cannot be materialized (live native generators are
+    not serializable), or a seek outside the recorded run."""
+
+
+class DivergenceError(RRError):
+    """A replay diverged from its recording. Carries the first
+    divergent event (or cycle-count mismatch) so CI can report the
+    exact cycle nondeterminism crept in."""
+
+    def __init__(self, message: str, cycle: int = -1,
+                 index: int = -1) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.index = index
+
+
+# ---------------------------------------------------------------------------
 # Object-file and linker level
 # ---------------------------------------------------------------------------
 

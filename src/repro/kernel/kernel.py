@@ -108,6 +108,13 @@ class Kernel:
         # An armed injection campaign (reprochaos) attaches a fresh,
         # identically seeded injector to every boot.
         _inject.attach_kernel(self)
+        # An armed recording (reprorr) checkpoints this kernel
+        # periodically via the clock's checkpoint hook. Imported lazily
+        # for the same reason as repro.disk below: repro.rr pulls in
+        # the disk image layer, which imports this module.
+        from repro.rr import recorder as _rr_recorder
+
+        _rr_recorder.attach_kernel(self)
         # The durable store (repro.disk). A blank device is formatted;
         # anything else is recovered — committed journal transactions
         # replayed, the torn tail discarded, the addr↔inode table

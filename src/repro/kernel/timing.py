@@ -15,7 +15,19 @@ their relative magnitudes matter; benchmarks report ratios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Optional
+
+#: Largest exponent :meth:`Clock.backoff` applies. One wait therefore
+#: tops out at ``retry_backoff << MAX_BACKOFF_SHIFT`` cycles (~39.3M
+#: with the default cost model — about a second of simulated time),
+#: so a long retry storm costs linearly in attempts instead of
+#: doubling without bound and swamping every cycle comparison.
+MAX_BACKOFF_SHIFT = 16
+
+#: ``Clock.checkpoint_at`` value meaning "never": one comparison
+#: against this sentinel is the whole cost of the checkpoint hook
+#: when recording is off (pay-for-use).
+CHECKPOINT_NEVER = 1 << 62
 
 
 @dataclass(frozen=True)
@@ -49,11 +61,27 @@ class Clock:
     costs: CostModel = field(default_factory=CostModel)
     cycles: int = 0
     by_category: Dict[str, int] = field(default_factory=dict)
+    #: cycle count at (or past) which :attr:`on_checkpoint` fires;
+    #: :data:`CHECKPOINT_NEVER` keeps the hook disarmed
+    checkpoint_at: int = CHECKPOINT_NEVER
+    #: called with this clock when :attr:`checkpoint_at` is crossed
+    #: (armed by :mod:`repro.rr`); must re-arm ``checkpoint_at``
+    on_checkpoint: Optional[Callable[["Clock"], None]] = None
 
     def charge(self, category: str, cycles: int) -> None:
         self.cycles += cycles
         self.by_category[category] = \
             self.by_category.get(category, 0) + cycles
+        if self.cycles >= self.checkpoint_at:
+            self._checkpoint_due()
+
+    def _checkpoint_due(self) -> None:
+        """Fire the checkpoint hook exactly once per arming: disarm
+        first so captures that re-enter :meth:`charge` cannot recurse;
+        the hook re-arms for the next interval."""
+        hook, self.checkpoint_at = self.on_checkpoint, CHECKPOINT_NEVER
+        if hook is not None:
+            hook(self)
 
     def instructions(self, count: int) -> None:
         self.charge("instructions", count * self.costs.instruction)
@@ -101,9 +129,10 @@ class Clock:
 
     def backoff(self, attempt: int) -> None:
         """One deterministic exponential-backoff wait: retry *attempt*
-        (1-based) costs ``retry_backoff << (attempt - 1)`` cycles."""
-        self.charge("backoff",
-                    self.costs.retry_backoff << max(attempt - 1, 0))
+        (1-based) costs ``retry_backoff << (attempt - 1)`` cycles,
+        saturating at ``retry_backoff << MAX_BACKOFF_SHIFT``."""
+        shift = min(max(attempt - 1, 0), MAX_BACKOFF_SHIFT)
+        self.charge("backoff", self.costs.retry_backoff << shift)
 
     def snapshot(self) -> int:
         """Current cycle count (for interval measurements)."""

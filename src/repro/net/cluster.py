@@ -193,6 +193,12 @@ class Cluster:
         kernel.coherence = agent
         kernel.sfs.coherence = agent
         self.machines.append(Machine(self, node_id, kernel, nic, agent))
+        # An armed recording (reprorr) must checkpoint cluster members
+        # at round boundaries — a globally consistent cut — not at
+        # per-kernel clock crossings that land mid-round.
+        from repro.rr import recorder as _rr_recorder
+
+        _rr_recorder.attach_cluster(self, kernel)
 
     # ------------------------------------------------------------------
     # the round scheduler
@@ -205,6 +211,12 @@ class Cluster:
         self.fabric.deliver_due(self.round)
         for machine in self.machines:
             machine.step_round()
+        # Round boundary: every due frame delivered, every runnable
+        # process sliced — the consistent cut reprorr checkpoints at.
+        from repro.rr import recorder as _rr_recorder
+
+        if _rr_recorder.CAMPAIGN:
+            _rr_recorder.on_cluster_round(self)
 
     def idle(self) -> bool:
         """Nothing left to do: no wire traffic, no queued datagrams, no

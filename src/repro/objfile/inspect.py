@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.errors import SimulationError
 from repro.objfile.format import ObjectFile, SymBinding, SEC_UNDEF
 
 
@@ -123,7 +124,7 @@ def _lint_codes(obj: ObjectFile) -> Dict[Tuple[str, int], List[str]]:
     codes: Dict[Tuple[str, int], List[str]] = {}
     try:
         report = analyze_object(obj)
-    except Exception:
+    except SimulationError:
         return codes  # a broken object should still dump
     for item in report:
         if item.section and item.offset is not None:

@@ -482,6 +482,16 @@ def _campaign_plans(planes: Sequence[str], rate: float) -> List:
         elif plane is Plane.VMFAULT:
             plans.append(FaultPlan(plane, FaultKind.SPURIOUS,
                                    probability=rate / 16.0))
+        elif plane is Plane.DISK:
+            # Only fires when a durable store is mounted (REPRO_DISK
+            # or request_durable); harmless — and deterministically
+            # idle — otherwise.
+            plans.append(FaultPlan(plane, FaultKind.TORN_WRITE,
+                                   site="block-write",
+                                   probability=rate))
+            plans.append(FaultPlan(plane, FaultKind.CORRUPT,
+                                   site="block-read",
+                                   probability=rate / 4.0))
         elif plane is Plane.NET:
             plans.append(FaultPlan(plane, FaultKind.DROP,
                                    probability=rate))
@@ -1121,6 +1131,211 @@ def reprofsck_entry() -> int:
         return 2
 
 
+# ----------------------------------------------------------------------
+# reprorr — whole-machine record/replay with a divergence oracle
+# ----------------------------------------------------------------------
+
+def _rr_load(path: str):
+    from repro.errors import RRError
+    from repro.rr import Recording
+
+    if not os.path.isfile(path):
+        raise UsageError(f"reprorr: no such recording: {path}")
+    try:
+        return Recording.load(path)
+    except RRError as error:
+        raise UsageError(f"reprorr: {path}: {error}")
+
+
+def reprorr_main(argv: Sequence[str],
+                 stdout: Optional[TextIO] = None) -> int:
+    """Record, replay, and seek inside deterministic runs.
+
+    ``reprorr record [-o FILE] [--interval N] [--planes P,P]
+    [--rate F] [--seed N] [--kinds K,K] [--capacity N] [--nodes N]
+    script.py [args...]``
+
+    Records one run: the manifest (script, argv, ``REPRO_*``
+    environment, fault plans, seeds, cluster topology) plus the full
+    trace-event stream and periodic whole-machine checkpoints every
+    ``--interval`` cycles (cluster runs checkpoint at round
+    boundaries). ``--nodes N`` exports ``REPRO_CLUSTER=N`` so
+    cluster-aware scripts boot an N-node cluster; the variable is
+    captured into the manifest, so replays inherit it automatically.
+    The recording is written to ``FILE`` (default ``<script>.rrr``).
+
+    ``reprorr replay [--script PATH] recording.rrr``
+
+    The divergence oracle: re-executes the recorded run from its
+    manifest and compares the trace-event stream, per-boot cycle
+    totals, checkpoint digests, and outcome. Exit 0 when bit-identical;
+    exit 1 with the first divergent event and its cycle otherwise.
+
+    ``reprorr seek --cycle N [--script PATH] recording.rrr``
+
+    Time travel: restores the nearest checkpoint at or before cycle N
+    (verifying its state digest) and re-executes forward, checking the
+    event stream from cycle N onward is bit-identical — which also
+    gives reverse-step: seek to any earlier cycle of the same
+    recording.
+
+    ``reprorr info recording.rrr`` prints the manifest summary.
+    """
+    from repro.rr import record_script, replay_script, seek_script
+
+    out = stdout if stdout is not None else sys.stdout
+    args = list(argv)
+    if not args or args[0] not in ("record", "replay", "seek", "info"):
+        raise UsageError(
+            "reprorr: usage: reprorr record|replay|seek|info ..."
+        )
+    mode, args = args[0], args[1:]
+
+    if mode == "info":
+        if len(args) != 1:
+            raise UsageError("reprorr: usage: reprorr info "
+                             "recording.rrr")
+        print(_rr_load(args[0]).describe(), file=out)
+        return 0
+
+    if mode in ("replay", "seek"):
+        script: Optional[str] = None
+        cycle: Optional[int] = None
+        paths: List[str] = []
+        index = 0
+        while index < len(args):
+            arg = args[index]
+            if arg == "--script":
+                script = _value(args, index, "--script")
+                index += 2
+            elif arg == "--cycle" and mode == "seek":
+                cycle = int(_value(args, index, "--cycle"))
+                index += 2
+            elif arg.startswith("-"):
+                raise UsageError(f"reprorr: unknown option {arg!r}")
+            else:
+                paths.append(arg)
+                index += 1
+        if len(paths) != 1:
+            raise UsageError(f"reprorr: {mode} takes exactly one "
+                             f"recording")
+        if mode == "seek" and cycle is None:
+            raise UsageError("reprorr: seek requires --cycle N")
+        recording = _rr_load(paths[0])
+        if script is None and recording.manifest.get("script") \
+                and not os.path.isfile(recording.manifest["script"]):
+            raise UsageError(
+                f"reprorr: recorded script "
+                f"{recording.manifest['script']!r} not found; "
+                f"pass --script"
+            )
+        if mode == "replay":
+            report = replay_script(recording, script)
+            print(report.render(), file=out)
+            return 0 if report.ok else 1
+        result = seek_script(recording, cycle, script)
+        print(result.render(), file=out)
+        return 0 if result.digest_ok and result.suffix_identical else 1
+
+    # record
+    from repro.rr.recorder import DEFAULT_INTERVAL
+
+    output: Optional[str] = None
+    interval = DEFAULT_INTERVAL
+    planes: List[str] = []
+    rate = 0.005
+    seed = 1993
+    kinds: Optional[List[str]] = None
+    capacity: Optional[int] = None
+    nodes: Optional[int] = None
+    script = None
+    script_args: List[str] = []
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "-o":
+            output = _value(args, index, "-o")
+            index += 2
+        elif arg == "--interval":
+            interval = int(_value(args, index, "--interval"))
+            index += 2
+        elif arg == "--planes":
+            names = _value(args, index, "--planes")
+            planes = [name.strip() for name in names.split(",")
+                      if name.strip()]
+            index += 2
+        elif arg == "--rate":
+            rate = float(_value(args, index, "--rate"))
+            index += 2
+        elif arg == "--seed":
+            seed = int(_value(args, index, "--seed"))
+            index += 2
+        elif arg == "--kinds":
+            names = _value(args, index, "--kinds")
+            kinds = [name for name in names.split(",") if name.strip()]
+            index += 2
+        elif arg == "--capacity":
+            capacity = int(_value(args, index, "--capacity"))
+            index += 2
+        elif arg == "--nodes":
+            nodes = int(_value(args, index, "--nodes"))
+            index += 2
+        elif arg.startswith("-") and script is None:
+            raise UsageError(f"reprorr: unknown option {arg!r}")
+        else:
+            script = arg
+            script_args = args[index + 1:]
+            break
+    if script is None:
+        raise UsageError(
+            "reprorr: usage: reprorr record [-o file] [--interval N] "
+            "[--planes P,P] [--rate F] [--seed N] [--kinds K,K] "
+            "[--capacity N] [--nodes N] script.py [args...]"
+        )
+    if not os.path.isfile(script):
+        raise UsageError(f"reprorr: no such script: {script}")
+    try:
+        plans = _campaign_plans(planes, rate) if planes else []
+    except ValueError as error:
+        raise UsageError(f"reprorr: {error}")
+
+    saved_cluster = os.environ.get("REPRO_CLUSTER")
+    if nodes is not None:
+        os.environ["REPRO_CLUSTER"] = str(nodes)
+    try:
+        extra = {} if capacity is None else {"capacity": capacity}
+        recording = record_script(script, script_args,
+                                  interval=interval, plans=plans,
+                                  inject_seed=seed, kinds=kinds,
+                                  **extra)
+    finally:
+        if nodes is not None:
+            if saved_cluster is None:
+                os.environ.pop("REPRO_CLUSTER", None)
+            else:
+                os.environ["REPRO_CLUSTER"] = saved_cluster
+    if output is None:
+        stem = os.path.splitext(os.path.basename(script))[0]
+        output = f"{stem}.rrr"
+    recording.save(output)
+    size = os.path.getsize(output)
+    print(f"recorded {script}: {len(recording.events)} event(s), "
+          f"{len(recording.boots)} boot(s), "
+          f"{len(recording.checkpoints)} checkpoint(s), outcome "
+          f"{recording.outcome}", file=out)
+    print(f"wrote {output} ({size} bytes)", file=out)
+    return 0 if recording.outcome != "kernel-death" else 1
+
+
+def reprorr_entry() -> int:
+    """Console-script entry point (``reprorr ...``)."""
+    try:
+        return reprorr_main(sys.argv[1:])
+    except UsageError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+
 def load_archive(kernel: Kernel, proc: Process, path: str) -> Archive:
     data = kernel.vfs.read_whole(path, proc.uid, cwd=proc.cwd)
     return Archive.from_bytes(data)
@@ -1170,7 +1385,8 @@ if __name__ == "__main__":  # pragma: no cover - console convenience
     _ENTRIES = {"reprotrace": reprotrace_entry,
                 "reprochaos": reprochaos_entry,
                 "repronet": repronet_entry,
-                "reprofsck": reprofsck_entry}
+                "reprofsck": reprofsck_entry,
+                "reprorr": reprorr_entry}
     _args = sys.argv[1:]
     _entry = reprotrace_entry
     if _args and _args[0] in _ENTRIES:

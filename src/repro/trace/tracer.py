@@ -37,6 +37,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.errors import TraceCursorError
 from repro.trace.events import (
     ALL_MASK,
     Event,
@@ -216,6 +217,35 @@ class Tracer:
     def events(self) -> List[Event]:
         """Retained events, oldest first (wraparound unfolded)."""
         return self._ring[self._head:] + self._ring[:self._head]
+
+    def cursor(self) -> int:
+        """The sequence number the *next* accepted event will get.
+
+        Sequence numbers count accepted events from the tracer's
+        creation and are never reused, so they survive ring-buffer
+        wraparound: a cursor taken at a checkpoint addresses a fixed
+        point in the event stream no matter how many events are later
+        dropped. ``cursor() == emitted`` by construction."""
+        return self.emitted
+
+    def events_since(self, cursor: int) -> List[Event]:
+        """Retained events with sequence number >= *cursor*, oldest
+        first — exactly once and in emit order.
+
+        Raises :class:`~repro.errors.TraceCursorError` if the ring has
+        already dropped events past *cursor* (replaying from such a
+        cursor would silently skip the gap) or if *cursor* lies beyond
+        everything emitted (a stale or corrupt checkpoint)."""
+        if cursor < 0 or cursor > self.emitted:
+            raise TraceCursorError(
+                f"cursor {cursor} is outside the emitted range "
+                f"0..{self.emitted}")
+        oldest = self.emitted - len(self._ring)
+        if cursor < oldest:
+            raise TraceCursorError(
+                f"ring overflow dropped events {cursor}..{oldest - 1}; "
+                f"raise the tracer capacity or checkpoint more often")
+        return self.events()[cursor - oldest:]
 
     def clear(self) -> None:
         self._ring = []

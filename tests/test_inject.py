@@ -276,6 +276,21 @@ class TestRetryBackoff:
         clock.backoff(2)
         assert clock.by_category["backoff"] == first * 3  # +2x
 
+    def test_backoff_shift_is_capped(self):
+        """The exponential wait saturates at MAX_BACKOFF_SHIFT: a long
+        retry storm costs linearly in attempts, and a huge attempt
+        count can no longer shift the wait into a cycle count that
+        dwarfs the simulated machine's lifetime."""
+        from repro.kernel.timing import MAX_BACKOFF_SHIFT, Clock
+
+        clock = Clock()
+        capped = clock.costs.retry_backoff << MAX_BACKOFF_SHIFT
+        clock.backoff(MAX_BACKOFF_SHIFT + 1)  # first capped attempt
+        assert clock.by_category["backoff"] == capped
+        clock.backoff(10_000)  # absurd attempt count: same capped cost
+        assert clock.by_category["backoff"] == capped * 2
+        assert capped == 600 << 16  # pinned: ~39.3M cycles
+
     def test_exhausted_retries_surface_typed(self, system, shell):
         kernel = system.kernel
         graph = build_module_fanout(kernel, shell, width=2, used=2,

@@ -116,6 +116,61 @@ class TestRingBuffer:
             Tracer(FakeClock(), capacity=0)
 
 
+class TestCursor:
+    """The checkpoint-safe cursor: a cursor taken at any moment replays
+    exactly the events emitted after it — never a duplicate, never out
+    of order — or fails loudly when the ring has overflowed past it."""
+
+    def test_cursor_is_monotonic_emitted(self):
+        tracer = Tracer(FakeClock(), capacity=8)
+        assert tracer.cursor() == 0
+        tracer.emit(EventKind.SYSCALL, name="a")
+        tracer.emit(EventKind.SYSCALL, name="b")
+        assert tracer.cursor() == 2
+
+    def test_events_since_returns_exact_suffix(self):
+        tracer = Tracer(FakeClock(), capacity=8)
+        tracer.emit(EventKind.SYSCALL, name="a")
+        cursor = tracer.cursor()
+        tracer.emit(EventKind.SYSCALL, name="b")
+        tracer.emit(EventKind.SYSCALL, name="c")
+        assert [e.name for e in tracer.events_since(cursor)] \
+            == ["b", "c"]
+        # a fresh cursor yields an empty suffix, not a duplicate
+        assert tracer.events_since(tracer.cursor()) == []
+
+    def test_events_since_survives_partial_overflow(self):
+        tracer = Tracer(FakeClock(), capacity=4)
+        for i in range(3):
+            tracer.emit(EventKind.SYSCALL, name=f"e{i}")
+        cursor = tracer.cursor()  # at 3; ring still holds e0..e2
+        for i in range(3, 6):
+            tracer.emit(EventKind.SYSCALL, name=f"e{i}")
+        # ring now holds e2..e5; the cursor's suffix is intact
+        assert [e.name for e in tracer.events_since(cursor)] \
+            == ["e3", "e4", "e5"]
+
+    def test_events_since_rejects_overflowed_cursor(self):
+        from repro.errors import TraceCursorError
+
+        tracer = Tracer(FakeClock(), capacity=2)
+        cursor = tracer.cursor()
+        for i in range(5):
+            tracer.emit(EventKind.SYSCALL, name=f"e{i}")
+        with pytest.raises(TraceCursorError):
+            tracer.events_since(cursor)
+
+    def test_events_since_rejects_bogus_cursor(self):
+        from repro.errors import TraceCursorError
+
+        tracer = Tracer(FakeClock(), capacity=4)
+        tracer.emit(EventKind.SYSCALL, name="a")
+        with pytest.raises(TraceCursorError):
+            tracer.events_since(-1)
+        with pytest.raises(TraceCursorError):
+            tracer.events_since(tracer.emitted + 1)
+
+
 class TestKindMasks:
     def test_mask_filters_at_emit(self):
         tracer = Tracer(FakeClock(), kinds=[EventKind.FAULT])
