@@ -82,7 +82,7 @@ def boot(lazy: bool = True, addrmap=None,
          wide_addresses: bool = False,
          scoped: bool = True,
          verify: Optional[bool] = None,
-         disk=None, net=None) -> System:
+         disk=None, net=None, sanitize=None) -> System:
     """Boot a fresh simulated machine.
 
     * *lazy* — whether ldl links lazily (the paper's default) or eagerly;
@@ -102,6 +102,11 @@ def boot(lazy: bool = True, addrmap=None,
       wiring this machine's NIC and coherence agent. None (the default)
       boots the classic stand-alone machine; :class:`repro.net.Cluster`
       passes this internally, so user code rarely supplies it.
+    * *sanitize* — install the race/heap sanitizer (repro.sanitize) on
+      this machine. True creates (or joins) the process-wide active
+      sanitizer; a :class:`repro.sanitize.Sanitizer` instance joins that
+      one. The sanitizer observes without charging the clock, so cycle
+      totals are bit-identical either way.
     """
     kernel = Kernel(addrmap=addrmap, costs=costs,
                     wide_addresses=wide_addresses, disk=disk)
@@ -109,4 +114,9 @@ def boot(lazy: bool = True, addrmap=None,
     system = System(kernel=kernel, lds=Lds(kernel, verify=verify))
     if net is not None:
         net.attach(kernel)
+    if sanitize:
+        from repro.sanitize import install_sanitizer
+
+        install_sanitizer(kernel, sanitize if sanitize is not True
+                          else None)
     return system

@@ -1,9 +1,10 @@
 """repro.analyze — reprolint, the linker-aware static verifier.
 
-A pipeline of five static checks over HOF objects — relocation
+A pipeline of six static checks over HOF objects — relocation
 validation, symbol-resolution audit, CFG/dead-code analysis, layout
-audit, and sharing-class checks — with stable diagnostic codes
-(DESIGN.md §7). Exposed three ways:
+audit, sharing-class checks, and the cross-sharing-class pointer
+analysis — with stable diagnostic codes (DESIGN.md §7). Exposed three
+ways:
 
 * the ``reprolint`` CLI (:mod:`repro.tools.cli`);
 * the opt-in post-link verification gate in ``lds``/``ldl``
@@ -24,18 +25,21 @@ from repro.analyze.pipeline import (
 )
 from repro.analyze.report import (
     CATALOG,
+    DuplicateCodeError,
     Finding,
     Report,
     Severity,
     finding,
     format_reloc,
     format_site,
+    register_codes,
 )
 
 __all__ = [
     "CATALOG",
     "CHECKS",
     "CorpusEntry",
+    "DuplicateCodeError",
     "Finding",
     "LintContext",
     "Report",
@@ -49,6 +53,7 @@ __all__ = [
     "format_reloc",
     "format_site",
     "lint_enabled_default",
+    "register_codes",
     "run_self_test",
     "verify_image",
 ]

@@ -58,13 +58,14 @@ class CorpusEntry:
 
 
 def broken_objects() -> List[CorpusEntry]:
-    """The full corpus, one entry per catalogue code, REL001..SHR003."""
+    """The full corpus, one entry per catalogue code, REL001..SAN004."""
     return [
         _rel001(), _rel002(), _rel003(), _rel004(), _rel005(), _rel006(),
         _sym001(), _sym002(), _sym003(),
         _cfg001(), _cfg002(), _cfg003(), _cfg004(), _cfg005(),
         _lay001(), _lay002(), _lay003(), _lay004(),
         _shr001(), _shr002(), _shr003(),
+        _san001(), _san002(), _san003(), _san004(),
     ]
 
 
@@ -309,6 +310,106 @@ def _shr003() -> CorpusEntry:
     ]
     return CorpusEntry("SHR003", "conflicting sharing classes", obj,
                        LintContext())
+
+
+# ---------------------------------------------------------------------------
+# cross-sharing-class pointer analysis
+# ---------------------------------------------------------------------------
+
+_SAN_EXPORTS = {"pubseg": 0x3000_0100, "privptr": 0x1000_0040}
+
+_LUI_V0 = isa.encode_i(isa.OP_LUI, rt=isa.REG_V0, imm=0)
+_ORI_V0 = isa.encode_i(isa.OP_ORI, rs=isa.REG_V0, rt=isa.REG_V0, imm=0)
+_LUI_A0 = isa.encode_i(isa.OP_LUI, rt=isa.REG_A0, imm=0)
+_ORI_A0 = isa.encode_i(isa.OP_ORI, rs=isa.REG_A0, rt=isa.REG_A0, imm=0)
+_SW_A0_AT = isa.encode_i(isa.OP_SW, rs=isa.REG_AT, rt=isa.REG_A0, imm=0)
+_T0 = 8
+_ADDI_T0_SP = isa.encode_i(isa.OP_ADDI, rs=isa.REG_SP, rt=_T0, imm=16)
+_SW_T0_AT = isa.encode_i(isa.OP_SW, rs=isa.REG_AT, rt=_T0, imm=0)
+
+
+def _san_context() -> LintContext:
+    return LintContext(scope_levels=[[
+        ScopeModule("env", exports=dict(_SAN_EXPORTS)),
+    ]])
+
+
+def _pair(obj: ObjectFile, offset: int, symbol: str) -> None:
+    """A HI16/LO16 relocation pair at *offset* / *offset*+4."""
+    obj.relocations.append(
+        Relocation(SEC_TEXT, offset, RelocType.HI16, symbol))
+    obj.relocations.append(
+        Relocation(SEC_TEXT, offset + 4, RelocType.LO16, symbol))
+
+
+def _san001() -> CorpusEntry:
+    obj = _obj("san001.o", [
+        _LUI_AT, _ORI_AT,       # at  <- &pubseg (public base)
+        _LUI_V0, _ORI_V0,       # v0  <- &privptr (private address)
+        _SW_AT,                 # sw v0, 0(at): plants it
+        _JR_RA,
+    ])
+    _undef(obj, "pubseg")
+    _undef(obj, "privptr")
+    _pair(obj, 0, "pubseg")
+    _pair(obj, 8, "privptr")
+    return CorpusEntry("SAN001", "private pointer planted in public "
+                       "segment", obj, _san_context())
+
+
+def _san002() -> CorpusEntry:
+    obj = _obj("san002.o", [
+        _LUI_A0, _ORI_A0,                     # a0 <- &privptr
+        isa.encode_j(isa.OP_JAL, 16 >> 2),    # publish(a0)
+        _JR_RA,
+        # publish, offset 16: stores its argument through &pubseg
+        _LUI_AT, _ORI_AT,
+        _SW_A0_AT,
+        _JR_RA,
+    ])
+    obj.symbols["publish"] = Symbol("publish", SEC_TEXT, 16)
+    _undef(obj, "pubseg")
+    _undef(obj, "privptr")
+    _pair(obj, 0, "privptr")
+    _pair(obj, 16, "pubseg")
+    obj.relocations.append(
+        Relocation(SEC_TEXT, 8, RelocType.JUMP26, "publish"))
+    return CorpusEntry("SAN002", "private pointer escapes through "
+                       "publishing callee", obj, _san_context())
+
+
+def _san003() -> CorpusEntry:
+    obj = _obj("san003.o", [
+        isa.encode_j(isa.OP_JAL, 20 >> 2),    # v0 <- mkpriv()
+        _LUI_AT, _ORI_AT,                     # at <- &pubseg
+        _SW_AT,                               # sw v0, 0(at)
+        _JR_RA,
+        # mkpriv, offset 20: returns &privptr
+        _LUI_V0, _ORI_V0,
+        _JR_RA,
+    ])
+    obj.symbols["mkpriv"] = Symbol("mkpriv", SEC_TEXT, 20)
+    _undef(obj, "pubseg")
+    _undef(obj, "privptr")
+    _pair(obj, 4, "pubseg")
+    _pair(obj, 20, "privptr")
+    obj.relocations.append(
+        Relocation(SEC_TEXT, 0, RelocType.JUMP26, "mkpriv"))
+    return CorpusEntry("SAN003", "laundered private pointer stored "
+                       "public", obj, _san_context())
+
+
+def _san004() -> CorpusEntry:
+    obj = _obj("san004.o", [
+        _LUI_AT, _ORI_AT,       # at <- &pubseg
+        _ADDI_T0_SP,            # t0 <- sp + 16
+        _SW_T0_AT,              # sw t0, 0(at)
+        _JR_RA,
+    ])
+    _undef(obj, "pubseg")
+    _pair(obj, 0, "pubseg")
+    return CorpusEntry("SAN004", "stack address stored public", obj,
+                       _san_context())
 
 
 # ---------------------------------------------------------------------------

@@ -42,6 +42,7 @@ from repro.analyze.symbols import check_symbols
 from repro.analyze.cfg import check_cfg
 from repro.analyze.layout import check_layout
 from repro.analyze.sharing import check_sharing
+from repro.analyze.sanitize import check_sanitize
 
 # Ordered registry: (category name, check function). Category names are
 # what ``reprolint --only`` matches on.
@@ -51,6 +52,7 @@ CHECKS: List[Tuple[str, Callable[..., None]]] = [
     ("cfg", check_cfg),
     ("layout", check_layout),
     ("sharing", check_sharing),
+    ("sanitize", check_sanitize),
 ]
 
 

@@ -40,8 +40,38 @@ class Severity(enum.IntEnum):
         return self.name.lower()
 
 
+class DuplicateCodeError(ValueError):
+    """Two check families tried to claim the same diagnostic code."""
+
+
+class _Catalog(Dict[str, Tuple[Severity, str]]):
+    """The code table with collision detection.
+
+    Codes are append-only and globally unique: a family registering a
+    code someone else already owns is a programming error that would
+    silently change what CI suppression lists match, so it raises at
+    import time rather than shadowing the earlier meaning.
+    """
+
+    def __setitem__(self, code: str,
+                    value: Tuple[Severity, str]) -> None:
+        if code in self:
+            raise DuplicateCodeError(
+                f"diagnostic code {code!r} is already registered as "
+                f"{self[code][1]!r}; codes are append-only and unique"
+            )
+        super().__setitem__(code, value)
+
+
+def register_codes(entries: Dict[str, Tuple[Severity, str]]) -> None:
+    """Add a check family's codes to :data:`CATALOG` (collision-safe)."""
+    for code, value in entries.items():
+        CATALOG[code] = value
+
+
 # code -> (default severity, one-line title). Codes are append-only.
-CATALOG: Dict[str, Tuple[Severity, str]] = {
+CATALOG: Dict[str, Tuple[Severity, str]] = _Catalog()
+_BASE_CODES: Dict[str, Tuple[Severity, str]] = {
     # -- relocation validator ------------------------------------------
     "REL001": (Severity.ERROR,
                "HI16 relocation without a matching LO16 at site+4"),
@@ -121,6 +151,7 @@ CATALOG: Dict[str, Tuple[Severity, str]] = {
     "DSK024": (Severity.ERROR,
                "segment address ranges overlap"),
 }
+register_codes(_BASE_CODES)
 
 
 @dataclass

@@ -102,6 +102,9 @@ class Kernel:
         self.nic = None
         self.node_id = 0
         self.coherence = None
+        # The race/heap sanitizer (repro.sanitize). None keeps every
+        # choke point at one attribute check.
+        self.sanitizer = None
         # An armed ambient tracer (reprotrace, REPRO_TRACE=1) binds to
         # this kernel's clock; otherwise this is a no-op.
         _trace.attach_kernel(self)
@@ -115,6 +118,12 @@ class Kernel:
         from repro.rr import recorder as _rr_recorder
 
         _rr_recorder.attach_kernel(self)
+        # An armed sanitize request (reprosan, REPRO_SAN=1) joins this
+        # kernel to the shared race/heap sanitizer. Imported lazily:
+        # repro.sanitize imports the VM layout and sfs modules.
+        from repro.sanitize import ambient as _san_ambient
+
+        _san_ambient.attach_kernel(self)
         # The durable store (repro.disk). A blank device is formatted;
         # anything else is recovered — committed journal transactions
         # replayed, the torn tail discarded, the addr↔inode table
@@ -169,6 +178,8 @@ class Kernel:
         proc.cwd = cwd
         self.processes[pid] = proc
         self._runqueue.append(pid)
+        if self.sanitizer is not None:
+            self.sanitizer.register_process(self, proc)
         return proc
 
     def create_machine_process(self, name: str, image: ObjectFile,
@@ -185,6 +196,8 @@ class Kernel:
         proc.cwd = cwd
         self.processes[pid] = proc
         self._runqueue.append(pid)
+        if self.sanitizer is not None:
+            self.sanitizer.register_process(self, proc)
         self.exec_image(proc, image)
         return proc
 
@@ -245,10 +258,14 @@ class Kernel:
         child.cpu.set_reg(isa.REG_V0, 0)
         child.cpu.set_reg(isa.REG_V1, 0)
         child.cpu.pc += 4
+        if self.sanitizer is not None:
+            self.sanitizer.on_fork(self, proc, child)
         return child
 
     def terminate(self, proc: Process, code: int,
                   reason: Optional[str] = None) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_exit(self, proc)
         proc.state = ProcessState.ZOMBIE
         proc.exit_code = code
         proc.death_reason = reason
@@ -350,6 +367,16 @@ class Kernel:
 
     def schedule(self, max_slices: int = 100000) -> None:
         """Round-robin until every process exits (or deadlock)."""
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.schedule_begin(self)
+        try:
+            self._schedule(max_slices)
+        finally:
+            if sanitizer is not None:
+                sanitizer.schedule_end(self)
+
+    def _schedule(self, max_slices: int) -> None:
         slices = 0
         while True:
             ready = self.runnable()
@@ -372,6 +399,16 @@ class Kernel:
     def run_until_exit(self, proc: Process,
                        max_slices: int = 100000) -> int:
         """Schedule until *proc* exits; returns its exit code."""
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.schedule_begin(self)
+        try:
+            return self._run_until_exit(proc, max_slices)
+        finally:
+            if sanitizer is not None:
+                sanitizer.schedule_end(self)
+
+    def _run_until_exit(self, proc: Process, max_slices: int) -> int:
         slices = 0
         while proc.alive:
             ready = self.runnable()
@@ -547,6 +584,10 @@ class Kernel:
                       f"discarded_records="
                       f"{self.recovery.discarded_records} "
                       f"segments={self.recovery.addrmap_segments}")
+        if self.sanitizer is not None:
+            counts = self.sanitizer.stats
+            extra += (f" san_races={counts.races} "
+                      f"san_heap={counts.heap_findings}")
         return (
             f"processes={len(self.processes)} (alive {alive}) "
             f"frames={self.physmem.allocated} cycles={self.clock.cycles}"

@@ -328,6 +328,9 @@ class Syscalls:
         for child in children:
             if not child.alive:
                 child.reaped = True
+                sanitizer = self.kernel.sanitizer
+                if sanitizer is not None:
+                    sanitizer.on_wait(self.kernel, proc, child.pid)
                 return child.pid, child.exit_code or 0
         self.kernel.register_waiter(proc)
         raise WouldBlock()
@@ -345,11 +348,18 @@ class Syscalls:
     def flock(self, proc: Process, fd: int, op: int) -> bool:
         self._syscall(proc, "flock")
         inode = proc.fd(fd).inode
-        if op == FLOCK_EX:
-            return self.kernel.locks.acquire(proc, inode, blocking=True)
-        if op == FLOCK_TRY:
-            return self.kernel.locks.acquire(proc, inode, blocking=False)
+        sanitizer = self.kernel.sanitizer
+        if op == FLOCK_EX or op == FLOCK_TRY:
+            held = self.kernel.locks.acquire(proc, inode,
+                                             blocking=op == FLOCK_EX)
+            if held and sanitizer is not None:
+                sanitizer.lock_acquired(self.kernel, proc,
+                                        ("flock", inode.number))
+            return held
         if op == FLOCK_UN:
+            if sanitizer is not None:
+                sanitizer.lock_released(self.kernel, proc,
+                                        ("flock", inode.number))
             woken = self.kernel.locks.release(proc, inode)
             if woken is not None:
                 self.kernel.wake(woken)
@@ -364,13 +374,24 @@ class Syscalls:
     def sem_p(self, proc: Process, key: int) -> None:
         self._syscall(proc, "sem_p")
         self.kernel.semaphores.get(key).p(proc)
+        sanitizer = self.kernel.sanitizer
+        if sanitizer is not None:
+            sanitizer.lock_acquired(self.kernel, proc, ("sem", key))
 
     def sem_try_p(self, proc: Process, key: int) -> bool:
         self._syscall(proc, "sem_try_p")
-        return self.kernel.semaphores.get(key).try_p(proc)
+        held = self.kernel.semaphores.get(key).try_p(proc)
+        if held:
+            sanitizer = self.kernel.sanitizer
+            if sanitizer is not None:
+                sanitizer.lock_acquired(self.kernel, proc, ("sem", key))
+        return held
 
     def sem_v(self, proc: Process, key: int) -> None:
         self._syscall(proc, "sem_v")
+        sanitizer = self.kernel.sanitizer
+        if sanitizer is not None:
+            sanitizer.lock_released(self.kernel, proc, ("sem", key))
         woken = self.kernel.semaphores.get(key).v()
         if woken is not None:
             self.kernel.wake(woken)
@@ -387,8 +408,12 @@ class Syscalls:
         self.kernel.clock.copy(len(data))  # user -> kernel copy
         queue = self.kernel.queues.get(key)
         ok = queue.send(proc, data, blocking)
-        if ok and queue.readers:
-            self.kernel.wake(queue.readers.pop(0))
+        if ok:
+            sanitizer = self.kernel.sanitizer
+            if sanitizer is not None:
+                sanitizer.msg_sent(self.kernel, proc, key)
+            if queue.readers:
+                self.kernel.wake(queue.readers.pop(0))
         return ok
 
     def msgrcv(self, proc: Process, key: int,
@@ -397,6 +422,9 @@ class Syscalls:
         queue = self.kernel.queues.get(key)
         data = queue.receive(proc, blocking)
         if data is not None:
+            sanitizer = self.kernel.sanitizer
+            if sanitizer is not None:
+                sanitizer.msg_received(self.kernel, proc, key)
             self.kernel.clock.copy(len(data))  # kernel -> user copy
             if queue.writers:
                 self.kernel.wake(queue.writers.pop(0))

@@ -127,11 +127,18 @@ class Machine:
     def step_round(self) -> int:
         """One slice for every currently runnable process."""
         kernel = self.kernel
+        sanitizer = kernel.sanitizer
+        if sanitizer is not None:
+            sanitizer.schedule_begin(kernel)
         ran = 0
-        for proc in kernel.runnable():
-            kernel.run_slice(proc)
-            kernel.clock.context_switch()
-            ran += 1
+        try:
+            for proc in kernel.runnable():
+                kernel.run_slice(proc)
+                kernel.clock.context_switch()
+                ran += 1
+        finally:
+            if sanitizer is not None:
+                sanitizer.schedule_end(kernel)
         return ran
 
     def workload_done(self) -> bool:

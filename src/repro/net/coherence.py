@@ -271,6 +271,9 @@ class CoherenceAgent:
         self._emit("fetch", base, value=version, pid=proc.pid)
         self._map_into(proc, base, size,
                        PROT_RWX if want_write else PROT_RX)
+        sanitizer = self.kernel.sanitizer
+        if sanitizer is not None:
+            sanitizer.coherence_acquire(self.kernel, proc, base)
         return True
 
     def _upgrade(self, proc, base: int) -> bool:
@@ -287,6 +290,9 @@ class CoherenceAgent:
             inode = self.kernel.sfs.inode_by_number(self.ino_of(base))
             assert inode is not None
             self._map_into(proc, base, inode.size, PROT_RWX)
+        sanitizer = self.kernel.sanitizer
+        if sanitizer is not None:
+            sanitizer.coherence_acquire(self.kernel, proc, base)
         return True
 
     def _map_local(self, proc, base: int, prot: int) -> bool:
@@ -294,6 +300,9 @@ class CoherenceAgent:
         if inode is None:
             return False
         self._map_into(proc, base, inode.size, prot)
+        sanitizer = self.kernel.sanitizer
+        if sanitizer is not None:
+            sanitizer.coherence_acquire(self.kernel, proc, base)
         return True
 
     def _install_replica(self, base: int, path: str, size: int,
@@ -363,6 +372,11 @@ class CoherenceAgent:
         inode = self.kernel.sfs.inode_by_number(self.ino_of(base))
         if inode is None:
             return b""
+        sanitizer = self.kernel.sanitizer
+        if sanitizer is not None:
+            # This node stops writing: publish its clocks so the next
+            # GRANT's recipient is ordered after everything it did.
+            sanitizer.coherence_release(self.kernel, base)
         self.modes[base] = "shared"
         self.stats.downgrades += 1
         self._emit("downgrade", base, value=inode.size)
@@ -387,6 +401,9 @@ class CoherenceAgent:
         if inode is None:
             self.modes.pop(base, None)
             return
+        sanitizer = self.kernel.sanitizer
+        if sanitizer is not None:
+            sanitizer.coherence_release(self.kernel, base)
         for pid in sorted(self.kernel.processes):
             proc = self.kernel.processes[pid]
             if not proc.alive:

@@ -310,6 +310,9 @@ class HemlockRuntime:
             base = self.kernel.sfs.address_of_inode(
                 sys.fstat(self.proc, fd).st_ino
             )
+            sanitizer = self.kernel.sanitizer
+            if sanitizer is not None:
+                sanitizer.segment_created(self.kernel, self.proc, base)
             return base
         finally:
             sys.close(self.proc, fd)
@@ -340,6 +343,7 @@ class HemlockRuntime:
         Any mapping in this process is removed first.
         """
         sys = self.kernel.syscalls
+        base = None
         try:
             base = sys.path_to_addr(self.proc, path)
             mapping = self.proc.address_space.mapping_at(base)
@@ -350,8 +354,13 @@ class HemlockRuntime:
             pass
         from repro.fs.path import normalize
 
-        self.ldl.forget(normalize(path, self.proc.cwd))
+        normalized = normalize(path, self.proc.cwd)
+        self.ldl.forget(normalized)
         sys.unlink(self.proc, path)
+        sanitizer = self.kernel.sanitizer
+        if sanitizer is not None and base is not None:
+            sanitizer.segment_closed(self.kernel, self.proc, base,
+                                     normalized)
 
     def resolve_symbol(self, name: str) -> Optional[int]:
         """Language-level name -> address, through the linking DAG."""

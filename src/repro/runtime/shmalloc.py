@@ -25,6 +25,7 @@ from typing import Iterator, Tuple
 
 from repro.errors import SimulationError
 from repro.runtime.views import Mem
+from repro.sanitize import state as _san_state
 
 HEAP_MAGIC = 0x48454D4C  # "HEML"
 HEADER_SIZE = 8
@@ -35,6 +36,14 @@ ALIGN = 8
 
 class SegmentHeapError(SimulationError):
     """Heap corruption or exhaustion."""
+
+
+class InvalidFreeError(SegmentHeapError):
+    """free() of a pointer that is not an allocation of this heap."""
+
+
+class DoubleFreeError(SegmentHeapError):
+    """free() of an allocation that has already been freed."""
 
 
 class SegmentHeap:
@@ -67,7 +76,29 @@ class SegmentHeap:
     # ------------------------------------------------------------------
 
     def alloc(self, nbytes: int) -> int:
-        """Allocate *nbytes*; returns the payload's absolute address."""
+        """Allocate *nbytes*; returns the payload's absolute address.
+
+        A zero-byte request is legal and yields the minimum block (so
+        distinct allocations keep distinct addresses); a negative
+        request is always a caller bug and raises.
+        """
+        if nbytes < 0:
+            raise SegmentHeapError(
+                f"negative allocation of {nbytes} bytes"
+            )
+        sanitizer = _san_state.ACTIVE
+        if sanitizer is None:
+            return self._alloc(nbytes)
+        sanitizer.allocator_enter()
+        try:
+            payload = self._alloc(nbytes)
+            block_size = self.mem.load_u32(payload - BLOCK_HEADER) & ~1
+        finally:
+            sanitizer.allocator_exit()
+        sanitizer.heap_alloc(self, payload, nbytes, block_size)
+        return payload
+
+    def _alloc(self, nbytes: int) -> int:
         self._check_magic()
         need = max(_round_up(nbytes) + BLOCK_HEADER, MIN_BLOCK)
         prev = self.base + 4            # address of the link we came from
@@ -95,12 +126,40 @@ class SegmentHeap:
         )
 
     def free(self, payload: int) -> None:
-        """Return an allocation to the heap, coalescing neighbours."""
+        """Return an allocation to the heap, coalescing neighbours.
+
+        The pointer is validated against the heap's block tiling first:
+        a pointer that was never returned by :meth:`alloc` raises
+        :class:`InvalidFreeError` and an already-freed one raises
+        :class:`DoubleFreeError` — instead of trusting whatever bytes
+        sit at ``payload - 8`` and corrupting the free list.
+        """
+        sanitizer = _san_state.ACTIVE
+        if sanitizer is None:
+            self._free(payload)
+            return
+        sanitizer.allocator_enter()
+        try:
+            try:
+                block_size = self._free(payload)
+            except DoubleFreeError as error:
+                sanitizer.heap_bad_free(self, payload, "double-free",
+                                        str(error))
+                raise
+            except InvalidFreeError as error:
+                sanitizer.heap_bad_free(self, payload, "invalid-free",
+                                        str(error))
+                raise
+        finally:
+            sanitizer.allocator_exit()
+        sanitizer.heap_free(self, payload, block_size)
+
+    def _free(self, payload: int) -> int:
         self._check_magic()
         block = payload - BLOCK_HEADER
-        header = self.mem.load_u32(block)
+        header = self._validate_block(block, payload)
         if not header & 1:
-            raise SegmentHeapError(f"double free at 0x{payload:08x}")
+            raise DoubleFreeError(f"double free at 0x{payload:08x}")
         size = header & ~1
         # Insert into the address-ordered free list.
         prev = self.base + 4
@@ -125,12 +184,46 @@ class SegmentHeap:
                                                 & ~1))
                 self.mem.store_u32(prev_block + 4,
                                    self.mem.load_u32(block + 4))
+        return size
+
+    def _validate_block(self, block: int, payload: int) -> int:
+        """Check *block* starts an actual block of this heap's tiling;
+        returns its header word."""
+        for start, size, used in self.blocks():
+            if start == block:
+                return size | (1 if used else 0)
+            if start > block:
+                break
+        raise InvalidFreeError(
+            f"free of 0x{payload:08x}, which is not an allocation of "
+            f"the heap at 0x{self.base:08x}"
+        )
 
     # ------------------------------------------------------------------
 
     def free_bytes(self) -> int:
         """Total bytes on the free list (payload + header)."""
         return sum(size for _, size in self.free_blocks())
+
+    def blocks(self) -> Iterator[Tuple[int, int, bool]]:
+        """(address, size, used) of every block, walking the tiling.
+
+        The used and free blocks of a well-formed heap tile
+        ``[base + 8, base + size)`` exactly; a walk that steps out of
+        bounds or hits a zero-size header is corruption."""
+        self._check_magic()
+        end = self.base + self.size
+        block = self.base + HEADER_SIZE
+        while block < end:
+            header = self.mem.load_u32(block)
+            size = header & ~1
+            if size < MIN_BLOCK or block + size > end:
+                raise SegmentHeapError(
+                    f"corrupt block header at 0x{block:08x} "
+                    f"(size {size})"
+                )
+            yield block, size, bool(header & 1)
+            block += size
 
     def free_blocks(self) -> Iterator[Tuple[int, int]]:
         """(address, size) of each free block, address-ordered."""
@@ -150,14 +243,26 @@ class SegmentHeap:
             block = self.mem.load_u32(block + 4)
 
     def check(self) -> None:
-        """Validate free-list invariants (ordering, bounds, no overlap)."""
+        """Validate free-list invariants (ordering, bounds, no overlap)
+        and that the block tiling covers the heap exactly."""
         last_end = self.base + HEADER_SIZE
         for block, size in self.free_blocks():
-            if block < last_end - 1:
+            if block < last_end:
                 raise SegmentHeapError("free list out of order or overlap")
             if block + size > self.base + self.size:
                 raise SegmentHeapError("free block beyond heap end")
             last_end = block + size
+        cursor = self.base + HEADER_SIZE
+        for block, size, _used in self.blocks():
+            if block != cursor:
+                raise SegmentHeapError(
+                    f"tiling gap before 0x{block:08x}"
+                )
+            cursor = block + size
+        if cursor != self.base + self.size:
+            raise SegmentHeapError(
+                f"tiling stops at 0x{cursor:08x}, before the heap end"
+            )
 
     def _check_magic(self) -> None:
         if self.mem.load_u32(self.base) != HEAP_MAGIC:
@@ -167,6 +272,6 @@ class SegmentHeap:
 
 
 def _round_up(nbytes: int) -> int:
-    if nbytes <= 0:
+    if nbytes == 0:
         nbytes = 1
     return (nbytes + ALIGN - 1) & ~(ALIGN - 1)

@@ -1,0 +1,70 @@
+"""repro.sanitize — shared-segment race detector + heap sanitizer.
+
+The dynamic half of "reprosan": an Eraser-style lockset +
+happens-before race detector over public shared segments, armed at the
+VM load/store choke points, plus a shmalloc heap sanitizer (redzones,
+use-after-free, double-free, leaks at segment close). The static half
+lives in :mod:`repro.analyze.sanitize` (the ``SAN*`` reprolint family).
+
+Typical use::
+
+    from repro.sanitize import request_sanitize, cancel_sanitize
+
+    sanitizer = request_sanitize()
+    try:
+        kernel = repro.boot()        # joins the armed sanitizer
+        ...                          # run the workload
+    finally:
+        cancel_sanitize()
+    print(sanitizer.report.render())
+
+or, per-kernel: ``install_sanitizer(kernel)``. ``repro.boot(sanitize=
+True)`` arms ambiently for that boot. Reports are deterministic per
+seed, and the sanitizer never charges the simulated clock.
+"""
+
+from repro.sanitize.ambient import (
+    attach_kernel,
+    cancel_sanitize,
+    request_sanitize,
+    sanitizing_active,
+)
+from repro.sanitize.report import (
+    AccessSite,
+    HeapFinding,
+    RaceFinding,
+    SanReport,
+)
+from repro.sanitize.sanitizer import (
+    SanStats,
+    Sanitizer,
+    install_sanitizer,
+    uninstall_sanitizer,
+)
+from repro.sanitize.shadow import (
+    Access,
+    ThreadState,
+    WordState,
+    happens_before,
+    vc_join,
+)
+
+__all__ = [
+    "Access",
+    "AccessSite",
+    "HeapFinding",
+    "RaceFinding",
+    "SanReport",
+    "SanStats",
+    "Sanitizer",
+    "ThreadState",
+    "WordState",
+    "attach_kernel",
+    "cancel_sanitize",
+    "happens_before",
+    "install_sanitizer",
+    "request_sanitize",
+    "sanitizing_active",
+    "uninstall_sanitizer",
+    "vc_join",
+]

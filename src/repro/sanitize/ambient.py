@@ -1,0 +1,67 @@
+"""Ambient sanitizing: the arming surface ``reprosan`` and
+``boot(sanitize=True)`` use.
+
+Mirrors the :mod:`repro.trace` / :mod:`repro.inject` / :mod:`repro.rr`
+pattern: :func:`request_sanitize` arms a pending configuration,
+``Kernel.__init__`` consumes it by calling :func:`attach_kernel`, and
+:func:`cancel_sanitize` disarms. Unlike the recorder — where each boot
+gets its own collector — every kernel booted while armed joins ONE
+shared :class:`~repro.sanitize.sanitizer.Sanitizer`, because a cluster
+is one shared-memory machine from the paper's point of view and races
+cross node boundaries.
+
+Pay-for-use: with nothing armed the cost is one ``is None`` check per
+boot plus the disarmed ``kernel.sanitizer``/``space.sanitizer``
+attribute checks at the choke points. The sanitizer never charges the
+simulated clock, so even armed runs keep bit-identical cycle totals
+(the A10 benchmark pins both).
+
+Set ``REPRO_SAN=1`` in the environment to arm every boot of the
+process (the env-var analogue of ``REPRO_TRACE``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.sanitize import state as _state
+from repro.sanitize.sanitizer import Sanitizer
+
+# Configuration captured by request_sanitize(), consumed per boot.
+_PENDING: Optional[dict] = None
+
+
+def sanitizing_active() -> bool:
+    """Is a sanitize request currently armed?"""
+    return _PENDING is not None
+
+
+def request_sanitize(report_limit: int = 256) -> Sanitizer:
+    """Arm sanitizing for every kernel booted until
+    :func:`cancel_sanitize`; returns the (shared) sanitizer the boots
+    will join."""
+    global _PENDING
+    sanitizer = Sanitizer(report_limit=report_limit)
+    _PENDING = {"sanitizer": sanitizer}
+    _state.ACTIVE = sanitizer
+    return sanitizer
+
+
+def cancel_sanitize() -> None:
+    """Disarm :func:`request_sanitize`. The sanitizer (and its report)
+    survives for the caller; kernels already armed stay armed."""
+    global _PENDING
+    _PENDING = None
+    _state.ACTIVE = None
+
+
+def attach_kernel(kernel) -> None:
+    """Called from ``Kernel.__init__``: honour an armed request."""
+    if _PENDING is None:
+        return
+    _PENDING["sanitizer"].register_kernel(kernel)
+
+
+if os.environ.get("REPRO_SAN"):          # pragma: no cover - env arm
+    request_sanitize()

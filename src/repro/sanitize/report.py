@@ -1,0 +1,91 @@
+"""The deterministic reprosan report format.
+
+Everything in a finding derives from simulated state (cycles, pids,
+segment paths, addresses), so two armed runs of the same seed render
+byte-identical reports — the replay-stability contract ``reprosan``
+and the CI soak assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One half of a racing pair."""
+
+    label: str          # "n0/pid4" or "pid4"
+    kind: str           # "read" | "write"
+    cycle: int
+    locks: Tuple[str, ...]
+
+    def render(self) -> str:
+        held = ",".join(self.locks) if self.locks else "-"
+        return f"{self.label} {self.kind} @cycle {self.cycle} locks={held}"
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """An unsynchronized access pair on a shared public word."""
+
+    segment: str        # mapping name (segment path)
+    offset: int         # byte offset of the word within the segment
+    address: int        # absolute public address of the word
+    first: AccessSite
+    second: AccessSite
+
+    @property
+    def kind(self) -> str:
+        return f"{self.first.kind}-{self.second.kind}"
+
+    def render(self) -> str:
+        return (f"race {self.kind} {self.segment}+0x{self.offset:x} "
+                f"(0x{self.address:09x})\n"
+                f"  first:  {self.first.render()}\n"
+                f"  second: {self.second.render()}")
+
+
+@dataclass(frozen=True)
+class HeapFinding:
+    """A shmalloc misuse caught by the heap sanitizer."""
+
+    kind: str           # redzone | use-after-free | double-free |
+                        # invalid-free | leak
+    segment: str
+    address: int
+    cycle: int
+    label: str
+    detail: str = ""
+
+    def render(self) -> str:
+        text = (f"heap {self.kind} {self.segment} 0x{self.address:09x} "
+                f"by {self.label} @cycle {self.cycle}")
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+@dataclass
+class SanReport:
+    """Everything one armed run found, in detection order."""
+
+    races: List[RaceFinding] = field(default_factory=list)
+    heap: List[HeapFinding] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.races) + len(self.heap)
+
+    @property
+    def clean(self) -> bool:
+        return not self.races and not self.heap
+
+    def render(self) -> str:
+        lines = [f"reprosan: {len(self.races)} race(s), "
+                 f"{len(self.heap)} heap finding(s)"]
+        for index, race in enumerate(self.races):
+            lines.append(f"[race #{index + 1}] {race.render()}")
+        for index, finding in enumerate(self.heap):
+            lines.append(f"[heap #{index + 1}] {finding.render()}")
+        return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Shadow state for the race detector.
+
+Vector clocks are plain ``{tid: tick}`` dicts over small, densely
+assigned thread ids (registration order, which is deterministic), so
+joins and happens-before tests stay cheap and — crucially —
+reproducible: nothing here ever iterates an id()-keyed structure.
+
+Per tracked 32-bit word the sanitizer keeps a :class:`WordState` in the
+FastTrack style: the last write epoch plus the set of read epochs since
+that write, each annotated with the lockset held at access time (the
+Eraser half of the hybrid detector).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+VC = Dict[int, int]
+
+#: (tid, tick, locks, cycle) — one recorded access epoch.
+Access = Tuple[int, int, FrozenSet, int]
+
+
+def vc_join(into: VC, other: VC) -> None:
+    """Mutate *into* to the pointwise maximum of the two clocks."""
+    for tid, tick in other.items():
+        if into.get(tid, 0) < tick:
+            into[tid] = tick
+
+
+def happens_before(access: Access, vc: VC) -> bool:
+    """Did *access* happen before a thread whose clock is *vc*?"""
+    return access[1] <= vc.get(access[0], 0)
+
+
+class ThreadState:
+    """One simulated thread of execution: a (machine, pid) pair."""
+
+    __slots__ = ("tid", "machine", "pid", "label", "vc", "locks")
+
+    def __init__(self, tid: int, machine: int, pid: int,
+                 label: str) -> None:
+        self.tid = tid
+        self.machine = machine
+        self.pid = pid
+        self.label = label
+        self.vc: VC = {tid: 1}
+        self.locks: FrozenSet = frozenset()
+
+    def epoch(self, cycle: int) -> Access:
+        return (self.tid, self.vc[self.tid], self.locks, cycle)
+
+    def tick(self) -> None:
+        self.vc[self.tid] += 1
+
+    def acquire(self, key, vc: Optional[VC]) -> None:
+        self.locks = self.locks | {key}
+        if vc:
+            vc_join(self.vc, vc)
+
+    def release(self, key) -> None:
+        self.locks = self.locks - {key}
+
+
+class WordState:
+    """Access history of one tracked 32-bit word."""
+
+    __slots__ = ("write", "reads")
+
+    def __init__(self) -> None:
+        self.write: Optional[Access] = None
+        self.reads: Dict[int, Access] = {}

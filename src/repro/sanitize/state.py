@@ -1,0 +1,14 @@
+"""Process-wide sanitizer registry.
+
+Kept to a single module attribute so low-level subsystems (``shmalloc``,
+``libshared``) can consult the active sanitizer without importing the
+sanitizer machinery — and so the disarmed cost stays one attribute load
+plus an ``is None`` check, matching every other Hemlock plane.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: The installed :class:`repro.sanitize.Sanitizer`, or None.
+ACTIVE: Optional[object] = None

@@ -56,6 +56,14 @@ Two tools run on the *host* instead of inside the simulation:
   saved device images (``BlockDevice.save``) for damage, rendering
   stable ``DSK###`` findings; exit status 1 when any image has
   findings. Also installed as the ``reprofsck`` console script.
+* :func:`reprosan_main` — ``reprosan list|run|soak|sweep`` drives the
+  :mod:`repro.sanitize` race detector and heap sanitizer: render the
+  deterministic report for a seeded corpus case (``run CASE``, with
+  ``--replay`` seeking an rr recording to the first racing access
+  pair), replay the whole corpus twice asserting byte-identical
+  reports (``soak``), or run every example armed expecting zero
+  findings (``sweep``). Also installed as the ``reprosan`` console
+  script.
 """
 
 from __future__ import annotations
@@ -1336,6 +1344,226 @@ def reprorr_entry() -> int:
         return 2
 
 
+def _san_armed_run(body) -> "tuple":
+    """Run *body* with a fresh sanitizer armed; return (report, stats)."""
+    from repro.sanitize import cancel_sanitize, request_sanitize
+
+    sanitizer = request_sanitize()
+    try:
+        body()
+    finally:
+        cancel_sanitize()
+    return sanitizer.report, sanitizer.stats
+
+
+def _san_examples_dir() -> str:
+    """The in-repo ``examples/`` directory (next to ``src/``)."""
+    import repro as _repro
+
+    package = os.path.dirname(os.path.abspath(_repro.__file__))
+    return os.path.join(os.path.dirname(os.path.dirname(package)),
+                        "examples")
+
+
+def _san_replay(case, out: TextIO, output: Optional[str]) -> int:
+    """Record one armed run of *case*, then time-travel to the first
+    finding: seek the recording to the earliest racing access (or heap
+    misuse) cycle and verify the suffix replays bit-identically."""
+    import contextlib
+    import io
+
+    from repro.rr import record_call, seek_call
+    from repro.sanitize import cancel_sanitize, request_sanitize
+
+    holder = {}
+
+    def runner() -> None:
+        sanitizer = request_sanitize()
+        try:
+            case.body()
+        finally:
+            cancel_sanitize()
+        holder["report"] = sanitizer.report
+
+    with contextlib.redirect_stdout(io.StringIO()):
+        recording = record_call(runner)
+    report = holder["report"]
+    if report.clean:
+        print(f"{case.name}: no findings to replay to", file=out)
+        return 1
+    if report.races:
+        race = report.races[0]
+        target = min(race.first.cycle, race.second.cycle)
+        print(f"first racing pair ({race.kind} "
+              f"{race.segment}+0x{race.offset:x}):", file=out)
+        print(f"  first:  {race.first.render()}", file=out)
+        print(f"  second: {race.second.render()}", file=out)
+    else:
+        finding = report.heap[0]
+        target = finding.cycle
+        print(f"first heap finding: {finding.render()}", file=out)
+    if output is not None:
+        recording.save(output)
+        print(f"wrote {output} ({os.path.getsize(output)} bytes)",
+              file=out)
+    with contextlib.redirect_stdout(io.StringIO()):
+        result = seek_call(recording, target, runner)
+    print(result.render(), file=out)
+    return 0 if result.digest_ok and result.suffix_identical else 1
+
+
+def reprosan_main(argv: Sequence[str],
+                  stdout: Optional[TextIO] = None) -> int:
+    """The sanitizer front end — report, soak, and replay-to-race.
+
+    ``reprosan list``
+
+    Shows the seeded race/heap-misuse corpus
+    (:func:`repro.sanitize.corpus.san_cases`), one line per case.
+
+    ``reprosan run CASE [--limit N] [--replay] [-o FILE]``
+
+    Arms the sanitizer, runs the named corpus case, and renders the
+    deterministic report. Exit 0 when the case's expected finding
+    fired; 1 otherwise. With ``--replay`` the case is instead run
+    under the :mod:`repro.rr` recorder and the run is re-executed with
+    a seek to the first racing access pair (earliest cycle of the
+    pair), verifying the event suffix is bit-identical; ``-o FILE``
+    additionally saves the recording.
+
+    ``reprosan soak``
+
+    CI's sanitize-soak: every corpus case runs **twice**; each must
+    fire its expected finding and both reports must render
+    byte-identically (replay stability). Exit 1 on any miss or drift.
+
+    ``reprosan sweep [DIR]``
+
+    The false-positive gate: runs every ``examples/`` program (or
+    every ``*.py`` under DIR) with the sanitizer armed and fails if
+    *anything* fires — the examples are race-free by construction.
+    """
+    import contextlib
+    import io
+    import runpy
+
+    from repro.sanitize.corpus import case_named, san_cases
+
+    out = stdout if stdout is not None else sys.stdout
+    args = list(argv)
+    if not args or args[0] not in ("list", "run", "soak", "sweep"):
+        raise UsageError(
+            "reprosan: usage: reprosan list|run|soak|sweep ..."
+        )
+    mode, args = args[0], args[1:]
+
+    if mode == "list":
+        for case in san_cases():
+            print(f"{case.name:24s} [{case.kind}] {case.title}",
+                  file=out)
+        return 0
+
+    if mode == "run":
+        limit = 256
+        replay = False
+        output: Optional[str] = None
+        name: Optional[str] = None
+        index = 0
+        while index < len(args):
+            arg = args[index]
+            if arg == "--limit":
+                limit = int(_value(args, index, "--limit"))
+                index += 2
+            elif arg == "--replay":
+                replay = True
+                index += 1
+            elif arg == "-o":
+                output = _value(args, index, "-o")
+                index += 2
+            elif arg.startswith("-"):
+                raise UsageError(f"reprosan: unknown option {arg!r}")
+            elif name is None:
+                name = arg
+                index += 1
+            else:
+                raise UsageError("reprosan: run takes exactly one CASE")
+        if name is None:
+            raise UsageError("reprosan: usage: reprosan run CASE "
+                             "[--limit N] [--replay] [-o FILE]")
+        try:
+            case = case_named(name)
+        except KeyError:
+            known = ", ".join(c.name for c in san_cases())
+            raise UsageError(f"reprosan: no corpus case {name!r} "
+                             f"(known: {known})")
+        if replay:
+            return _san_replay(case, out, output)
+        with contextlib.redirect_stdout(io.StringIO()):
+            report = case.run(report_limit=limit)
+        print(report.render(), file=out)
+        fired = case.expect in report.render()
+        print(f"expected {case.expect!r}: "
+              f"{'fired' if fired else 'MISSING'}", file=out)
+        return 0 if fired else 1
+
+    if mode == "soak":
+        if args:
+            raise UsageError("reprosan: soak takes no arguments")
+        failures = 0
+        for case in san_cases():
+            with contextlib.redirect_stdout(io.StringIO()):
+                first = case.run().render()
+                second = case.run().render()
+            fired = case.expect in first
+            stable = first == second
+            verdict = "ok" if fired and stable else \
+                ("DRIFT" if fired else "MISSING")
+            findings = first.splitlines()[0].split(": ", 1)[1]
+            print(f"{case.name:24s} {verdict:8s} {findings}", file=out)
+            if verdict != "ok":
+                failures += 1
+        print(f"soak: {len(san_cases()) - failures}/{len(san_cases())} "
+              f"case(s) ok", file=out)
+        return 0 if failures == 0 else 1
+
+    # sweep
+    if len(args) > 1:
+        raise UsageError("reprosan: usage: reprosan sweep [DIR]")
+    directory = args[0] if args else _san_examples_dir()
+    if not os.path.isdir(directory):
+        raise UsageError(f"reprosan: no such directory: {directory}")
+    scripts = sorted(entry for entry in os.listdir(directory)
+                     if entry.endswith(".py"))
+    if not scripts:
+        raise UsageError(f"reprosan: no *.py scripts in {directory}")
+    dirty = 0
+    for script in scripts:
+        path = os.path.join(directory, script)
+        with contextlib.redirect_stdout(io.StringIO()):
+            report, stats = _san_armed_run(
+                lambda: runpy.run_path(path, run_name="__main__"))
+        if report.clean:
+            print(f"{script:24s} clean ({stats.accesses} access(es), "
+                  f"{stats.hb_edges} hb edge(s))", file=out)
+        else:
+            dirty += 1
+            print(f"{script:24s} {len(report.races)} race(s), "
+                  f"{len(report.heap)} heap finding(s):", file=out)
+            print(report.render(), file=out)
+    print(f"sweep: {len(scripts) - dirty}/{len(scripts)} script(s) "
+          f"clean", file=out)
+    return 0 if dirty == 0 else 1
+
+
+def reprosan_entry() -> int:
+    """Console-script entry point (``reprosan ...``)."""
+    try:
+        return reprosan_main(sys.argv[1:])
+    except UsageError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+
 def load_archive(kernel: Kernel, proc: Process, path: str) -> Archive:
     data = kernel.vfs.read_whole(path, proc.uid, cwd=proc.cwd)
     return Archive.from_bytes(data)
@@ -1386,7 +1614,8 @@ if __name__ == "__main__":  # pragma: no cover - console convenience
                 "reprochaos": reprochaos_entry,
                 "repronet": repronet_entry,
                 "reprofsck": reprofsck_entry,
-                "reprorr": reprorr_entry}
+                "reprorr": reprorr_entry,
+                "reprosan": reprosan_entry}
     _args = sys.argv[1:]
     _entry = reprotrace_entry
     if _args and _args[0] in _ENTRIES:

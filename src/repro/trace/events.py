@@ -31,6 +31,7 @@ class EventKind(enum.IntEnum):
     INJECT = 10        # one injected fault (name = plane:kind:site)
     RECOVER = 11       # boot-time recovery traffic (replay, torn tail)
     NET = 12           # cluster traffic: frames and coherence protocol
+    SAN = 13           # sanitizer findings (races, heap misuse)
 
     @property
     def bit(self) -> int:

@@ -151,6 +151,7 @@ class AddressSpace:
         self.tlb_invalidations = 0
         self.tlb_flushes = 0
         self.injector = None  # set by repro.inject.install_injector
+        self.sanitizer = None  # set by repro.sanitize.install_sanitizer
 
     # ------------------------------------------------------------------
     # mapping management
@@ -200,6 +201,9 @@ class AddressSpace:
         if tracer.enabled:
             tracer.emit(EventKind.MAP, name=f"map:{mapping.name}",
                         addr=address, value=npages * PAGE_SIZE)
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_map(self, mapping)
         return mapping
 
     def unmap(self, address: int, length: int) -> None:
@@ -237,6 +241,9 @@ class AddressSpace:
             tracer.emit(EventKind.MAP, name=f"unmap:{mapping.name}",
                         addr=mapping.start,
                         value=mapping.npages * PAGE_SIZE)
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_unmap(self, mapping)
 
     def mprotect(self, address: int, length: int, prot: int) -> None:
         """Change protections on all pages in the (page-aligned) range."""
@@ -267,6 +274,9 @@ class AddressSpace:
             if id(mapping) in touched and mapping.start >= address \
                     and mapping.end <= address + npages * PAGE_SIZE:
                 mapping.prot = prot
+                sanitizer = self.sanitizer
+                if sanitizer is not None:
+                    sanitizer.on_mprotect(self, mapping)
 
     def mapping_at(self, address: int) -> Optional[Mapping]:
         """The mapping containing *address*, or None."""
@@ -346,6 +356,14 @@ class AddressSpace:
         prot = pte.prot
         if pte.cow:
             prot &= ~PROT_WRITE
+        sanitizer = self.sanitizer
+        if sanitizer is not None and sanitizer.tracks_mapping(pte.mapping):
+            # Sanitized pages are cached execute-only: instruction fetch
+            # keeps its fast path, while every data access takes the
+            # instrumented slow path (same trick as the COW write strip).
+            prot &= PROT_EXEC
+            if not prot:
+                return
         self.tlb[vpn] = (frame.data, prot, frame)
         self.tlb_fills += 1
 
@@ -469,6 +487,10 @@ class AddressSpace:
             out[pos: pos + chunk] = frame.data[page_off: page_off + chunk]
             if self._tlb_enabled and vpn not in self.tlb:
                 self._tlb_fill(vpn, pte)
+            sanitizer = self.sanitizer
+            if sanitizer is not None and not force \
+                    and access is not AccessKind.EXEC:
+                sanitizer.on_read(self, addr, chunk, pte)
             pos += chunk
         return bytes(out)
 
@@ -493,6 +515,9 @@ class AddressSpace:
             frame.data[page_off: page_off + chunk] = data[pos: pos + chunk]
             if self._tlb_enabled and vpn not in self.tlb:
                 self._tlb_fill(vpn, pte)
+            sanitizer = self.sanitizer
+            if sanitizer is not None and not force:
+                sanitizer.on_write(self, addr, chunk, pte)
             pos += chunk
 
     def load_word(self, address: int, *,
@@ -577,6 +602,7 @@ class AddressSpace:
         shared mappings keep referencing the single memory-object copy."""
         child = AddressSpace(self._physmem, name,
                              tlb_enabled=self._tlb_enabled)
+        child.sanitizer = self.sanitizer
         mapping_clone: Dict[int, Mapping] = {}
         for mapping in self._mappings:
             clone = Mapping(mapping.start, mapping.npages, mapping.memobj,
@@ -610,6 +636,9 @@ class AddressSpace:
                 self._physmem.release(pte.frame)
         self._pages.clear()
         self._mappings.clear()
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_destroy(self)
         self.emit_tlb_stats()
         self.tlb.clear()
 

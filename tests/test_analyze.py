@@ -69,9 +69,10 @@ class TestReportModel:
         assert str(Severity.ERROR) == "error"
 
     def test_catalog_codes_are_stable_shapes(self):
-        assert len(CATALOG) == 36
+        assert len(CATALOG) == 40
         for code, (severity, title) in CATALOG.items():
-            assert code[:3] in ("REL", "SYM", "CFG", "LAY", "SHR", "DSK")
+            assert code[:3] in ("REL", "SYM", "CFG", "LAY", "SHR", "DSK",
+                                "SAN")
             assert code[3:].isdigit() and len(code) == 6
             assert isinstance(severity, Severity)
             assert title

@@ -6,6 +6,8 @@ from hypothesis import given, settings, strategies as st
 from repro.runtime.shmalloc import (
     BLOCK_HEADER,
     HEADER_SIZE,
+    DoubleFreeError,
+    InvalidFreeError,
     SegmentHeap,
     SegmentHeapError,
 )
@@ -139,3 +141,53 @@ class TestProperties:
             heap.free(block)
         heap.check()
         assert heap.free_bytes() == SIZE - HEADER_SIZE
+
+
+class TestTypedErrors:
+    """The edge cases the heap sanitizer surfaced: misuse must raise a
+    typed error instead of corrupting the heap tiling."""
+
+    def test_negative_alloc_raises(self, heap):
+        with pytest.raises(SegmentHeapError):
+            heap.alloc(-1)
+
+    def test_zero_size_allocs_stay_distinct(self, heap):
+        first = heap.alloc(0)
+        second = heap.alloc(0)
+        assert first != second
+        heap.free(first)
+        heap.free(second)
+        heap.check()
+
+    def test_double_free_is_typed(self, heap):
+        payload = heap.alloc(16)
+        heap.free(payload)
+        with pytest.raises(DoubleFreeError):
+            heap.free(payload)
+        heap.check()
+
+    def test_interior_free_is_typed(self, heap):
+        payload = heap.alloc(64)
+        with pytest.raises(InvalidFreeError):
+            heap.free(payload + 8)
+        heap.check()
+        heap.free(payload)
+
+    def test_never_allocated_pointer_free_is_typed(self, heap):
+        with pytest.raises(InvalidFreeError):
+            heap.free(BASE + SIZE - 8)
+        heap.check()
+
+    def test_typed_errors_are_heap_errors(self):
+        assert issubclass(InvalidFreeError, SegmentHeapError)
+        assert issubclass(DoubleFreeError, SegmentHeapError)
+
+    def test_coalescing_at_segment_end(self, heap):
+        """Free the last block first: the end-of-heap neighbour must
+        coalesce cleanly and restore the full free span."""
+        blocks = [heap.alloc(256) for _ in range(4)]
+        for payload in reversed(blocks):
+            heap.free(payload)
+            heap.check()
+        assert heap.free_bytes() == SIZE - HEADER_SIZE
+        assert len(list(heap.free_blocks())) == 1
