@@ -33,7 +33,7 @@ from repro.linker.lds import Lds, LinkRequest
 from repro.linker.ldl import Ldl
 from repro.runtime.libshared import HemlockRuntime, attach_runtime, \
     runtime_for
-from repro.runtime.shmalloc import SegmentHeap
+from repro.runtime.shmalloc import ArenaHeap, SegmentHeap
 from repro.runtime.views import Mem, StructDef
 
 __version__ = "1.0.0"
@@ -51,6 +51,7 @@ __all__ = [
     "HemlockRuntime",
     "attach_runtime",
     "runtime_for",
+    "ArenaHeap",
     "SegmentHeap",
     "Mem",
     "StructDef",
@@ -82,7 +83,8 @@ def boot(lazy: bool = True, addrmap=None,
          wide_addresses: bool = False,
          scoped: bool = True,
          verify: Optional[bool] = None,
-         disk=None, net=None, sanitize=None) -> System:
+         disk=None, net=None, sanitize=None,
+         ncores: Optional[int] = None) -> System:
     """Boot a fresh simulated machine.
 
     * *lazy* — whether ldl links lazily (the paper's default) or eagerly;
@@ -107,9 +109,16 @@ def boot(lazy: bool = True, addrmap=None,
       sanitizer; a :class:`repro.sanitize.Sanitizer` instance joins that
       one. The sanitizer observes without charging the clock, so cycle
       totals are bit-identical either way.
+    * *ncores* — simulated CPU count (repro.smp). K>1 schedules
+      processes onto K cores in deterministic rounds with sub-quantum
+      interleaving; K=1 (the default) is the classic uniprocessor
+      scheduler, bit-identical to every release before SMP existed.
+      None consults the REPRO_CORES environment variable, so existing
+      workloads can be rerun multi-core without touching their code.
     """
     kernel = Kernel(addrmap=addrmap, costs=costs,
-                    wide_addresses=wide_addresses, disk=disk)
+                    wide_addresses=wide_addresses, disk=disk,
+                    ncores=ncores)
     attach_runtime(kernel, lazy=lazy, scoped=scoped, verify=verify)
     system = System(kernel=kernel, lds=Lds(kernel, verify=verify))
     if net is not None:

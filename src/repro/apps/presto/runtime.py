@@ -69,6 +69,54 @@ int main() {{
 }}
 """
 
+# The compute-bound variant (E12): same claim protocol, but each item
+# burns a busy loop of {iters} iterations *outside* the critical
+# sections, so the parallel fraction dominates and the SMP speedup
+# curve measures the machine, not the lock. The accumulator trick
+# (`+ acc - acc`) keeps the stored value exactly ``i*i + 1`` without
+# letting the compiler drop the loop.
+COMPUTE_WORKER_SOURCE = """
+extern int next_index;
+extern int total;
+extern int results[{nitems}];
+extern int sem_get(int key, int value);
+extern int sem_p(int key);
+extern int sem_v(int key);
+
+int compute(int i) {{
+    int acc = 0;
+    int k = 0;
+    while (k < {iters}) {{
+        acc = acc + i + k;
+        k = k + 1;
+    }}
+    return i * i + 1 + acc - acc;
+}}
+
+int main() {{
+    int i;
+    int value;
+    int claimed = 0;
+    sem_get(1, 1);
+    while (1) {{
+        sem_p(1);
+        i = next_index;
+        next_index = i + 1;
+        sem_v(1);
+        if (i >= {nitems}) {{
+            break;
+        }}
+        value = compute(i);
+        results[i] = value;
+        sem_p(1);
+        total = total + value;
+        sem_v(1);
+        claimed = claimed + 1;
+    }}
+    return claimed;
+}}
+"""
+
 
 @dataclass
 class PrestoResult:
@@ -85,10 +133,12 @@ class PrestoApp:
 
     def __init__(self, kernel: Kernel, shell: Process, nitems: int = 64,
                  template_dir: str = "/shared/presto",
-                 build_dir: str = "/opt/presto") -> None:
+                 build_dir: str = "/opt/presto",
+                 compute_iters: int = 0) -> None:
         self.kernel = kernel
         self.shell = shell
         self.nitems = nitems
+        self.compute_iters = compute_iters
         self.template_dir = template_dir
         self.build_dir = build_dir
         self.template_path = f"{template_dir}/shared_data.o"
@@ -108,9 +158,13 @@ class PrestoApp:
         )
         store_object(kernel, shell, self.template_path, shared_obj)
 
-        worker_obj = compile_source(
-            WORKER_SOURCE.format(nitems=self.nitems), "worker.o"
-        )
+        if self.compute_iters > 0:
+            worker_source = COMPUTE_WORKER_SOURCE.format(
+                nitems=self.nitems, iters=self.compute_iters
+            )
+        else:
+            worker_source = WORKER_SOURCE.format(nitems=self.nitems)
+        worker_obj = compile_source(worker_source, "worker.o")
         store_object(kernel, shell, f"{self.build_dir}/worker.o",
                      worker_obj)
 

@@ -121,6 +121,11 @@ class Cpu:
                 self.decode_misses += 1
             else:
                 self.decode_hits += 1
+            if space.smp is not None:
+                # SMP shadow bookkeeping: this core now holds decoded
+                # instructions of this frame, so a cross-core store to
+                # it must be accounted as a decode shootdown.
+                entry[2].decode_cores.add(space.core)
             word, op, rs, rt = decoded
         else:
             word = space.fetch_word(pc)

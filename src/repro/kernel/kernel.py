@@ -15,6 +15,7 @@ process, exactly as an unhandled SIGSEGV would.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import (
@@ -38,6 +39,7 @@ from repro.kernel.process import (
     ProcessState,
 )
 from repro.kernel.signals import SigInfo, Signal
+from repro.kernel.smp import SmpCoordinator
 from repro.kernel.sync import FileLockTable, SemaphoreTable, WouldBlock
 from repro.kernel.syscalls import Syscalls
 from repro.kernel.timing import Clock, CostModel
@@ -62,11 +64,22 @@ class Kernel:
                  costs: Optional[CostModel] = None,
                  max_frames: Optional[int] = None,
                  wide_addresses: bool = False,
-                 disk=None) -> None:
+                 disk=None, ncores: Optional[int] = None) -> None:
         self.physmem = PhysicalMemory(**(
             {"max_frames": max_frames} if max_frames else {}
         ))
         self.clock = Clock(costs or CostModel())
+        # The simulated CPU count (repro.smp). None consults the
+        # ambient REPRO_CORES so every boot in a process — including
+        # the ones tools like reprorr make internally — runs SMP; the
+        # default stays 1, where self.smp is None and the classic
+        # uniprocessor scheduler runs completely unchanged.
+        if ncores is None:
+            ncores = int(os.environ.get("REPRO_CORES", "1") or "1")
+        self.ncores = max(1, ncores)
+        self.clock.ncores = self.ncores
+        self.smp = SmpCoordinator(self, self.ncores) \
+            if self.ncores > 1 else None
         self.rootfs = Filesystem(self.physmem, name="rootfs")
         if wide_addresses:
             # The paper's 64-bit future work (§3): per-inode address
@@ -164,6 +177,19 @@ class Kernel:
         self._next_pid += 1
         return pid
 
+    def _bind_core(self, proc: Process) -> None:
+        """Pin *proc* (and its address space) to its home core.
+
+        Placement is the pure function ``pid % ncores`` — work lands on
+        the same core in every run, which is half of what makes the SMP
+        schedule deterministic (the other half is the round barrier).
+        """
+        smp = self.smp
+        proc.core = proc.pid % self.ncores
+        space = proc.address_space
+        space.core = proc.core
+        space.smp = smp
+
     def create_native_process(self, name: str, body: NativeBody,
                               uid: int = 0,
                               env: Optional[Dict[str, str]] = None,
@@ -173,6 +199,7 @@ class Kernel:
         space = AddressSpace(self.physmem, name=f"pid{pid}")
         space.injector = self.injector
         proc = Process(pid, 0, uid, space, name)
+        self._bind_core(proc)
         proc.native = NativeContext(body)
         proc.environ = dict(env or {})
         proc.cwd = cwd
@@ -191,6 +218,7 @@ class Kernel:
         space = AddressSpace(self.physmem, name=f"pid{pid}")
         space.injector = self.injector
         proc = Process(pid, 0, uid, space, name)
+        self._bind_core(proc)
         proc.cpu = Cpu(space)
         proc.environ = dict(env or {})
         proc.cwd = cwd
@@ -233,6 +261,7 @@ class Kernel:
         child_space.injector = self.injector
         child = Process(pid, proc.pid, proc.uid, child_space,
                         f"{proc.name}:child")
+        self._bind_core(child)
         child.cpu = Cpu(child_space)
         child.cpu.regs[:] = proc.cpu.regs
         child.cpu.pc = proc.cpu.pc
@@ -377,6 +406,9 @@ class Kernel:
                 sanitizer.schedule_end(self)
 
     def _schedule(self, max_slices: int) -> None:
+        if self.smp is not None:
+            self.smp.schedule(max_slices)
+            return
         slices = 0
         while True:
             ready = self.runnable()
@@ -409,6 +441,8 @@ class Kernel:
                 sanitizer.schedule_end(self)
 
     def _run_until_exit(self, proc: Process, max_slices: int) -> int:
+        if self.smp is not None:
+            return self.smp.run_until_exit(proc, max_slices)
         slices = 0
         while proc.alive:
             ready = self.runnable()
@@ -449,8 +483,26 @@ class Kernel:
         cpu = proc.cpu
         assert cpu is not None
         start = cpu.instructions_executed
+        if self._run_machine_chunk(proc, start, self.quantum):
+            self.clock.instructions(cpu.instructions_executed - start)
+
+    def _run_machine_chunk(self, proc: Process, start: int,
+                           target: int) -> bool:
+        """Step *proc* until it has executed *target* instructions past
+        *start*, leaves READY, or hits a slice-ending trap.
+
+        Returns False when the quantum ended on a path that does not
+        charge executed instructions (blocked in a syscall, or killed by
+        a fault/trap); True otherwise — the caller charges the executed
+        count when the whole quantum is done. The SMP scheduler calls
+        this with sub-quantum targets; because the instruction counter
+        only advances on a successful step (which also resets the fault
+        streak), a chunk boundary never lands mid-fault-retry, making
+        chunked execution bit-identical to one uninterrupted slice.
+        """
+        cpu = proc.cpu
         fault_streak = 0
-        while cpu.instructions_executed - start < self.quantum \
+        while cpu.instructions_executed - start < target \
                 and proc.state is ProcessState.READY:
             try:
                 cpu.step()
@@ -460,7 +512,7 @@ class Kernel:
                     self.syscalls.dispatch_machine(proc)
                 except WouldBlock:
                     self._block(proc, "syscall")
-                    return
+                    return False
             except PageFaultError as fault:
                 if self.deliver_fault(proc, fault):
                     fault_streak += 1
@@ -469,7 +521,7 @@ class Kernel:
                             proc, -1,
                             reason=f"fault loop at 0x{fault.address:08x}",
                         )
-                        return
+                        return False
                     continue  # restart the faulting instruction
                 if getattr(fault, "injected", False):
                     self.note_contained(fault, "spurious-fault")
@@ -484,17 +536,17 @@ class Kernel:
                            f"({fault.access.value}, pc=0x{cpu.pc:08x})"
                            f"{detail}",
                 )
-                return
+                return False
             except BreakTrap:
                 self.terminate(proc, -1, reason="break instruction")
-                return
+                return False
             except ArithmeticTrap:
                 self.terminate(proc, -1, reason="SIGFPE: divide by zero")
-                return
+                return False
             except HardwareError as error:
                 self.terminate(proc, -1, reason=f"SIGILL: {error}")
-                return
-        self.clock.instructions(cpu.instructions_executed - start)
+                return False
+        return True
 
     def _run_native_slice(self, proc: Process) -> None:
         ctx = proc.native

@@ -87,6 +87,9 @@ class Process:
         # What blocks us, if anything (lock inode, message queue, pid...).
         self.block_reason: Optional[str] = None
         self.block_object: object = None
+        # Home core under repro.smp (pid % ncores, fixed for life;
+        # always 0 on a uniprocessor boot).
+        self.core = 0
 
     # ------------------------------------------------------------------
     # descriptors

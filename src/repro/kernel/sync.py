@@ -27,11 +27,66 @@ class WouldBlock(Exception):
     """Internal: the current operation must block and be retried."""
 
 
+class WaitQueue:
+    """Deterministic FIFO wait queue with per-core arrival accounting.
+
+    Under repro.smp, contended sleeps are one of the few cross-core
+    ordering points, so the queue discipline must be a pure function of
+    the schedule: every arrival is stamped with a queue-local monotonic
+    sequence number, and wakeups hand off strictly in stamp order. The
+    SMP round scheduler serializes kernel entry (sub-slices run in core
+    order), so arrival stamps — and therefore handoff order — are
+    identical on every run of the same ``(workload, ncores)``.
+
+    ``enqueued_by_core`` keeps per-core contention counts for the
+    introspection the SMP tests and benchmarks use; it never influences
+    handoff order.
+    """
+
+    __slots__ = ("_entries", "_next_seq", "enqueued_by_core")
+
+    def __init__(self) -> None:
+        self._entries: List[tuple] = []   # (stamp, process), FIFO
+        self._next_seq = 0
+        self.enqueued_by_core: Dict[int, int] = {}
+
+    def push(self, process: "Process") -> int:
+        """Queue *process*; returns its arrival stamp."""
+        stamp = self._next_seq
+        self._next_seq += 1
+        self._entries.append((stamp, process))
+        core = getattr(process, "core", 0)
+        self.enqueued_by_core[core] = \
+            self.enqueued_by_core.get(core, 0) + 1
+        return stamp
+
+    def pop(self) -> "Process":
+        """Dequeue the longest-waiting process."""
+        return self._entries.pop(0)[1]
+
+    def remove(self, process: "Process") -> bool:
+        """Drop *process* wherever it is queued (exit cleanup)."""
+        for index, (_, waiter) in enumerate(self._entries):
+            if waiter is process:
+                del self._entries[index]
+                return True
+        return False
+
+    def procs(self) -> List["Process"]:
+        return [proc for _, proc in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+
 class FileLockTable:
     """Whole-file advisory exclusive locks, keyed by inode."""
 
     def __init__(self) -> None:
-        self._waiters: Dict[int, List["Process"]] = {}
+        self._waiters: Dict[int, WaitQueue] = {}
 
     def acquire(self, process: "Process", inode: Inode,
                 blocking: bool = True) -> bool:
@@ -45,7 +100,10 @@ class FileLockTable:
             return True
         if not blocking:
             return False
-        self._waiters.setdefault(id(inode), []).append(process)
+        queue = self._waiters.get(id(inode))
+        if queue is None:
+            queue = self._waiters[id(inode)] = WaitQueue()
+        queue.push(process)
         raise WouldBlock()
 
     def release(self, process: "Process", inode: Inode) -> Optional["Process"]:
@@ -54,9 +112,9 @@ class FileLockTable:
             raise SyscallError(
                 "EPERM", f"pid {process.pid} does not hold the lock"
             )
-        waiters = self._waiters.get(id(inode), [])
-        if waiters:
-            next_owner = waiters.pop(0)
+        queue = self._waiters.get(id(inode))
+        if queue:
+            next_owner = queue.pop()
             inode.lock_owner = next_owner.pid
             return next_owner
         inode.lock_owner = None
@@ -77,7 +135,7 @@ class Semaphore:
             raise KernelError("semaphore initial value must be >= 0")
         self.key = key
         self.value = value
-        self.waiters: List["Process"] = []
+        self.waiters = WaitQueue()
         # Hoare-style handoff: V transfers the count directly to a woken
         # waiter, so its retried P succeeds even if others run first.
         self._granted: set = set()
@@ -95,13 +153,13 @@ class Semaphore:
     def p(self, process: "Process") -> None:
         """Blocking P: queue and raise :class:`WouldBlock` on contention."""
         if not self.try_p(process):
-            self.waiters.append(process)
+            self.waiters.push(process)
             raise WouldBlock()
 
     def v(self) -> Optional["Process"]:
         """V; returns a woken process (which owns the decrement), if any."""
         if self.waiters:
-            woken = self.waiters.pop(0)
+            woken = self.waiters.pop()
             self._granted.add(woken.pid)
             return woken
         self.value += 1

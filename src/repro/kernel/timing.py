@@ -56,7 +56,19 @@ class CostModel:
 
 @dataclass
 class Clock:
-    """Monotonic cycle counter with per-category accounting."""
+    """Monotonic cycle counter with per-category accounting.
+
+    On an SMP boot the clock additionally keeps *per-core* counters and
+    an ``elapsed`` makespan: work charged while :attr:`current_core` is
+    set accrues to that core, and each scheduler round advances
+    ``elapsed`` by the *longest* per-core delta of the round (cores run
+    in parallel, so the round takes as long as its slowest core).
+    ``cycles`` stays the total work metric — the sum over all cores —
+    so every existing pin and category breakdown is unchanged; speedup
+    comparisons read ``elapsed``. Serial charges (``current_core is
+    None``) advance ``elapsed`` 1:1, so on a uniprocessor boot
+    ``elapsed == cycles`` always.
+    """
 
     costs: CostModel = field(default_factory=CostModel)
     cycles: int = 0
@@ -67,13 +79,45 @@ class Clock:
     #: called with this clock when :attr:`checkpoint_at` is crossed
     #: (armed by :mod:`repro.rr`); must re-arm ``checkpoint_at``
     on_checkpoint: Optional[Callable[["Clock"], None]] = None
+    #: number of simulated CPUs this clock accounts for
+    ncores: int = 1
+    #: core currently executing (set by the SMP scheduler around each
+    #: sub-slice); ``None`` means serial kernel-side work
+    current_core: Optional[int] = None
+    #: total cycles charged while each core was current
+    core_cycles: Dict[int, int] = field(default_factory=dict)
+    #: parallel makespan: serial work 1:1, each SMP round by its
+    #: slowest core's delta
+    elapsed: int = 0
+    #: per-core snapshot taken at :meth:`round_begin`
+    _round_marks: Dict[int, int] = field(default_factory=dict)
 
     def charge(self, category: str, cycles: int) -> None:
         self.cycles += cycles
         self.by_category[category] = \
             self.by_category.get(category, 0) + cycles
+        if self.current_core is None:
+            self.elapsed += cycles
+        else:
+            self.core_cycles[self.current_core] = \
+                self.core_cycles.get(self.current_core, 0) + cycles
         if self.cycles >= self.checkpoint_at:
             self._checkpoint_due()
+
+    def round_begin(self) -> None:
+        """Mark the start of one SMP round (snapshot per-core totals)."""
+        self._round_marks = dict(self.core_cycles)
+
+    def round_end(self) -> None:
+        """Advance ``elapsed`` by the slowest core's delta this round."""
+        marks = self._round_marks
+        longest = 0
+        for core, total in self.core_cycles.items():
+            delta = total - marks.get(core, 0)
+            if delta > longest:
+                longest = delta
+        self.elapsed += longest
+        self._round_marks = {}
 
     def _checkpoint_due(self) -> None:
         """Fire the checkpoint hook exactly once per arming: disarm

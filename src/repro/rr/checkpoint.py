@@ -163,7 +163,10 @@ def capture_machine(kernel) -> list:
         STATE_MACHINE,
         [clock.cycles,
          [[name, clock.by_category[name]]
-          for name in sorted(clock.by_category)]],
+          for name in sorted(clock.by_category)],
+         clock.elapsed, clock.ncores,
+         [[core, clock.core_cycles[core]]
+          for core in sorted(clock.core_cycles)]],
         kernel._next_pid,
         kernel.quantum,
         list(kernel._runqueue),
@@ -321,7 +324,8 @@ def materialize(state: list, costs=None, lazy: bool = True,
     previous_tracer = _trace.TRACER
     _trace.set_tracer(None)
     try:
-        kernel = Kernel(costs=costs)
+        cycles, categories, elapsed, ncores, core_cycles = clock_row
+        kernel = Kernel(costs=costs, ncores=ncores)
         attach_runtime(kernel, lazy=lazy, scoped=scoped)
         volume_table = dict(_volume_table(kernel))
         for key, record in volumes:
@@ -329,10 +333,12 @@ def materialize(state: list, costs=None, lazy: bool = True,
             if fs is None:
                 raise RRError(f"state names unknown volume {key!r}")
             restore_volume(fs, record)
-        cycles, categories = clock_row
         kernel.clock.cycles = cycles
         kernel.clock.by_category = {name: value
                                     for name, value in categories}
+        kernel.clock.elapsed = elapsed
+        kernel.clock.core_cycles = {core: value
+                                    for core, value in core_cycles}
         kernel._next_pid = next_pid
         kernel.quantum = quantum
         kernel._runqueue = list(runqueue)
@@ -365,6 +371,9 @@ def materialize(state: list, costs=None, lazy: bool = True,
             space = AddressSpace(kernel.physmem, name=f"pid{pid}")
             space.injector = kernel.injector
             proc = Process(pid, ppid, uid, space, name)
+            # Core placement is pid % ncores, so rebinding from the pid
+            # reproduces the original placement exactly.
+            kernel._bind_core(proc)
             proc.state = _STATES[state_tag]
             proc.exit_code = exit_code
             proc.death_reason = death_reason

@@ -15,12 +15,13 @@
 """
 
 from repro.runtime.libshared import HemlockRuntime, attach_runtime
-from repro.runtime.shmalloc import SegmentHeap
+from repro.runtime.shmalloc import ArenaHeap, SegmentHeap
 from repro.runtime.views import Mem, StructDef, StructView
 
 __all__ = [
     "HemlockRuntime",
     "attach_runtime",
+    "ArenaHeap",
     "SegmentHeap",
     "Mem",
     "StructDef",

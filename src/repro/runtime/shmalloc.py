@@ -38,6 +38,10 @@ class SegmentHeapError(SimulationError):
     """Heap corruption or exhaustion."""
 
 
+class HeapExhaustedError(SegmentHeapError):
+    """No free block large enough (the heap itself is well-formed)."""
+
+
 class InvalidFreeError(SegmentHeapError):
     """free() of a pointer that is not an allocation of this heap."""
 
@@ -121,7 +125,7 @@ class SegmentHeap:
                 return block + BLOCK_HEADER
             prev = block + 4
             block = next_free
-        raise SegmentHeapError(
+        raise HeapExhaustedError(
             f"heap at 0x{self.base:08x} exhausted allocating {nbytes} bytes"
         )
 
@@ -269,6 +273,116 @@ class SegmentHeap:
             raise SegmentHeapError(
                 f"no heap at 0x{self.base:08x} (bad magic)"
             )
+
+
+class ArenaHeap:
+    """K per-core arenas tiling one heap region (repro.smp).
+
+    A single shared free list would make every ``shmalloc`` call a
+    cross-core ordering point; instead the region is split into
+    ``ncores`` equal arenas (each a self-describing :class:`SegmentHeap`
+    — all state stays inside the segment, so any process mapping it
+    sees the same arenas). A core allocates from its home arena without
+    coordination. Only when the home arena is exhausted does the caller
+    take the *fallback lock* — a single global lock, so overflow
+    allocations are serialized — and scan the remaining arenas in core
+    order 0..K-1. Both the arena split and the fallback scan are pure
+    functions of ``(base, size, ncores, core)``, so allocation addresses
+    are bit-identical run to run.
+
+    ``free`` dispatches by address: each arena owns a fixed stride of
+    the region, so the owning free list is arithmetic, not a search.
+
+    With ``ncores=1`` this degenerates to exactly one
+    :class:`SegmentHeap` over the whole region.
+    """
+
+    def __init__(self, mem: Mem, base: int, size: int,
+                 ncores: int = 1) -> None:
+        if ncores < 1:
+            raise SegmentHeapError(f"ncores must be >= 1, got {ncores}")
+        stride = (size // ncores) & ~(ALIGN - 1)
+        if stride < HEADER_SIZE + MIN_BLOCK:
+            raise SegmentHeapError(
+                f"{size} bytes is too small for {ncores} arenas"
+            )
+        self.mem = mem
+        self.base = base
+        self.size = size
+        self.ncores = ncores
+        self.stride = stride
+        self.arenas = [
+            SegmentHeap(mem, base + index * stride,
+                        stride if index < ncores - 1
+                        else size - (ncores - 1) * stride)
+            for index in range(ncores)
+        ]
+        #: times each core overflowed its home arena (took the
+        #: fallback lock); introspection only
+        self.fallbacks = {core: 0 for core in range(ncores)}
+
+    # ------------------------------------------------------------------
+
+    def initialize(self) -> None:
+        for arena in self.arenas:
+            arena.initialize()
+
+    def is_initialized(self) -> bool:
+        return all(arena.is_initialized() for arena in self.arenas)
+
+    def ensure_initialized(self) -> None:
+        for arena in self.arenas:
+            arena.ensure_initialized()
+
+    # ------------------------------------------------------------------
+
+    def alloc(self, nbytes: int, core: int = 0) -> int:
+        """Allocate *nbytes* for *core*; home arena first, then the
+        deterministic fallback scan."""
+        home = core % self.ncores
+        try:
+            return self.arenas[home].alloc(nbytes)
+        except HeapExhaustedError:
+            pass
+        self.fallbacks[home] += 1
+        for other in range(self.ncores):
+            if other == home:
+                continue
+            try:
+                return self.arenas[other].alloc(nbytes)
+            except HeapExhaustedError:
+                continue
+        raise HeapExhaustedError(
+            f"all {self.ncores} arenas at 0x{self.base:08x} exhausted "
+            f"allocating {nbytes} bytes"
+        )
+
+    def free(self, payload: int) -> None:
+        self.arena_of(payload).free(payload)
+
+    def arena_of(self, address: int) -> SegmentHeap:
+        """The arena owning *address* (pure address arithmetic)."""
+        if not self.base <= address < self.base + self.size:
+            raise InvalidFreeError(
+                f"0x{address:08x} is outside the arena region "
+                f"0x{self.base:08x}-0x{self.base + self.size:08x}"
+            )
+        index = min((address - self.base) // self.stride, self.ncores - 1)
+        return self.arenas[index]
+
+    # ------------------------------------------------------------------
+
+    def free_bytes(self) -> int:
+        return sum(arena.free_bytes() for arena in self.arenas)
+
+    def blocks(self) -> Iterator[Tuple[int, int, bool]]:
+        for arena in self.arenas:
+            for entry in arena.blocks():
+                yield entry
+
+    def check(self) -> None:
+        for arena in self.arenas:
+            arena.check()
 
 
 def _round_up(nbytes: int) -> int:

@@ -16,6 +16,11 @@ Shapes covered:
 * machine-code races: Presto workers with the semaphore stripped from
   the accumulator (``presto-total``) or the work cursor
   (``presto-cursor``) — the §4 application, genuinely broken;
+* SMP-only races: the same broken Presto sized so that on one core the
+  first worker drains every item inside its first quantum and the bug
+  is unreachable — only real multi-core interleaving (``boot(ncores=2)``
+  sub-quantum rounds) makes both workers claim and collide
+  (``presto-smp-total``, ``presto-smp-merge``);
 * cluster races: a second process on the granted node piggybacks on
   the node's exclusive mapping and accesses without its own coherence
   acquire (``cluster-piggyback-write``, ``cluster-stale-read``);
@@ -89,6 +94,14 @@ def san_cases() -> List[SanCase]:
                 "Presto workers claim the work cursor without the "
                 "semaphore",
                 "race", "race", _presto_cursor),
+        SanCase("presto-smp-total",
+                "two-core Presto accumulates total bare; one core "
+                "drains the queue before the race exists",
+                "race", "race", _presto_smp_total),
+        SanCase("presto-smp-merge",
+                "disciplined loop, bare end-of-run merge; only "
+                "multi-core runs have two finishers",
+                "race", "race", _presto_smp_merge),
         SanCase("cluster-piggyback-write",
                 "second process writes via the node's exclusive grant "
                 "without its own acquire",
@@ -124,10 +137,10 @@ def case_named(name: str) -> SanCase:
 # ---------------------------------------------------------------------------
 
 
-def _boot():
+def _boot(ncores: Optional[int] = None):
     from repro import boot
 
-    return boot().kernel
+    return boot(ncores=ncores).kernel
 
 
 def _attach(kernel, proc, create: bool) -> int:
@@ -370,20 +383,80 @@ int main() {{
 """
 
 
+#: disciplined loop, but every finisher that claimed at least one item
+#: merges its count into ``done`` bare. On one core the workload is
+#: sized so only the first worker ever claims — a single bare writer is
+#: not a race. On two cores the round scheduler's sub-quantum
+#: interleaving gives the queue to both workers, and their merges (each
+#: sequenced *after* the worker's last semaphore release, so no
+#: happens-before edge covers them) collide.
+_SMP_SHARED = """
+int next_index = 0;
+int total = 0;
+int done = 0;
+int results[{nitems}];
+"""
+
+_SMP_MERGE_WORKER = """
+extern int next_index;
+extern int total;
+extern int done;
+extern int results[{nitems}];
+extern int sem_get(int key, int value);
+extern int sem_p(int key);
+extern int sem_v(int key);
+
+int compute(int i) {{
+    return i * i + 1;
+}}
+
+int main() {{
+    int i;
+    int value;
+    int claimed = 0;
+    sem_get(1, 1);
+    while (1) {{
+        sem_p(1);
+        i = next_index;
+        next_index = i + 1;
+        sem_v(1);
+        if (i >= {nitems}) {{
+            break;
+        }}
+        value = compute(i);
+        results[i] = value;
+        sem_p(1);
+        total = total + value;
+        sem_v(1);
+        claimed = claimed + 1;
+    }}
+    if (claimed > 0) {{
+        done = done + claimed;
+    }}
+    return claimed;
+}}
+"""
+
+#: small enough that one worker's whole run (claim everything, exit)
+#: fits in its first 2000-instruction quantum on a uniprocessor.
+_SMP_NITEMS = 12
+
+
 def _racy_presto(worker_source: str, nitems: int = 24,
-                 nworkers: int = 3) -> None:
+                 nworkers: int = 3, ncores: Optional[int] = None,
+                 shared_source: str = _RACY_SHARED) -> None:
     from repro.apps.libsys import build_libsys
     from repro.bench.workloads import make_shell
     from repro.linker.classes import SharingClass
     from repro.linker.lds import Lds, LinkRequest, store_object
     from repro.toyc import compile_source
 
-    kernel = _boot()
+    kernel = _boot(ncores=ncores)
     shell = make_shell(kernel)
     kernel.vfs.makedirs("/shared/racy", shell.uid)
     kernel.vfs.makedirs("/opt/racy", shell.uid)
     store_object(kernel, shell, "/shared/racy/shared_data.o",
-                 compile_source(_RACY_SHARED.format(nitems=nitems),
+                 compile_source(shared_source.format(nitems=nitems),
                                 "shared_data.o"))
     store_object(kernel, shell, "/opt/racy/worker.o",
                  compile_source(worker_source.format(nitems=nitems),
@@ -408,6 +481,16 @@ def _presto_total() -> None:
 
 def _presto_cursor() -> None:
     _racy_presto(_RACY_CURSOR_WORKER)
+
+
+def _presto_smp_total() -> None:
+    _racy_presto(_RACY_TOTAL_WORKER, nitems=_SMP_NITEMS, nworkers=2,
+                 ncores=2)
+
+
+def _presto_smp_merge() -> None:
+    _racy_presto(_SMP_MERGE_WORKER, nitems=_SMP_NITEMS, nworkers=2,
+                 ncores=2, shared_source=_SMP_SHARED)
 
 
 # ---------------------------------------------------------------------------

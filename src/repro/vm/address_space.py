@@ -152,6 +152,8 @@ class AddressSpace:
         self.tlb_flushes = 0
         self.injector = None  # set by repro.inject.install_injector
         self.sanitizer = None  # set by repro.sanitize.install_sanitizer
+        self.smp = None  # SmpCoordinator on multi-core boots
+        self.core = 0  # owning process's home core (repro.smp)
 
     # ------------------------------------------------------------------
     # mapping management
@@ -193,7 +195,7 @@ class AddressSpace:
                           prot, flags, name)
         for vpn in range(first_vpn, first_vpn + npages):
             self._pages[vpn] = _Pte(mapping, prot)
-        self._tlb_drop_range(first_vpn, npages)
+        self._tlb_drop_range(first_vpn, npages, "map")
         if memobj is not None:
             memobj.watch(self)
         self._insert_mapping(mapping)
@@ -234,7 +236,7 @@ class AddressSpace:
             pte = self._pages.pop(vpn, None)
             if pte is not None and pte.frame is not None:
                 self._physmem.release(pte.frame)
-        self._tlb_drop_range(first_vpn, mapping.npages)
+        self._tlb_drop_range(first_vpn, mapping.npages, "unmap")
         self._mappings.remove(mapping)
         tracer = _trace.TRACER
         if tracer.enabled:
@@ -263,7 +265,7 @@ class AddressSpace:
         for pte in ptes:
             pte.prot = prot
             touched.add(id(pte.mapping))
-        self._tlb_drop_range(first_vpn, npages)
+        self._tlb_drop_range(first_vpn, npages, "mprotect")
         tracer = _trace.TRACER
         if tracer.enabled:
             tracer.emit(EventKind.MAP, name=f"mprotect:{prot_str(prot)}",
@@ -367,17 +369,25 @@ class AddressSpace:
         self.tlb[vpn] = (frame.data, prot, frame)
         self.tlb_fills += 1
 
-    def _tlb_drop(self, vpn: int) -> None:
+    def _tlb_drop(self, vpn: int, reason: str = "cow") -> None:
         if self.tlb.pop(vpn, None) is not None:
             self.tlb_invalidations += 1
+            if self.smp is not None:
+                self.smp.tlb_shootdown(self, 1, reason)
 
-    def _tlb_drop_range(self, first_vpn: int, npages: int) -> None:
+    def _tlb_drop_range(self, first_vpn: int, npages: int,
+                        reason: str = "range") -> None:
         tlb = self.tlb
         if not tlb:
             return
+        dropped = 0
         for vpn in range(first_vpn, first_vpn + npages):
             if tlb.pop(vpn, None) is not None:
-                self.tlb_invalidations += 1
+                dropped += 1
+        if dropped:
+            self.tlb_invalidations += dropped
+            if self.smp is not None:
+                self.smp.tlb_shootdown(self, dropped, reason)
 
     def tlb_flush(self, reason: str = "") -> int:
         """Drop every cached translation; returns the entry count."""
@@ -385,6 +395,9 @@ class AddressSpace:
         if dropped:
             self.tlb.clear()
             self.tlb_invalidations += dropped
+            if self.smp is not None:
+                self.smp.tlb_shootdown(self, dropped,
+                                       reason or "explicit")
         self.tlb_flushes += 1
         tracer = _trace.TRACER
         if tracer.enabled and dropped:
@@ -512,6 +525,10 @@ class AddressSpace:
             assert frame is not None
             if frame.decode:
                 frame.decode.clear()
+                if frame.decode_cores:
+                    if self.smp is not None:
+                        self.smp.decode_shootdown(frame)
+                    frame.decode_cores.clear()
             frame.data[page_off: page_off + chunk] = data[pos: pos + chunk]
             if self._tlb_enabled and vpn not in self.tlb:
                 self._tlb_fill(vpn, pte)
@@ -550,6 +567,10 @@ class AddressSpace:
                 frame = entry[2]
                 if frame.decode:
                     frame.decode.clear()
+                    if frame.decode_cores:
+                        if self.smp is not None:
+                            self.smp.decode_shootdown(frame)
+                        frame.decode_cores.clear()
                 _WORD.pack_into(entry[0], address & _PAGE_MASK,
                                 value & 0xFFFFFFFF)
                 return

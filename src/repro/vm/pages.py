@@ -30,9 +30,15 @@ class Frame:
     or :class:`MemoryObject`, which do), so stale decodes can never
     execute — the property self-modifying text (PLT patching, ``ldl``
     jump-slot fixups) depends on.
+
+    ``decode_cores`` is the SMP shadow of ``decode``: the set of cores
+    that have executed from this frame since the cache was last
+    cleared. Only populated on multi-core boots (the CPU fast path
+    checks ``space.smp``); a write that clears ``decode`` clears it
+    too, counting one decode shootdown per *other* core in the set.
     """
 
-    __slots__ = ("data", "refcount", "decode")
+    __slots__ = ("data", "refcount", "decode", "decode_cores")
 
     def __init__(self, data: Optional[bytes] = None) -> None:
         if data is None:
@@ -44,6 +50,7 @@ class Frame:
             self.data[: len(data)] = data
         self.refcount = 1
         self.decode: Dict[int, tuple] = {}
+        self.decode_cores: set = set()
 
 
 class PhysicalMemory:
@@ -183,6 +190,8 @@ class MemoryObject:
             frame = self.ensure_page(page_index)
             if frame.decode:
                 frame.decode.clear()
+                if frame.decode_cores:
+                    frame.decode_cores.clear()
             frame.data[page_off: page_off + chunk] = data[pos: pos + chunk]
             pos += chunk
         self.size = max(self.size, offset + length)
@@ -203,6 +212,8 @@ class MemoryObject:
                 frame = self._pages[boundary_page]
                 if frame.decode:
                     frame.decode.clear()
+                    if frame.decode_cores:
+                        frame.decode_cores.clear()
                 frame.data[boundary_off:] = bytes(PAGE_SIZE - boundary_off)
             self._notify_invalidate()
         self.size = new_size
