@@ -8,7 +8,7 @@ output at very different cost, which is where the paper's "saves a
 little over a second each time it is called" comes from.
 
 Run:  python examples/rwho_network.py [--nhosts N] [--seed N]
-                                      [--cluster N]
+                                      [--cluster N] [--ha]
 
 With ``--cluster N`` (or ``REPRO_CLUSTER=N`` in the environment, which
 is how ``reprochaos --net`` drives this script) the same fleet runs
@@ -17,6 +17,12 @@ broadcast over the fabric, the server's rwhod builds the database in a
 cluster-wide shared segment, and a remote reader's output is checked
 against the single-kernel oracle — exactly equal fault-free, a subset
 of it when a fault campaign is dropping datagrams.
+
+With ``--ha`` on top (or ``REPRO_HA=1``, how ``reprochaos --ha``
+drives this script) the cluster arms the failure model: an armed NODE
+plane crashes, wedges, partitions and reboots machines on the seeded
+schedule, and the scenario runs in recovery epochs until a fresh
+probe's database equals the single-kernel oracle.
 """
 
 import argparse
@@ -129,10 +135,48 @@ def cluster_main(nnodes: int, nhosts: int, seed: int) -> None:
           f"oracle")
 
 
+def ha_main(nnodes: int, nhosts: int, seed: int) -> None:
+    from repro.apps.rwho.cluster import (
+        run_ha_rwho,
+        single_kernel_rwho,
+        synth_statuses,
+    )
+    from repro.disk import BlockDevice
+    from repro.net import Cluster
+
+    statuses = synth_statuses(nhosts)
+    oracle = single_kernel_rwho(statuses)
+    # the home/server node gets a durable volume, so its directory
+    # journal and database survive a crash; the rest stay volatile
+    disks = [BlockDevice(seed=seed) if node == 0 else None
+             for node in range(nnodes)]
+    cluster = Cluster(nnodes, seed=seed, disks=disks, ha=True)
+    print(f"== rwhod over a {nnodes}-node HA cluster, {nhosts} hosts, "
+          f"seed {seed} ==")
+    result = run_ha_rwho(cluster, statuses, oracle)
+    cluster.shutdown()
+    ha = result["ha"]
+    print(f"{result['epochs']} epoch(s), {result['rounds']} rounds, "
+          f"{result['frames_sent']} frames "
+          f"({result['ha_dropped']} lost to the failure model)")
+    print(f"faults: {ha['crashes']} crash(es), {ha['wedges']} "
+          f"wedge(s), {ha['partitions']} partition(s), "
+          f"{ha['reboots']} reboot(s)")
+    print(f"recovery: {ha['suspects']} suspicion(s), {ha['rejoins']} "
+          f"re-join(s), {ha['lease_reclaims']} lease reclaim(s), "
+          f"{ha['dir_recovered']} directory row(s) recovered")
+    assert result["converged"], \
+        "cluster did not re-converge to the oracle"
+    print("\npost-heal probe output is identical to the single-kernel "
+          "oracle")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--nhosts", type=int, default=NHOSTS,
-                        help="fleet size (default %(default)s)")
+    parser.add_argument(
+        "--nhosts", type=int,
+        default=int(os.environ.get("REPRO_HOSTS", "0") or 0) or NHOSTS,
+        help="fleet size (default: $REPRO_HOSTS or %(default)s)")
     parser.add_argument("--seed", type=int, default=99,
                         help="deterministic seed (default %(default)s)")
     parser.add_argument(
@@ -140,10 +184,17 @@ def main() -> None:
         default=int(os.environ.get("REPRO_CLUSTER", "0") or 0),
         help="run over an N-node cluster instead of one kernel "
              "(default: $REPRO_CLUSTER or 0 = single kernel)")
+    parser.add_argument(
+        "--ha", action="store_true",
+        default=bool(int(os.environ.get("REPRO_HA", "0") or 0)),
+        help="arm the failure model (requires --cluster; default: "
+             "$REPRO_HA)")
     # parse_known_args: the test harness runs this file via runpy with
     # its own argv still in place.
     args, _ = parser.parse_known_args()
-    if args.cluster:
+    if args.ha:
+        ha_main(args.cluster or 8, args.nhosts, args.seed)
+    elif args.cluster:
         cluster_main(args.cluster, args.nhosts, args.seed)
     else:
         single_main(args.nhosts, args.seed)

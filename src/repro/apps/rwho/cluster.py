@@ -198,6 +198,105 @@ def run_cluster_rwho(cluster: Cluster, statuses: List[HostStatus],
     }
 
 
+def run_ha_rwho(cluster: Cluster, statuses: List[HostStatus],
+                oracle: str, server: int = 0, max_epochs: int = 30,
+                max_rounds: int = 200_000) -> Dict[str, object]:
+    """The recovery scenario: clustered rwho under the armed failure
+    model, driven in *epochs* until the database a fresh probe reads
+    equals *oracle* (the single-kernel output for the same fleet).
+
+    Each epoch re-broadcasts the whole fleet from every live gateway
+    (records lost to a crash or cut are simply sent again — rwhod
+    record processing is idempotent), then runs one fresh probe on a
+    live non-server node. A probe killed by a contained coherence
+    fault (its home timed out mid-fetch) counts as a failed epoch, not
+    an error: the next epoch retries with a new process. Between
+    failed epochs the cluster is pumped ``lease_rounds`` rounds so
+    heartbeats, suspicion, reboots and partition heals keep advancing
+    even when no workload is runnable.
+
+    The server's rwhod is re-spawned by an HA reboot hook, which first
+    unlinks the recovered ``rwho.db`` — its mmap-written content is
+    journal-stale by construction — so the database is republished
+    fresh and every stale replica in the cluster is invalidated.
+    """
+    if cluster.ha is None:
+        raise SimulationError("run_ha_rwho needs Cluster(..., ha=...)")
+    nnodes = cluster.nnodes
+    if nnodes < 2:
+        raise SimulationError("the scenario needs a server + gateways")
+    nhosts = len({status.hostname for status in statuses})
+    db_path = cluster.machines[server].kernel.sfs_mount + "/rwho.db"
+
+    cluster.machines[server].add_daemon("rwhod-shm",
+                                        daemon_body("shm", nhosts))
+
+    def respawn(cluster_, node, machine):
+        if node != server:
+            return  # gateways and probes are re-spawned per epoch
+        kernel = machine.kernel
+        try:
+            kernel.vfs.unlink(db_path)
+        except SimulationError:
+            pass
+        machine.add_daemon("rwhod-shm", daemon_body("shm", nhosts))
+
+    cluster.ha.on_reboot.append(respawn)
+
+    outputs: Dict[int, str] = {}
+    total_rounds = 0
+    epochs = 0
+    converged = False
+    pump = cluster.ha.config.lease_rounds
+    for epoch in range(max_epochs):
+        epochs = epoch + 1
+        live = [node for node in range(nnodes)
+                if not cluster.machines[node].crashed]
+        gateways = [node for node in live if node != server]
+        if server in live:
+            for lane, node in enumerate(gateways):
+                share = statuses[lane::len(gateways)]
+                if share:
+                    cluster.spawn(
+                        node, f"gw{node}e{epoch}",
+                        _broadcaster_over_fabric(server, share))
+        total_rounds += cluster.run(max_rounds)
+
+        probes = [node for node in range(nnodes)
+                  if node != server
+                  and not cluster.machines[node].crashed]
+        if probes:
+            where = probes[epoch % len(probes)]
+
+            def probe_body(kernel, proc, _epoch=epoch):
+                outputs[_epoch] = shm_rwho(kernel, proc)
+                yield
+                return 0
+
+            cluster.spawn(where, f"probe{epoch}", probe_body)
+            total_rounds += cluster.run(max_rounds)
+        if outputs.get(epoch) == oracle:
+            converged = True
+            break
+        # keep the failure schedule (reboot draws, heals, suspicion)
+        # moving even though nothing is runnable
+        for _ in range(pump):
+            cluster.step()
+        total_rounds += pump
+
+    ha_stats = vars(cluster.ha.stats).copy()
+    return {
+        "converged": converged,
+        "epochs": epochs,
+        "rounds": total_rounds,
+        "outputs": outputs,
+        "nhosts": nhosts,
+        "ha": ha_stats,
+        "frames_sent": cluster.fabric.stats.frames_sent,
+        "ha_dropped": cluster.fabric.stats.ha_dropped,
+    }
+
+
 def single_kernel_rwho(statuses: List[HostStatus]) -> str:
     """The differential oracle: the same fleet through the classic
     single-machine experiment (one kernel, message-queue 'network')."""

@@ -117,6 +117,23 @@ class Injector:
         return [state.plan
                 for states in self._states.values() for state in states]
 
+    def resume_from(self, previous: "Injector") -> None:
+        """Adopt *previous*'s per-plan decision state.
+
+        A machine reboot builds a fresh kernel and with it a fresh
+        injector, but a fault campaign is scoped to the whole cluster
+        run, not to one boot: ``after`` offsets, ``max_faults`` caps
+        and the per-plan RNG streams must keep counting across the
+        reboot, or a capped CRASH plan would re-arm every time its
+        victim came back up. Only planes whose plan lists are identical
+        are adopted — a differing list means the ambient campaign
+        changed between the boots, and fresh state is the honest
+        interpretation."""
+        for plane, states in previous._states.items():
+            mine = self._states[plane]
+            if [s.plan for s in states] == [s.plan for s in mine]:
+                self._states[plane] = states
+
     # ------------------------------------------------------------------
     # the decision core
     # ------------------------------------------------------------------
@@ -360,6 +377,26 @@ class Injector:
         if plan.kind is FaultKind.DELAY:
             return data, ("delay", state.rng.randint(1, 4))
         return self._corrupt(state, data), None
+
+    _NODE_KINDS = frozenset({FaultKind.CRASH, FaultKind.WEDGE,
+                             FaultKind.PARTITION, FaultKind.REBOOT})
+
+    def on_node(self, site: str, subject: str,
+                kinds: Optional[FrozenSet[FaultKind]] = None
+                ) -> Optional[_PlanState]:
+        """Node plane: one whole-machine failure decision point.
+
+        Called by the cluster's HA manager once per scheduling round
+        per live node (*site* ``"crash"``/``"wedge"``, *subject*
+        ``"nodeN"``), per crashed node (*site* ``"reboot"``), and once
+        per round for the cluster-wide partition draw (*site*
+        ``"partition"``, *subject* ``"cluster"``). Returns the fired
+        plan state — the caller reads ``state.plan.kind`` and draws
+        window lengths / node splits from ``state.rng`` so failure
+        schedules stay bit-identical per seed.
+        """
+        return self._decide(Plane.NODE, site, subject, 0,
+                            kinds=kinds or self._NODE_KINDS)
 
     def on_link(self, proc, site: str, name: str,
                 as_syscall: bool = False) -> None:

@@ -16,7 +16,11 @@ Planes name the four choke points the paper's mechanisms depend on:
 * ``DISK``    — the durable block store: per-block writes and reads plus
   the journal-record boundaries (crash-at-record);
 * ``NET``     — the simulated cluster fabric: frames on the wire may be
-  dropped, duplicated, delayed, or bit-flipped.
+  dropped, duplicated, delayed, or bit-flipped;
+* ``NODE``    — whole-machine failures in a cluster: a node crashes
+  (losing volatile state), its network daemon wedges for a window, the
+  fabric partitions into seeded halves, or a crashed node reboots from
+  its durable disk volume.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ class Plane(enum.Enum):
     LINKER = "linker"
     DISK = "disk"
     NET = "net"
+    NODE = "node"
 
     @classmethod
     def parse(cls, name: str) -> "Plane":
@@ -61,6 +66,9 @@ class FaultKind(enum.Enum):
     CRASH = "crash"            # power loss at a journal-record boundary
     DUP = "dup"                # a network frame is delivered twice
     DELAY = "delay"            # a network frame is held back extra rounds
+    WEDGE = "wedge"            # a node's netd stops draining for a window
+    PARTITION = "partition"    # the fabric splits into two node sets
+    REBOOT = "reboot"          # a crashed node boots from its disk volume
 
 
 #: Which kinds make sense on which plane (validated at construction).
@@ -75,6 +83,8 @@ VALID_KINDS = {
                            FaultKind.CORRUPT, FaultKind.CRASH}),
     Plane.NET: frozenset({FaultKind.DROP, FaultKind.CORRUPT,
                           FaultKind.DUP, FaultKind.DELAY}),
+    Plane.NODE: frozenset({FaultKind.CRASH, FaultKind.WEDGE,
+                           FaultKind.PARTITION, FaultKind.REBOOT}),
 }
 
 #: Kind subsets each entry point accepts (a read site never sees ENOSPC).

@@ -115,6 +115,9 @@ class Kernel:
         self.nic = None
         self.node_id = 0
         self.coherence = None
+        # The cluster's HA manager (repro.net.ha), shared by every
+        # member kernel when the cluster arms it; None otherwise.
+        self.ha = None
         # The race/heap sanitizer (repro.sanitize). None keeps every
         # choke point at one attribute check.
         self.sanitizer = None

@@ -5,12 +5,17 @@ global segment address space over a simulated network: a seeded fabric
 (:mod:`repro.net.link`), a round-based cluster scheduler
 (:mod:`repro.net.cluster`), and a single-writer-invalidation coherence
 protocol that piggybacks on the existing SIGSEGV plumbing
-(:mod:`repro.net.coherence`). Everything is bit-identical per
-``(seed, fault plan)``; an unbooted cluster costs a single attribute
-check per public fault.
+(:mod:`repro.net.coherence`). Arm ``Cluster(..., ha=True)`` to add the
+failure model of :mod:`repro.net.ha`: seeded node crashes, netd
+wedges, partitions and reboots, with lease-based reclamation and
+round-based membership. Everything is bit-identical per ``(seed,
+fault plan)``; an unbooted cluster costs a single attribute check per
+public fault, and an un-armed HA plane a single ``is None`` check per
+frame.
 """
 
 from repro.net.cluster import Cluster, Machine, NodePort
+from repro.net.ha import HA_PORT, HaConfig, HaManager, HaStats
 from repro.net.coherence import (
     COHERENCE_PORT,
     CoherenceAgent,
@@ -32,6 +37,10 @@ __all__ = [
     "Cluster",
     "Machine",
     "NodePort",
+    "HA_PORT",
+    "HaConfig",
+    "HaManager",
+    "HaStats",
     "COHERENCE_PORT",
     "CoherenceAgent",
     "CoherenceStats",

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 from repro.errors import NetError, SimulationError
 from repro.kernel.process import ProcessState
 from repro.net.coherence import CoherenceAgent, SegmentDirectory
+from repro.net.ha import HaConfig, HaManager, _had_body
 from repro.net.link import Fabric, FrameKind, Nic
 from repro.sfs.sharedfs import MAX_INODES
 
@@ -56,8 +57,12 @@ def _netd_body(kernel, proc):
     sys = kernel.syscalls
     backlog = []
     while True:
-        backlog.extend(frame for frame in nic.poll(proc)
-                       if frame.kind is FrameKind.DATA)
+        for frame in nic.poll(proc):
+            if frame.kind is FrameKind.DATA:
+                backlog.append(frame)
+            elif frame.kind is FrameKind.HEARTBEAT \
+                    and kernel.ha is not None:
+                kernel.ha.on_heartbeat_frame(frame)
         while backlog:
             frame = backlog[0]
             try:
@@ -100,6 +105,8 @@ class Machine:
         self.nic = nic
         self.agent = agent
         self.system = None  # the repro.System, filled in after boot()
+        self.crashed = False  # set by HaManager.crash, never cleared —
+        # a reboot replaces the whole Machine object
         self._stripe_inos(cluster.nnodes)
         self.daemon_pids: set = set()
         self.netd = kernel.create_native_process("netd", _netd_body)
@@ -163,7 +170,7 @@ class Cluster:
 
     def __init__(self, nnodes: int, seed: int = 1993, home: int = 0,
                  disks: Optional[list] = None, base_delay: int = 1,
-                 jitter: int = 2, **boot_args) -> None:
+                 jitter: int = 2, ha=None, **boot_args) -> None:
         if boot_args.get("wide_addresses"):
             raise NetError("clusters require the 32-bit address scheme")
         if not 1 <= nnodes <= MAX_INODES:
@@ -180,6 +187,21 @@ class Cluster:
         self.fabric = Fabric(nnodes, seed, base_delay=base_delay,
                              jitter=jitter)
         self.directory = SegmentDirectory(home=home)
+        #: boot() kwargs replayed verbatim when a node reboots
+        self.boot_args = dict(boot_args)
+        self.disks = disks
+        # ha=True arms the failure model with default HaConfig;
+        # pass an HaConfig to tune it. None keeps HA entirely out of
+        # the cluster: no manager, no heartbeats, and the fabric hooks
+        # cost one is-None check — fault-free runs are bit-identical
+        # to an HA-less build.
+        if ha is None or ha is False:
+            self.ha = None
+        elif isinstance(ha, HaConfig):
+            self.ha = HaManager(self, ha)
+        else:
+            self.ha = HaManager(self, HaConfig())
+        self.fabric.ha = self.ha
         self.machines: List[Machine] = []
         for node in range(nnodes):
             args = dict(boot_args)
@@ -187,19 +209,33 @@ class Cluster:
                 args["disk"] = disks[node]
             system = boot(net=NodePort(self, node), **args)
             self.machines[node].system = system
+        if self.ha is not None:
+            for node in range(nnodes):
+                self.machines[node].add_daemon(
+                    "had", _had_body(self.ha, node))
 
     def _attach(self, node_id: int, kernel) -> None:
-        if len(self.machines) != node_id:
+        rebooting = node_id < len(self.machines) \
+            and self.machines[node_id].crashed
+        if not rebooting and len(self.machines) != node_id:
             raise NetError(f"node {node_id} attached out of order")
         nic = Nic(self.fabric, node_id, kernel)
-        self.fabric.attach(node_id, nic)
+        if rebooting:
+            self.fabric.reattach(node_id, nic)
+        else:
+            self.fabric.attach(node_id, nic)
         kernel.nic = nic
         kernel.node_id = node_id
+        kernel.ha = self.ha
         agent = CoherenceAgent(self, node_id, kernel, nic,
                                self.directory)
         kernel.coherence = agent
         kernel.sfs.coherence = agent
-        self.machines.append(Machine(self, node_id, kernel, nic, agent))
+        machine = Machine(self, node_id, kernel, nic, agent)
+        if rebooting:
+            self.machines[node_id] = machine
+        else:
+            self.machines.append(machine)
         # An armed recording (reprorr) must checkpoint cluster members
         # at round boundaries — a globally consistent cut — not at
         # per-kernel clock crossings that land mid-round.
@@ -215,8 +251,12 @@ class Cluster:
         """One global round: deliver due traffic, then one slice per
         runnable process, machines in node order."""
         self.round += 1
+        if self.ha is not None:
+            self.ha.on_round(self.round)
         self.fabric.deliver_due(self.round)
         for machine in self.machines:
+            if machine.crashed:
+                continue
             machine.step_round()
         # Round boundary: every due frame delivered, every runnable
         # process sliced — the consistent cut reprorr checkpoints at.
@@ -228,10 +268,14 @@ class Cluster:
     def idle(self) -> bool:
         """Nothing left to do: no wire traffic, no queued datagrams, no
         undelivered messages, and every non-daemon process has exited."""
-        if self.fabric.pending():
+        if self.fabric.pending_workload():
             return False
         for machine in self.machines:
+            if machine.crashed:
+                continue  # a dead node has no work left by definition
             if machine.nic.inbox:
+                # live netd drains within the round; only a wedged
+                # node holds frames here, and wedges always heal
                 return False
             if not machine.kernel.queues.drained():
                 return False
@@ -244,6 +288,8 @@ class Cluster:
         if self.fabric.pending():
             return False
         for machine in self.machines:
+            if machine.crashed:
+                continue
             if machine.nic.inbox or machine.kernel.runnable():
                 return False
         return True
@@ -255,7 +301,16 @@ class Cluster:
         keeps the cluster non-quiescent without advancing any of
         these."""
         stats = self.fabric.stats
-        parts = [stats.frames_sent, stats.frames_delivered]
+        # Heartbeats tick forever; counting them would make a wedged
+        # HA cluster look alive. Subtract them so the signature tracks
+        # workload traffic only, and fold in the HA facts (fault
+        # windows, membership, reclaims) whose change *is* progress.
+        hb_sent = stats.by_kind.get("HEARTBEAT", 0)
+        parts = [stats.frames_sent - hb_sent,
+                 stats.frames_delivered - stats.heartbeats_delivered]
+        if self.ha is not None:
+            parts.append(stats.ha_dropped)
+            parts.append(self.ha.state_signature())
         for machine in self.machines:
             kernel = machine.kernel
             parts.append(len(machine.nic.inbox))
@@ -282,32 +337,40 @@ class Cluster:
                 blocked = [
                     f"{m.node_id}:{p.name}"
                     for m in self.machines
+                    if not m.crashed
                     for p in m.kernel.processes.values()
                     if p.state is ProcessState.BLOCKED
                 ]
                 raise NetError(
                     "cluster deadlock: no runnable process, nothing "
-                    "in flight" +
+                    "in flight" + self._dead_node_report() +
                     (f" (blocked: {', '.join(blocked)})" if blocked
                      else ""))
             current = self._progress_signature()
             if current == signature:
                 stable += 1
                 if stable >= WEDGE_ROUNDS:
+                    # The signature skips nothing a crashed node does
+                    # (it does nothing), so stability here means the
+                    # *live* members stopped progressing: report dead
+                    # daemons and dead nodes as separate facts.
                     dead = [
                         f"{m.node_id}:{p.name} ({p.death_reason})"
                         for m in self.machines
+                        if not m.crashed
                         for p in m.kernel.processes.values()
                         if p.pid in m.daemon_pids
                         and p.death_reason not in (None, "cluster "
                                                    "shutdown")
                     ]
                     backlog = sum(m.kernel.queues.backlog()
-                                  for m in self.machines)
+                                  for m in self.machines
+                                  if not m.crashed)
                     raise NetError(
-                        f"cluster wedged: no progress for "
-                        f"{WEDGE_ROUNDS} rounds, {backlog} queued "
-                        f"message(s) nobody will drain" +
+                        f"cluster wedged: no progress among live "
+                        f"members for {WEDGE_ROUNDS} rounds, "
+                        f"{backlog} queued message(s) nobody will "
+                        f"drain" + self._dead_node_report() +
                         (f" (dead daemons: {', '.join(dead)})" if dead
                          else ""))
             else:
@@ -320,9 +383,18 @@ class Cluster:
             self.step()
         return self.round - start
 
+    def _dead_node_report(self) -> str:
+        """`` (crashed nodes: ...)`` for run()'s errors, or ``""``."""
+        if self.ha is None or not self.ha.crashed:
+            return ""
+        nodes = ", ".join(str(n) for n in sorted(self.ha.crashed))
+        return f" (crashed nodes: {nodes})"
+
     def shutdown(self) -> None:
         """Terminate every registered daemon (netd included)."""
         for machine in self.machines:
+            if machine.crashed:
+                continue
             for pid in sorted(machine.daemon_pids):
                 proc = machine.kernel.processes.get(pid)
                 if proc is not None and proc.alive:
@@ -335,6 +407,8 @@ class Cluster:
 
     def spawn(self, node: int, name: str, body):
         """A native workload process on *node* (counted by idle())."""
+        if self.machines[node].crashed:
+            raise NetError(f"node {node} is crashed; reboot it first")
         return self.machines[node].kernel.create_native_process(
             name, body)
 

@@ -52,13 +52,22 @@ class SegmentState(enum.Enum):
 
 @dataclass
 class _Entry:
-    """One directory row."""
+    """One directory row.
+
+    ``owner == -1`` marks a reclaimed row: the holder died with the
+    only authoritative copy, and :attr:`snapshot` — the bytes last
+    seen transiting the home — serves the next grant. ``leases`` maps
+    each non-home holder to the round its grant expires (renewed by
+    heartbeats, reaped by :meth:`repro.net.ha.HaManager.reap_entry`);
+    both fields stay empty unless the cluster arms HA."""
 
     path: str                 # volume path on the owning node's SFS
     owner: int
     version: int
     state: SegmentState
     copyset: List[int]        # nodes holding a copy, insertion order
+    leases: Dict[int, int] = field(default_factory=dict)
+    snapshot: bytes = b""     # last bytes that transited the home
 
 
 @dataclass
@@ -438,10 +447,46 @@ class CoherenceAgent:
                          COHERENCE_PORT, 0, reply_payload)
         return self.nic.call(node, kind, COHERENCE_PORT, payload)
 
+    def _ha(self):
+        """The cluster's HA manager, or None when not armed."""
+        return self.cluster.ha
+
+    def _lease(self, entry: _Entry, node: int) -> None:
+        """Stamp *node*'s round-bounded lease on a grant (HA only)."""
+        ha = self._ha()
+        if ha is not None:
+            ha.grant_lease(entry, node)
+
+    def _persist_directory(self) -> None:
+        """Journal the segment table through the home's disk after a
+        directory-shape change (HA only; lease renewals don't count —
+        recovery re-grants leases with a fresh grace window anyway)."""
+        ha = self._ha()
+        if ha is not None:
+            ha.persist_directory()
+
+    def _invalidate_copies(self, entry: _Entry, base: int,
+                           keep: int) -> None:
+        """INVALIDATE every copy but *keep*'s. Unreachable holders are
+        skipped — lease reaping already dropped (or will drop) them
+        from the row, and the re-join handshake discards whatever copy
+        they still hold before they can trust it again."""
+        ha = self._ha()
+        for node in list(entry.copyset):
+            if node == keep:
+                continue
+            if ha is not None and not ha.can_talk_to(node):
+                continue
+            self._remote_op(node, FrameKind.INVALIDATE,
+                            _U32.pack(base))
+
     def _pull(self, entry: _Entry, base: int,
               downgrade: bool) -> bytes:
         """The authoritative bytes, from the owner (demoting it when
-        *downgrade*)."""
+        *downgrade*); the home's snapshot when the owner died with the
+        only copy (a reclaimed row)."""
+        if entry.owner < 0:
+            return entry.snapshot
         kind = FrameKind.DOWNGRADE if downgrade else FrameKind.FETCH
         if entry.owner == self.node_id:
             if downgrade:
@@ -472,22 +517,26 @@ class CoherenceAgent:
             path = payload[_U32.size:].decode()
             entry = self.directory.entries.get(base)
             if entry is None or entry.owner != frame.src:
-                self.directory.entries[base] = _Entry(
+                fresh = _Entry(
                     path=path, owner=frame.src, version=1,
                     state=SegmentState.EXCLUSIVE, copyset=[frame.src])
+                self._lease(fresh, frame.src)
+                self.directory.entries[base] = fresh
+                self._persist_directory()
             return FrameKind.ACK, b""
         if kind is FrameKind.UNPUBLISH:
             base = _U32.unpack_from(payload)[0]
             entry = self.directory.entries.get(base)
             if entry is not None:
                 if frame.src == entry.owner:
-                    for node in list(entry.copyset):
-                        if node != entry.owner:
-                            self._remote_op(node, FrameKind.INVALIDATE,
-                                            _U32.pack(base))
+                    self._invalidate_copies(entry, base,
+                                            keep=entry.owner)
                     del self.directory.entries[base]
+                    self._persist_directory()
                 elif frame.src in entry.copyset:
                     entry.copyset.remove(frame.src)
+                    entry.leases.pop(frame.src, None)
+                    self._persist_directory()
             return FrameKind.ACK, b""
         if kind is FrameKind.LOOKUP:
             base = self.directory.lookup_path(payload.decode())
@@ -519,19 +568,25 @@ class CoherenceAgent:
         entry = self.directory.entries.get(base)
         if entry is None:
             return FrameKind.NAK, b""
+        ha = self._ha()
+        if ha is not None:
+            # the requester just proved it is alive: never reap it
+            ha.reap_entry(base, entry, keep=src)
         if want_write:
             data = b"" if entry.owner == src \
                 else self._pull(entry, base, downgrade=False)
-            for node in list(entry.copyset):
-                if node != src:
-                    self._remote_op(node, FrameKind.INVALIDATE,
-                                    _U32.pack(base))
+            if data:
+                entry.snapshot = data
+            self._invalidate_copies(entry, base, keep=src)
             if entry.owner != src or entry.state is not \
                     SegmentState.EXCLUSIVE or entry.copyset != [src]:
                 entry.owner = src
                 entry.version += 1
                 entry.state = SegmentState.EXCLUSIVE
                 entry.copyset = [src]
+                entry.leases = {}
+                self._lease(entry, src)
+                self._persist_directory()
             return FrameKind.GRANT, _pack_grant(
                 entry.version, len(data), entry.path, data)
         # read intent
@@ -542,24 +597,33 @@ class CoherenceAgent:
         else:
             data = b"" if entry.owner == src \
                 else self._pull(entry, base, downgrade=False)
+        if data:
+            entry.snapshot = data
+        self._lease(entry, src)
         if src not in entry.copyset:
             entry.copyset.append(src)
+            self._persist_directory()
         return FrameKind.GRANT, _pack_grant(
             entry.version, len(data), entry.path, data)
 
     def _serve_upgrade(self, src: int, base: int):
         entry = self.directory.entries.get(base)
-        if entry is None or src not in entry.copyset:
+        if entry is None:
+            return FrameKind.NAK, b""
+        ha = self._ha()
+        if ha is not None:
+            ha.reap_entry(base, entry, keep=src)
+        if src not in entry.copyset:
             return FrameKind.NAK, b""
         if entry.owner != src or entry.state is not \
                 SegmentState.EXCLUSIVE or entry.copyset != [src]:
-            for node in list(entry.copyset):
-                if node != src:
-                    self._remote_op(node, FrameKind.INVALIDATE,
-                                    _U32.pack(base))
+            self._invalidate_copies(entry, base, keep=src)
             entry.owner = src
             entry.version += 1
             entry.state = SegmentState.EXCLUSIVE
             entry.copyset = [src]
+            entry.leases = {}
+            self._lease(entry, src)
+            self._persist_directory()
         return FrameKind.GRANT, _pack_grant(entry.version, 0,
                                             entry.path, b"")

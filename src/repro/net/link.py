@@ -15,6 +15,15 @@ Determinism: per-link jitter comes from a splitmix64-derived
 sequence numbers are globally monotonic, and due frames deliver sorted
 by ``(deliver_round, seq, copy)`` — so two runs of the same seeded
 cluster see byte-identical traffic in the same order.
+
+Node failures (``repro.ha``): every frame carries its sender's *boot
+generation*, packed into the high bits of the 16-bit src field so the
+wire format (and therefore every cycle charge) is byte-identical to a
+generation-0 cluster. Receivers dedupe per ``(sender, generation)``
+with a bounded high-water window, and the reply cache tags entries with
+the serving node's boot generation — so a rebooted node neither has its
+fresh frames swallowed as duplicates nor serves replies recorded before
+its crash.
 """
 
 from __future__ import annotations
@@ -42,6 +51,15 @@ MAX_RETRANSMITS = 8
 #: replies remembered per NIC for retransmitted (duplicate) requests
 REPLY_CACHE_LIMIT = 512
 
+#: per-sender duplicate-suppression window: a datagram whose seq falls
+#: at least this far below the sender's high-water mark is a duplicate
+DEDUPE_WINDOW = 1024
+
+#: the 16-bit src field carries node id (low bits) + boot generation
+_NODE_MASK = 0x3FF
+_GEN_SHIFT = 10
+_GEN_MASK = 0x3F
+
 
 def mix_seed(seed: int, index: int) -> int:
     """splitmix64-style finalizer, the same derivation the injector
@@ -68,6 +86,7 @@ class FrameKind(enum.IntEnum):
     INVALIDATE = 10  # coherence: discard your copy
     DOWNGRADE = 11   # coherence: demote your exclusive copy to shared
     LOOKUP = 12      # coherence: path -> base address
+    HEARTBEAT = 13   # membership: i-am-alive + lease renewal piggyback
 
 
 # magic, version, kind, port, src, dst, seq, length, crc
@@ -85,14 +104,17 @@ class Frame:
     port: int
     seq: int
     payload: bytes = b""
+    gen: int = 0  # sender's boot generation (rides the src high bits)
 
     def pack(self) -> bytes:
+        src_field = (self.src & _NODE_MASK) \
+            | ((self.gen & _GEN_MASK) << _GEN_SHIFT)
         head = _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, int(self.kind),
-                            self.port, self.src, self.dst, self.seq,
+                            self.port, src_field, self.dst, self.seq,
                             len(self.payload), 0)
         crc = zlib.crc32(head + self.payload) & 0xFFFFFFFF
         return _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, int(self.kind),
-                            self.port, self.src, self.dst, self.seq,
+                            self.port, src_field, self.dst, self.seq,
                             len(self.payload), crc) + self.payload
 
     @classmethod
@@ -100,7 +122,7 @@ class Frame:
         """Parse and verify; raises :class:`NetError` on any damage."""
         if len(wire) < HEADER_SIZE:
             raise NetError(f"runt frame ({len(wire)} bytes)")
-        magic, version, kind, port, src, dst, seq, length, crc = \
+        magic, version, kind, port, src_field, dst, seq, length, crc = \
             _HEADER.unpack_from(wire)
         payload = wire[HEADER_SIZE:]
         if magic != FRAME_MAGIC or version != FRAME_VERSION:
@@ -108,15 +130,16 @@ class Frame:
         if length != len(payload):
             raise NetError(
                 f"frame length mismatch ({length} != {len(payload)})")
-        head = _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, kind, port, src,
-                            dst, seq, length, 0)
+        head = _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, kind, port,
+                            src_field, dst, seq, length, 0)
         if zlib.crc32(head + payload) & 0xFFFFFFFF != crc:
             raise NetError(f"frame checksum mismatch (seq {seq})")
         try:
             parsed_kind = FrameKind(kind)
         except ValueError:
             raise NetError(f"unknown frame kind {kind}")
-        return cls(parsed_kind, src, dst, port, seq, payload)
+        return cls(parsed_kind, src_field & _NODE_MASK, dst, port, seq,
+                   payload, gen=src_field >> _GEN_SHIFT)
 
 
 @dataclass
@@ -133,6 +156,8 @@ class FabricStats:
     corrupt_dropped: int = 0 # discarded at the NIC on checksum failure
     dup_dropped: int = 0     # duplicate datagrams suppressed by seq
     retransmits: int = 0     # synchronous-exchange resends
+    ha_dropped: int = 0      # frames lost to a dead node / partition cut
+    heartbeats_delivered: int = 0  # HEARTBEAT datagrams drained
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     def count_kind(self, kind: FrameKind) -> None:
@@ -158,6 +183,43 @@ class _Link:
         return self.base_delay + self.rng.randint(0, self.jitter)
 
 
+class _SenderWindow:
+    """Bounded dedupe state for one (sender, generation).
+
+    Seqs are fabric-global and monotonic, so per sender they arrive
+    almost sorted: remember the ones near the high-water mark and treat
+    anything at least :data:`DEDUPE_WINDOW` below it as a duplicate.
+    A generation bump (the sender rebooted) resets the window, so a
+    restarted seq counter is never swallowed.
+    """
+
+    __slots__ = ("gen", "high", "recent")
+
+    def __init__(self) -> None:
+        self.gen = 0
+        self.high = 0
+        self.recent: set = set()
+
+    def reset(self, gen: int) -> None:
+        self.gen = gen
+        self.high = 0
+        self.recent.clear()
+
+    def is_duplicate(self, seq: int) -> bool:
+        if seq in self.recent:
+            return True
+        return self.high >= DEDUPE_WINDOW \
+            and seq <= self.high - DEDUPE_WINDOW
+
+    def note(self, seq: int) -> None:
+        self.recent.add(seq)
+        if seq > self.high:
+            self.high = seq
+        if len(self.recent) > 2 * DEDUPE_WINDOW:
+            floor = self.high - DEDUPE_WINDOW
+            self.recent = {s for s in self.recent if s > floor}
+
+
 class Nic:
     """One machine's network interface.
 
@@ -171,10 +233,14 @@ class Nic:
         self.fabric = fabric
         self.node_id = node_id
         self.kernel = kernel
+        self.gen = 0         # this node's boot generation
+        self.wedged = False  # True: netd stops draining the inbox
         self.inbox: List[bytes] = []
-        self._seen_seqs: set = set()
+        self._seen: Dict[int, _SenderWindow] = {}
         self._handlers: Dict[int, object] = {}
-        self._reply_cache: "OrderedDict[Tuple[int, int], bytes]" = \
+        # (src, src_gen, seq) -> (serving boot generation, reply wire)
+        self._reply_cache: \
+            "OrderedDict[Tuple[int, int, int], Tuple[int, bytes]]" = \
             OrderedDict()
 
     def bind(self, port: int, handler) -> None:
@@ -204,7 +270,7 @@ class Nic:
         receive-side cycles land on this machine's clock while its
         network daemon runs.
         """
-        if not self.inbox:
+        if self.wedged or not self.inbox:
             return []
         raw, self.inbox = self.inbox, []
         clock = self.kernel.clock
@@ -221,15 +287,30 @@ class Nic:
                     tracer.emit(EventKind.NET, name="rx-bad",
                                 pid=proc.pid, value=len(wire))
                 continue
-            if frame.seq in self._seen_seqs:
+            window = self._seen.get(frame.src)
+            if window is None:
+                window = _SenderWindow()
+                self._seen[frame.src] = window
+            if frame.gen != window.gen:
+                if frame.gen < window.gen:
+                    # a straggler from before the sender's reboot
+                    stats.dup_dropped += 1
+                    if tracer.enabled:
+                        tracer.emit(EventKind.NET, name="rx-stale-gen",
+                                    pid=proc.pid, addr=frame.seq)
+                    continue
+                window.reset(frame.gen)
+            if window.is_duplicate(frame.seq):
                 stats.dup_dropped += 1
                 if tracer.enabled:
                     tracer.emit(EventKind.NET, name="rx-dup",
                                 pid=proc.pid, addr=frame.seq)
                 continue
-            self._seen_seqs.add(frame.seq)
+            window.note(frame.seq)
             stats.frames_delivered += 1
             stats.bytes_delivered += len(wire)
+            if frame.kind is FrameKind.HEARTBEAT:
+                stats.heartbeats_delivered += 1
             if tracer.enabled:
                 tracer.emit(EventKind.NET,
                             name=f"rx:{frame.kind.name.lower()}",
@@ -250,20 +331,26 @@ class Nic:
     def _serve(self, frame: Frame) -> bytes:
         """Execute (or replay) the handler for a request frame; returns
         the packed reply wire. Retransmitted requests are answered from
-        the reply cache so every handler observes each seq once."""
-        key = (frame.src, frame.seq)
+        the reply cache so every handler observes each seq once. Cache
+        entries are tagged with the boot generation that produced them:
+        a reply recorded before a crash must never be replayed by the
+        rebooted incarnation (its volatile state is gone)."""
+        key = (frame.src, frame.gen, frame.seq)
         cached = self._reply_cache.get(key)
         if cached is not None:
-            return cached
+            gen_at, wire = cached
+            if gen_at == self.gen:
+                return wire
+            del self._reply_cache[key]  # stale: pre-reboot reply
         handler = self._handlers.get(frame.port)
         if handler is None:
             reply_kind, reply_payload = FrameKind.NAK, b""
         else:
             reply_kind, reply_payload = handler(frame)
         reply = Frame(reply_kind, self.node_id, frame.src, frame.port,
-                      frame.seq, reply_payload)
+                      frame.seq, reply_payload, gen=self.gen)
         wire = reply.pack()
-        self._reply_cache[key] = wire
+        self._reply_cache[key] = (self.gen, wire)
         while len(self._reply_cache) > REPLY_CACHE_LIMIT:
             self._reply_cache.popitem(last=False)
         return wire
@@ -280,6 +367,11 @@ class Fabric:
         self.seed = seed
         self.stats = FabricStats()
         self.round = 0
+        #: the cluster's HA manager when armed (None = no failure model;
+        #: the send/rpc paths then cost exactly one attribute check)
+        self.ha = None
+        #: per-node boot generation, bumped by :meth:`reattach`
+        self.generations: List[int] = [0] * nnodes
         self._next_seq = 1
         self._nics: List[Optional[Nic]] = [None] * nnodes
         self._links: Dict[Tuple[int, int], _Link] = {}
@@ -291,13 +383,35 @@ class Fabric:
                 self._links[(src, dst)] = _Link(
                     base_delay, jitter,
                     DeterministicRng(mix_seed(seed, index)))
-        # (deliver_round, seq, copy, dst, wire)
-        self._in_flight: List[Tuple[int, int, int, int, bytes]] = []
+        # (deliver_round, seq, copy, dst, wire, kind)
+        self._in_flight: List[
+            Tuple[int, int, int, int, bytes, FrameKind]] = []
 
     def attach(self, node_id: int, nic: Nic) -> None:
         if self._nics[node_id] is not None:
             raise NetError(f"node {node_id} already attached")
         self._nics[node_id] = nic
+
+    def reattach(self, node_id: int, nic: Nic) -> None:
+        """Replace a crashed node's NIC with its rebooted incarnation.
+
+        Bumps the node's boot generation so receivers reset their
+        dedupe windows and the node's own reply cache goes stale."""
+        if self._nics[node_id] is None:
+            raise NetError(f"node {node_id} was never attached")
+        self.generations[node_id] += 1
+        nic.gen = self.generations[node_id] & _GEN_MASK
+        self._nics[node_id] = nic
+
+    def purge_node(self, node_id: int) -> int:
+        """Drop every in-flight frame addressed to *node_id* (it lost
+        power: whatever was on its wire never arrives)."""
+        keep = [entry for entry in self._in_flight
+                if entry[3] != node_id]
+        purged = len(self._in_flight) - len(keep)
+        self._in_flight = keep
+        self.stats.ha_dropped += purged
+        return purged
 
     def link(self, src: int, dst: int) -> _Link:
         return self._links[(src, dst)]
@@ -305,6 +419,13 @@ class Fabric:
     def pending(self) -> int:
         """Frames queued on the wire, not yet delivered."""
         return len(self._in_flight)
+
+    def pending_workload(self) -> int:
+        """Like :meth:`pending`, minus HEARTBEAT frames — the
+        membership plane beats forever, so it must not keep an
+        otherwise-finished cluster from looking idle."""
+        return sum(1 for entry in self._in_flight
+                   if entry[5] is not FrameKind.HEARTBEAT)
 
     def _nic(self, node_id: int) -> Nic:
         if not 0 <= node_id < self.nnodes:
@@ -327,7 +448,7 @@ class Fabric:
                       payload: bytes, kind: FrameKind) -> None:
         self._nic(dst)  # validate early, on the sender's side
         frame = Frame(kind, src_nic.node_id, dst, port,
-                      self._allocate_seq(), payload)
+                      self._allocate_seq(), payload, gen=src_nic.gen)
         wire = frame.pack()
         clock = src_nic.kernel.clock
         clock.net(len(wire))
@@ -340,6 +461,15 @@ class Fabric:
             tracer.emit(EventKind.NET, name=f"tx:{kind.name.lower()}",
                         pid=proc.pid if proc is not None else 0,
                         addr=frame.seq, value=len(wire))
+        if self.ha is not None:
+            verdict = self.ha.filter_send(frame.src, dst)
+            if verdict is not None:
+                stats.ha_dropped += 1
+                if tracer.enabled:
+                    tracer.emit(EventKind.NET,
+                                name=f"ha-drop:{verdict}",
+                                addr=frame.seq)
+                return
         extra = 0
         copies = 1
         injector = src_nic.kernel.injector
@@ -363,7 +493,7 @@ class Fabric:
         for copy in range(copies):
             deliver = self.round + link.draw_delay() + extra
             self._in_flight.append(
-                (deliver, frame.seq, copy, dst, wire))
+                (deliver, frame.seq, copy, dst, wire, kind))
 
     def deliver_due(self, current_round: int) -> int:
         """Move every frame whose round has come into its NIC inbox.
@@ -382,7 +512,7 @@ class Fabric:
         self._in_flight = [entry for entry in self._in_flight
                            if entry[0] > current_round]
         due.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
-        for _deliver, _seq, _copy, dst, wire in due:
+        for _deliver, _seq, _copy, dst, wire, _kind in due:
             self._nic(dst).inbox.append(wire)
         return len(due)
 
@@ -408,7 +538,7 @@ class Fabric:
         if dst is src_nic.node_id:
             raise NetError("synchronous exchange with self")
         request = Frame(kind, src_nic.node_id, dst, port,
-                        self._allocate_seq(), payload)
+                        self._allocate_seq(), payload, gen=src_nic.gen)
         request_wire = request.pack()
         src_clock = src_nic.kernel.clock
         dst_clock = dst_nic.kernel.clock
@@ -416,6 +546,8 @@ class Fabric:
         tracer = _trace.TRACER
         injector = src_nic.kernel.injector
         subject = f"{request.src}->{dst}:{port}"
+        ha = self.ha
+        ha_blocked: Optional[str] = None
         for attempt in range(1, max_attempts + 1):
             if attempt > 1:
                 stats.retransmits += 1
@@ -428,6 +560,19 @@ class Fabric:
                 tracer.emit(EventKind.NET,
                             name=f"tx:{kind.name.lower()}",
                             addr=request.seq, value=len(request_wire))
+            if ha is not None:
+                verdict = ha.filter_send(request.src, dst)
+                if verdict is not None:
+                    # dead node or partition cut: the caller waits out
+                    # the same timeout window an injected drop costs
+                    ha_blocked = verdict
+                    stats.ha_dropped += 1
+                    if tracer.enabled:
+                        tracer.emit(EventKind.NET,
+                                    name=f"ha-drop:{verdict}",
+                                    addr=request.seq)
+                    src_clock.net_stall(2)
+                    continue
             wire = request_wire
             copies = 1
             if injector is not None:
@@ -475,6 +620,18 @@ class Fabric:
             stats.frames_sent += 1
             stats.bytes_sent += len(reply_wire)
             reply_candidate = reply_wire
+            if ha is not None:
+                verdict = ha.filter_send(dst, request.src)
+                if verdict is not None:
+                    # the cut fell between request and reply
+                    ha_blocked = verdict
+                    stats.ha_dropped += 1
+                    if tracer.enabled:
+                        tracer.emit(EventKind.NET,
+                                    name=f"ha-drop-reply:{verdict}",
+                                    addr=request.seq)
+                    src_clock.net_stall(1)
+                    continue
             if injector is not None:
                 reply_subject = f"{dst}->{request.src}:{port}"
                 reply_candidate, action = injector.filter_frame(
@@ -507,6 +664,18 @@ class Fabric:
                             name=f"rx:{reply.kind.name.lower()}",
                             addr=reply.seq, value=len(reply_candidate))
             return reply
+        if ha_blocked is not None:
+            # every failure was the failure model, not the fault plane:
+            # tell the membership view the peer timed out (fail fast)
+            ha.note_timeout(request.src, dst)
+            error = InjectedNetError(
+                f"exchange {kind.name}->{dst}:{port} timed out "
+                f"({'node down' if ha_blocked == 'down' else 'partition'})")
+            error.plane = "node"
+            error.site = "rpc"
+            error.fault_kind = \
+                "node-down" if ha_blocked == "down" else "partition"
+            return self._raise(error)
         error = InjectedNetError(
             f"exchange {kind.name}->{dst}:{port} exhausted "
             f"{max_attempts} attempts")

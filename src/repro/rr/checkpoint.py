@@ -182,10 +182,12 @@ def capture_machine(kernel) -> list:
 
 def capture_cluster(cluster) -> list:
     """A whole cluster at a round boundary: the global round counter,
-    fabric traffic counters and in-flight count, and every member
-    machine's full state in node order."""
+    fabric traffic counters and in-flight count, every member
+    machine's full state in node order, and — when the failure model
+    is armed — the HA plane (fault windows, membership, generations,
+    directory rows with leases)."""
     stats = cluster.fabric.stats
-    return [
+    state = [
         STATE_CLUSTER,
         cluster.round,
         cluster.nnodes,
@@ -196,6 +198,10 @@ def capture_cluster(cluster) -> list:
         [capture_machine(machine.kernel)
          for machine in cluster.machines],
     ]
+    ha = getattr(cluster, "ha", None)
+    if ha is not None:
+        state.append(ha.capture())
+    return state
 
 
 def state_digest(state: list) -> bytes:

@@ -509,6 +509,22 @@ def _campaign_plans(planes: Sequence[str], rate: float) -> List:
                                    probability=rate))
             plans.append(FaultPlan(plane, FaultKind.CORRUPT,
                                    probability=rate / 4.0))
+        elif plane is Plane.NODE:
+            # Whole-machine failures: a few crashes and one wedge per
+            # run, a partition window, and an eager reboot draw so a
+            # crashed node comes back within a handful of rounds.
+            plans.append(FaultPlan(plane, FaultKind.CRASH,
+                                   site="crash", probability=rate,
+                                   max_faults=2))
+            plans.append(FaultPlan(plane, FaultKind.WEDGE,
+                                   site="wedge",
+                                   probability=rate / 2.0,
+                                   max_faults=1))
+            plans.append(FaultPlan(plane, FaultKind.PARTITION,
+                                   site="partition", probability=rate,
+                                   max_faults=2))
+            plans.append(FaultPlan(plane, FaultKind.REBOOT,
+                                   site="reboot", probability=0.25))
     return plans
 
 
@@ -686,17 +702,27 @@ def reprochaos_main(argv: Sequence[str],
     events alongside ``INJECT`` so the drift check covers frame-level
     ordering, and exports ``REPRO_CLUSTER=N`` so cluster-aware scripts
     boot an N-node :class:`repro.net.Cluster` instead of one kernel.
+
+    ``reprochaos --ha [--nodes N] ...`` is the availability soak: on
+    top of ``--net`` it arms the ``node`` plane (seeded crashes,
+    wedges, partitions, reboots), traces ``HA`` events so the drift
+    check covers the failure schedule and the recovery protocol, and
+    exports ``REPRO_HA=1`` so cluster-aware scripts run the
+    self-healing scenario and assert re-convergence to the
+    single-kernel oracle.
     """
     out = stdout if stdout is not None else sys.stdout
     seed = 1993
     runs = 1
     planes: Sequence[str] = _CHAOS_PLANES
     rate = 0.005
+    planes_given = False
     crash = False
     stride = 1
     max_points: Optional[int] = None
     nblocks = 2048
     net = False
+    ha = False
     nodes = 4
     scripts: List[str] = []
 
@@ -714,6 +740,7 @@ def reprochaos_main(argv: Sequence[str],
             names = _value(args, index, "--planes")
             planes = [name.strip() for name in names.split(",")
                       if name.strip()]
+            planes_given = True
             index += 2
         elif arg == "--rate":
             rate = float(_value(args, index, "--rate"))
@@ -733,6 +760,9 @@ def reprochaos_main(argv: Sequence[str],
         elif arg == "--net":
             net = True
             index += 1
+        elif arg == "--ha":
+            ha = True
+            index += 1
         elif arg == "--nodes":
             nodes = int(_value(args, index, "--nodes"))
             index += 2
@@ -745,7 +775,8 @@ def reprochaos_main(argv: Sequence[str],
         raise UsageError(
             "reprochaos: usage: reprochaos [--seed N] [--runs N] "
             "[--planes P,P] [--rate F] [--crash [--stride N] "
-            "[--max-points N] [--nblocks N]] script.py..."
+            "[--max-points N] [--nblocks N]] [--net|--ha [--nodes N]] "
+            "script.py..."
         )
     for script in scripts:
         if not os.path.isfile(script):
@@ -753,6 +784,16 @@ def reprochaos_main(argv: Sequence[str],
     if net and crash:
         raise UsageError("reprochaos: --net and --crash are separate "
                          "soaks; pick one")
+    if ha and crash:
+        raise UsageError("reprochaos: --ha and --crash are separate "
+                         "soaks; pick one")
+    if ha:
+        net = True  # --ha layers the node plane on the net soak
+        if not planes_given:
+            # The availability soak targets the failure model: the
+            # default syscall/io fuzz would kill the differential
+            # oracle before recovery is ever exercised.
+            planes = []
 
     if crash:
         print(f"reprochaos: crash soak, {len(scripts)} script(s), "
@@ -778,6 +819,10 @@ def reprochaos_main(argv: Sequence[str],
         if "net" not in planes:
             planes = list(planes) + ["net"]
         kinds = ("INJECT", "NET")
+    if ha:
+        if "node" not in planes:
+            planes = list(planes) + ["node"]
+        kinds = ("INJECT", "NET", "HA")
     try:
         plans = _campaign_plans(planes, rate)
     except ValueError as error:
@@ -785,15 +830,19 @@ def reprochaos_main(argv: Sequence[str],
 
     print(f"reprochaos: {len(scripts)} script(s) x {runs} run(s), "
           f"base seed {seed}, rate {rate:g}"
-          + (f", cluster of {nodes}" if net else ""), file=out)
+          + (f", cluster of {nodes}" if net else "")
+          + (" (HA armed)" if ha else ""), file=out)
     for plan in plans:
         print(f"  plan: {plan.describe()}", file=out)
 
     saved_cluster = os.environ.get("REPRO_CLUSTER")
+    saved_ha = os.environ.get("REPRO_HA")
     if net:
         # Cluster-aware scripts (examples/rwho_network.py) read this to
         # boot a cluster instead of a single kernel.
         os.environ["REPRO_CLUSTER"] = str(nodes)
+    if ha:
+        os.environ["REPRO_HA"] = "1"
     failures = 0
     try:
         for script in scripts:
@@ -828,6 +877,11 @@ def reprochaos_main(argv: Sequence[str],
                 os.environ.pop("REPRO_CLUSTER", None)
             else:
                 os.environ["REPRO_CLUSTER"] = saved_cluster
+        if ha:
+            if saved_ha is None:
+                os.environ.pop("REPRO_HA", None)
+            else:
+                os.environ["REPRO_HA"] = saved_ha
     if failures:
         print(f"reprochaos: FAILED ({failures} kernel death(s) or "
               f"replay drift(s))", file=out)

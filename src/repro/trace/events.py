@@ -32,6 +32,7 @@ class EventKind(enum.IntEnum):
     RECOVER = 11       # boot-time recovery traffic (replay, torn tail)
     NET = 12           # cluster traffic: frames and coherence protocol
     SAN = 13           # sanitizer findings (races, heap misuse)
+    HA = 14            # node failures, membership, lease reclamation
 
     @property
     def bit(self) -> int:
